@@ -1,0 +1,91 @@
+"""Ablation — simplified S-V vs the original S-V (star hooking).
+
+Section II argues that the star-hooking step of the original
+Shiloach-Vishkin algorithm is unnecessary in the Pregel setting and
+that removing it ("simplified S-V") saves the expensive star test.
+This ablation runs both variants on connected-components inputs shaped
+like the labeling workloads (long paths plus random graphs) and
+compares supersteps, messages and estimated runtime; Hash-Min is
+included as the non-PPA baseline to show why neither labeling method
+uses it (its superstep count grows with the graph diameter).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench import bench_cluster_profile, format_table
+from repro.ppa import (
+    GraphInput,
+    run_hash_min,
+    run_original_sv,
+    run_simplified_sv,
+    sequential_connected_components,
+    components_from_result,
+    hash_min_components,
+)
+from repro.pregel.cost_model import CostModel
+
+
+def _workloads():
+    rng = random.Random(99)
+    path = GraphInput.from_edges([(i, i + 1) for i in range(2_000)])
+    random_graph = GraphInput.from_edges(
+        [(rng.randrange(3_000), rng.randrange(3_000)) for _ in range(4_000)]
+    ).add_isolated(range(3_000))
+    return {"path (2k vertices)": path, "random (3k vertices)": random_graph}
+
+
+def _measure(scale_multiplier: float):
+    model = CostModel(bench_cluster_profile())
+    rows = []
+    checks = []
+    for name, graph in _workloads().items():
+        expected = sequential_connected_components(graph)
+        simplified = run_simplified_sv(graph, num_workers=16)
+        original = run_original_sv(graph, num_workers=16)
+        hashmin = run_hash_min(graph, num_workers=16)
+        checks.append(components_from_result(simplified) == expected)
+        checks.append(components_from_result(original) == expected)
+        checks.append(hash_min_components(hashmin) == expected)
+        rows.append(
+            [
+                name,
+                simplified.num_supersteps,
+                original.num_supersteps,
+                hashmin.num_supersteps,
+                simplified.total_messages,
+                original.total_messages,
+                f"{model.job_seconds(simplified.metrics):.1f}",
+                f"{model.job_seconds(original.metrics):.1f}",
+            ]
+        )
+    return rows, checks
+
+
+def test_ablation_simplified_vs_original_sv(benchmark, scale_multiplier):
+    rows, checks = benchmark.pedantic(_measure, args=(scale_multiplier,), rounds=1, iterations=1)
+    print(
+        "\n"
+        + format_table(
+            headers=[
+                "Workload",
+                "simplified supersteps",
+                "original supersteps",
+                "hash-min supersteps",
+                "simplified messages",
+                "original messages",
+                "simplified runtime (s)",
+                "original runtime (s)",
+            ],
+            rows=rows,
+            title="Ablation — simplified S-V vs original S-V vs Hash-Min",
+        )
+    )
+    assert all(checks), "all three algorithms must produce correct components"
+    for row in rows:
+        _name, simplified_steps, original_steps, _hm, simplified_messages, original_messages, *_ = row
+        assert simplified_steps < original_steps
+        assert simplified_messages <= original_messages

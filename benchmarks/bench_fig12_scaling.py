@@ -1,0 +1,82 @@
+"""Figure 12 — end-to-end execution time versus number of workers.
+
+The paper runs the four assemblers on HC-14 and Bombus Impatiens with
+16, 32, 48 and 64 workers and reports end-to-end execution time.  The
+expected shape (paper, HC-14): PPA-assembler is the fastest at every
+worker count and keeps improving with more workers; SWAP-Assembler is
+second and also scales; ABySS is insensitive to the worker count; Ray
+is roughly an order of magnitude slower than everything else.
+
+This benchmark reproduces the *shape* on scaled datasets: PPA-assembler
+times come from the BSP cost model applied to the measured per-worker
+load of every Pregel/mini-MapReduce job; the baselines use their
+documented per-strategy cost formulas.  Absolute seconds are not
+comparable with the paper's cluster.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    FIGURE12_WORKERS,
+    bench_cluster_profile,
+    format_scaling_series,
+    prepare_dataset,
+    run_baselines,
+    run_ppa,
+)
+
+_DATASET_SCALES = {"hc14": 0.2, "bi": 0.12}
+
+
+def _scaling_series(dataset_name: str, scale: float):
+    dataset = prepare_dataset(dataset_name, scale=scale)
+    cluster = bench_cluster_profile()
+    series = {"PPA-Assembler": {}, "ABySS": {}, "Ray": {}, "SWAP-Assembler": {}}
+    for workers in FIGURE12_WORKERS:
+        ppa = run_ppa(dataset, num_workers=workers)
+        series["PPA-Assembler"][workers] = ppa.estimated_seconds(cluster)
+        for name, result in run_baselines(dataset, num_workers=workers).items():
+            series[name][workers] = result.estimated_seconds
+    return series
+
+
+def _check_shape(series):
+    ppa = series["PPA-Assembler"]
+    abyss = series["ABySS"]
+    ray = series["Ray"]
+    swap = series["SWAP-Assembler"]
+    workers_low, workers_high = min(FIGURE12_WORKERS), max(FIGURE12_WORKERS)
+
+    # PPA-assembler is the fastest assembler at every worker count.
+    for workers in FIGURE12_WORKERS:
+        others = (abyss[workers], ray[workers], swap[workers])
+        assert ppa[workers] < min(others)
+    # PPA-assembler and SWAP improve with more workers.
+    assert ppa[workers_high] < ppa[workers_low]
+    assert swap[workers_high] < swap[workers_low]
+    # ABySS is insensitive to the worker count (within 30%).
+    assert 0.7 < abyss[workers_high] / abyss[workers_low] < 1.3
+    # Ray is the slowest at every worker count.
+    for workers in FIGURE12_WORKERS:
+        assert ray[workers] > max(ppa[workers], abyss[workers], swap[workers])
+
+
+@pytest.mark.parametrize("dataset_name,figure", [("hc14", "12(a)"), ("bi", "12(b)")])
+def test_figure12_worker_scaling(benchmark, scale_multiplier, dataset_name, figure):
+    scale = _DATASET_SCALES[dataset_name] * scale_multiplier
+    series = benchmark.pedantic(
+        _scaling_series, args=(dataset_name, scale), rounds=1, iterations=1
+    )
+    print(
+        "\n"
+        + format_scaling_series(
+            series,
+            title=(
+                f"Figure {figure} — estimated execution time on {dataset_name.upper()} "
+                "(simulated cluster seconds)"
+            ),
+        )
+    )
+    _check_shape(series)

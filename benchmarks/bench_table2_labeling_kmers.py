@@ -1,0 +1,81 @@
+"""Table II — bidirectional list ranking vs simplified S-V for labeling k-mers.
+
+The paper compares the two contig-labeling methods on the first ②
+operation of the workflow (labeling the unambiguous k-mers of the
+freshly built de Bruijn graph) and reports, per dataset: the number of
+supersteps, the number of messages and the runtime.  The expected shape
+is that list ranking needs far fewer supersteps (tens vs ~90), sends
+2-4x fewer messages, and is ~2-3x faster.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.assembler import build_dbg, label_contigs
+from repro.bench import BENCH_K, bench_cluster_profile, format_table, ppa_config, prepare_dataset
+from repro.pregel.cost_model import CostModel
+from repro.pregel.job import JobChain
+
+_DATASET_SCALES = {"hc2": 0.25, "hcx": 0.25, "hc14": 0.2, "bi": 0.12}
+_WORKERS = 16
+
+
+def _measure_labeling(dataset_name: str, scale: float, method: str):
+    dataset = prepare_dataset(dataset_name, scale=scale)
+    config = ppa_config(num_workers=_WORKERS, labeling_method=method)
+    chain = JobChain(num_workers=_WORKERS)
+    graph = build_dbg(dataset.reads, config, chain).graph
+    labeling = label_contigs(graph, config, chain, include_contigs=False)
+    model = CostModel(bench_cluster_profile())
+    seconds = sum(model.job_seconds(job) for job in labeling.metrics)
+    return {
+        "supersteps": labeling.num_supersteps,
+        "messages": labeling.num_messages,
+        "seconds": seconds,
+    }
+
+
+def _table2_rows(scale_multiplier: float):
+    rows = []
+    for dataset_name, base_scale in _DATASET_SCALES.items():
+        scale = base_scale * scale_multiplier
+        lr = _measure_labeling(dataset_name, scale, "list_ranking")
+        sv = _measure_labeling(dataset_name, scale, "sv")
+        rows.append(
+            [
+                dataset_name.upper(),
+                lr["supersteps"],
+                sv["supersteps"],
+                lr["messages"],
+                sv["messages"],
+                f"{lr['seconds']:.1f}",
+                f"{sv['seconds']:.1f}",
+            ]
+        )
+    return rows
+
+
+def test_table2_lr_vs_sv_for_kmers(benchmark, scale_multiplier):
+    rows = benchmark.pedantic(_table2_rows, args=(scale_multiplier,), rounds=1, iterations=1)
+    print(
+        "\n"
+        + format_table(
+            headers=[
+                "Dataset",
+                "LR supersteps",
+                "S-V supersteps",
+                "LR messages",
+                "S-V messages",
+                "LR runtime (s)",
+                "S-V runtime (s)",
+            ],
+            rows=rows,
+            title="Table II — LR vs S-V for labeling unambiguous k-mers",
+        )
+    )
+    for row in rows:
+        _dataset, lr_steps, sv_steps, lr_messages, sv_messages, lr_seconds, sv_seconds = row
+        assert lr_steps < sv_steps
+        assert lr_messages < sv_messages
+        assert float(lr_seconds) <= float(sv_seconds)

@@ -1,0 +1,83 @@
+"""Table IV — sequencing quality comparison on HC-2 (reference available).
+
+The paper evaluates all four assemblers with QUAST on the HC-2 dataset
+(which has a reference sequence) and reports twelve metrics.  The
+expected shape: PPA-assembler has the highest N50 and largest
+contig/alignment, the fewest misassemblies and mismatches, and the
+highest genome fraction; ABySS is more fragmented (lower N50, more
+mismatches); SWAP is the most fragmented with the smallest total
+length; Ray covers the smallest fraction of the genome in the paper and
+is at best comparable here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import BENCH_K, BENCH_MIN_CONTIG, format_comparison, prepare_dataset
+from repro.bench.harness import all_assembler_contigs
+from repro.quality import compare_assemblies
+
+_SCALE = 0.5
+_WORKERS = 16
+
+_METRIC_ROWS = [
+    "num_contigs",
+    "total_length",
+    "n50",
+    "largest_contig",
+    "gc_percent",
+    "misassemblies",
+    "misassembled_length",
+    "unaligned_length",
+    "genome_fraction",
+    "mismatches_per_100kbp",
+    "indels_per_100kbp",
+    "largest_alignment",
+]
+
+
+def _quality_reports(scale_multiplier: float):
+    dataset = prepare_dataset("hc2", scale=_SCALE * scale_multiplier)
+    contigs_per_assembler = all_assembler_contigs(dataset, num_workers=_WORKERS)
+    reference, _ = dataset.profile.generate_with_reference()
+    reports = compare_assemblies(
+        contigs_per_assembler,
+        reference=reference,
+        min_contig_length=BENCH_MIN_CONTIG,
+        anchor_k=BENCH_K,
+    )
+    return {report.assembler: report.as_dict() for report in reports}
+
+
+def test_table4_quality_comparison_on_hc2(benchmark, scale_multiplier):
+    per_assembler = benchmark.pedantic(
+        _quality_reports, args=(scale_multiplier,), rounds=1, iterations=1
+    )
+    print(
+        "\n"
+        + format_comparison(
+            _METRIC_ROWS,
+            per_assembler,
+            title=(
+                "Table IV — quality comparison on HC-2 "
+                f"(contigs ≥ {BENCH_MIN_CONTIG} bp, scaled dataset)"
+            ),
+        )
+    )
+    ppa = per_assembler["PPA"]
+    abyss = per_assembler["ABySS"]
+    swap = per_assembler["SWAP-Assembler"]
+    ray = per_assembler["Ray"]
+
+    # Everyone assembled something.
+    for report in per_assembler.values():
+        assert report["num_contigs"] > 0
+
+    # Headline shape checks from the paper.
+    assert ppa["n50"] >= abyss["n50"]
+    assert ppa["n50"] >= swap["n50"]
+    assert ppa["largest_contig"] >= abyss["largest_contig"]
+    assert ppa["misassemblies"] <= min(r["misassemblies"] for r in (abyss, swap, ray))
+    assert ppa["genome_fraction"] >= 0.9 * max(r["genome_fraction"] for r in (abyss, swap, ray))
+    assert ppa["mismatches_per_100kbp"] <= abyss["mismatches_per_100kbp"] + 50

@@ -1,0 +1,58 @@
+"""Table V — sequencing quality comparison on HC-14 (no reference).
+
+HC-14 has no published reference sequence, so the paper reports only
+the reference-free metrics: number of contigs, total length, N50 and
+largest contig.  Expected shape: PPA-assembler has the highest N50 and
+largest contig; total length and contig counts are comparable across
+assemblers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import BENCH_MIN_CONTIG, format_comparison, prepare_dataset
+from repro.bench.harness import all_assembler_contigs
+from repro.quality import compare_assemblies
+
+_SCALE = 0.25
+_WORKERS = 16
+
+_METRIC_ROWS = ["num_contigs", "total_length", "n50", "largest_contig"]
+
+
+def _quality_reports(scale_multiplier: float):
+    dataset = prepare_dataset("hc14", scale=_SCALE * scale_multiplier)
+    assert dataset.reference is None  # Table V is reference-free by design
+    contigs_per_assembler = all_assembler_contigs(dataset, num_workers=_WORKERS)
+    reports = compare_assemblies(
+        contigs_per_assembler,
+        reference=None,
+        min_contig_length=BENCH_MIN_CONTIG,
+    )
+    return {report.assembler: report.as_dict() for report in reports}
+
+
+def test_table5_quality_comparison_on_hc14(benchmark, scale_multiplier):
+    per_assembler = benchmark.pedantic(
+        _quality_reports, args=(scale_multiplier,), rounds=1, iterations=1
+    )
+    print(
+        "\n"
+        + format_comparison(
+            _METRIC_ROWS,
+            per_assembler,
+            title=(
+                "Table V — quality comparison on HC-14 "
+                f"(reference-free, contigs ≥ {BENCH_MIN_CONTIG} bp)"
+            ),
+        )
+    )
+    ppa = per_assembler["PPA"]
+    for report in per_assembler.values():
+        assert report["num_contigs"] > 0
+        # Reference-based fields must be absent without a reference.
+        assert "genome_fraction" not in report
+    assert ppa["n50"] >= per_assembler["ABySS"]["n50"]
+    assert ppa["n50"] >= per_assembler["SWAP-Assembler"]["n50"]
+    assert ppa["largest_contig"] >= per_assembler["ABySS"]["largest_contig"]

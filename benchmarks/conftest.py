@@ -1,0 +1,32 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper on the
+scaled-down synthetic datasets (see DESIGN.md for the substitution
+rationale and EXPERIMENTS.md for paper-vs-measured numbers).  The
+benchmarks print their table in the paper's layout; pytest-benchmark
+additionally records the wall-clock time of the headline operation.
+
+Dataset sizes can be grown or shrunk with ``REPRO_BENCH_SCALE`` (a
+multiplier on the per-benchmark default scales).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def pytest_configure(config):
+    # Make sure benchmark output is visible even under -q.
+    config.option.verbose = max(config.option.verbose, 0)
+
+
+@pytest.fixture(scope="session")
+def scale_multiplier() -> float:
+    raw = os.environ.get("REPRO_BENCH_SCALE", "1.0")
+    try:
+        value = float(raw)
+    except ValueError:
+        value = 1.0
+    return value if value > 0 else 1.0

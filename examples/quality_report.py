@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Assemble one dataset with all four assemblers and print a Table IV-style report.
+
+Also demonstrates FASTQ/FASTA round-tripping: the simulated reads are
+written to a FASTQ file, read back, assembled, and the contigs of every
+assembler are written to FASTA files next to it.
+
+Run with::
+
+    python examples/quality_report.py [output_directory]
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import AssemblyConfig, PPAAssembler
+from repro.baselines import AbyssLikeAssembler, RayLikeAssembler, SwapLikeAssembler
+from repro.bench import format_comparison
+from repro.dna import (
+    FastaRecord,
+    get_profile,
+    parse_fastq,
+    write_fasta,
+    write_fastq,
+)
+from repro.quality import compare_assemblies
+
+MIN_CONTIG = 100
+K = 21
+
+
+def main() -> None:
+    output_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(tempfile.mkdtemp(prefix="ppa-"))
+    output_dir.mkdir(parents=True, exist_ok=True)
+
+    # HC-2 is the profile with a reference, which Table IV needs.
+    profile = get_profile("hc2", scale=0.5)
+    reference, reads = profile.generate_with_reference()
+
+    # FASTQ round trip: write the simulated reads, then parse them back,
+    # exactly as a user with real data would start.
+    fastq_path = output_dir / "hc2_reads.fastq"
+    write_fastq(reads, fastq_path)
+    reads = list(parse_fastq(fastq_path))
+    print(f"wrote and re-read {len(reads):,} reads via {fastq_path}")
+
+    assemblies = {}
+
+    config = AssemblyConfig(k=K, coverage_threshold=1, tip_length_threshold=80, num_workers=8)
+    ppa = PPAAssembler(config).assemble(reads)
+    assemblies["PPA"] = ppa.contigs
+
+    for assembler in (
+        AbyssLikeAssembler(k=K, num_workers=8),
+        RayLikeAssembler(k=K, num_workers=8),
+        SwapLikeAssembler(k=K, num_workers=8),
+    ):
+        result = assembler.assemble(reads)
+        assemblies[result.assembler] = result.contigs
+
+    # Write each assembly to FASTA.
+    for name, contigs in assemblies.items():
+        fasta_path = output_dir / f"{name.lower().replace('-', '_')}_contigs.fasta"
+        write_fasta(
+            (FastaRecord(f"{name}_contig_{i}", contig) for i, contig in enumerate(contigs)),
+            fasta_path,
+        )
+        print(f"  {name:15s} -> {fasta_path}")
+
+    # Quality comparison against the known reference.
+    reports = compare_assemblies(
+        assemblies, reference=reference, min_contig_length=MIN_CONTIG, anchor_k=K
+    )
+    per_assembler = {report.assembler: report.as_dict() for report in reports}
+    metrics = [
+        "num_contigs",
+        "total_length",
+        "n50",
+        "largest_contig",
+        "gc_percent",
+        "misassemblies",
+        "unaligned_length",
+        "genome_fraction",
+        "mismatches_per_100kbp",
+        "largest_alignment",
+    ]
+    print()
+    print(
+        format_comparison(
+            metrics,
+            per_assembler,
+            title=f"Quality comparison on HC-2 (scaled), contigs ≥ {MIN_CONTIG} bp",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

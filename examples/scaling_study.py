@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Worker-scaling study: a small Figure 12 on your laptop.
+
+Runs PPA-assembler and the three baseline assemblers over one scaled
+dataset profile at several simulated worker counts and prints the
+estimated execution time of each, reproducing the *shape* of Figure 12
+(PPA fastest and scaling, SWAP scaling, ABySS flat, Ray slowest).
+
+Run with::
+
+    python examples/scaling_study.py [dataset] [scale]
+
+where ``dataset`` is one of hc2/hcx/hc14/bi (default hc14) and
+``scale`` shrinks or grows the dataset (default 0.15).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench import (
+    FIGURE12_WORKERS,
+    bench_cluster_profile,
+    format_scaling_series,
+    prepare_dataset,
+    run_baselines,
+    run_ppa,
+)
+
+
+def main() -> None:
+    dataset_name = sys.argv[1] if len(sys.argv) > 1 else "hc14"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.15
+
+    dataset = prepare_dataset(dataset_name, scale=scale)
+    print(
+        f"dataset {dataset_name}: {len(dataset.reads):,} reads, "
+        f"genome {dataset.profile.genome_length:,} bp (scale {scale})"
+    )
+
+    cluster = bench_cluster_profile()
+    series = {"PPA-Assembler": {}, "ABySS": {}, "Ray": {}, "SWAP-Assembler": {}}
+    for workers in FIGURE12_WORKERS:
+        print(f"  running all assemblers with {workers} workers ...")
+        ppa = run_ppa(dataset, num_workers=workers)
+        series["PPA-Assembler"][workers] = ppa.estimated_seconds(cluster)
+        for name, result in run_baselines(dataset, num_workers=workers).items():
+            series[name][workers] = result.estimated_seconds
+
+    print()
+    print(
+        format_scaling_series(
+            series,
+            title=f"Estimated execution time on {dataset_name.upper()} (simulated cluster)",
+        )
+    )
+    print(
+        "\nExpected shape (paper, Figure 12): PPA fastest and improving with "
+        "workers; SWAP second and improving; ABySS flat; Ray slowest."
+    )
+
+
+if __name__ == "__main__":
+    main()

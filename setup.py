@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+The project metadata lives in pyproject.toml; this file only exists so
+that `pip install -e .` works with the legacy (non-PEP-660) editable
+code path on offline machines.
+"""
+
+from setuptools import setup
+
+setup()

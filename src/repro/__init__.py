@@ -1,0 +1,43 @@
+"""PPA-Assembler reproduction: scalable de novo genome assembly using Pregel.
+
+Reproduction of Yan et al., "Scalable De Novo Genome Assembly Using
+Pregel" (ICDE 2018).  The package is organised by subsystem:
+
+* :mod:`repro.pregel` — the Pregel+ substrate (BSP engine, aggregators,
+  combiners, mini-MapReduce, in-memory job chaining, cost model);
+* :mod:`repro.ppa` — the Practical Pregel Algorithms used as building
+  blocks (list ranking, simplified/original S-V, Hash-Min);
+* :mod:`repro.dna` — sequences, k-mer encoding, FASTQ IO, read
+  simulation and the Table I dataset profiles;
+* :mod:`repro.dbg` — de Bruijn graph data structures (vertex IDs,
+  adjacency bitmaps, polarity, k-mer/contig vertices);
+* :mod:`repro.assembler` — the five assembly operations and the
+  workflow driver (the paper's contribution);
+* :mod:`repro.baselines` — ABySS/Ray/SWAP/Spaler-style comparison
+  assemblers;
+* :mod:`repro.quality` — QUAST-style quality assessment;
+* :mod:`repro.bench` — shared benchmark harness utilities.
+
+Quickstart::
+
+    from repro import AssemblyConfig, PPAAssembler
+    from repro.dna import simulate_dataset
+
+    genome, reads = simulate_dataset(genome_length=20_000, seed=7)
+    result = PPAAssembler(AssemblyConfig(k=21)).assemble(reads)
+    print(result.num_contigs(), result.largest_contig())
+"""
+
+from .assembler import AssemblyConfig, AssemblyResult, PPAAssembler, assemble_reads
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AssemblyConfig",
+    "AssemblyResult",
+    "PPAAssembler",
+    "assemble_reads",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,109 @@
+"""Assembly configuration.
+
+The knobs collected here are exactly the ones the paper exposes in its
+experiment section: ``k`` (31 in the paper), the coverage threshold θ
+used to drop low-coverage (k+1)-mers during DBG construction, the edit
+distance threshold for bubble filtering (5 in the paper), the length
+threshold for tip removing (80 in the paper), the contig-labeling
+method (bidirectional list ranking or simplified S-V), and the number
+of simulated workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..dna.encoding import MAX_K
+from ..errors import PipelineConfigError
+
+#: Contig-labeling method names.
+LABELING_LIST_RANKING = "list_ranking"
+LABELING_SIMPLIFIED_SV = "sv"
+
+
+@dataclass(frozen=True)
+class AssemblyConfig:
+    """Parameters of one assembly run.
+
+    Attributes
+    ----------
+    k:
+        k-mer size; the DBG is built from (k+1)-mers.  The paper uses
+        31; the scaled-down benchmark datasets use smaller values so
+        that repeats still occur at laptop scale.
+    coverage_threshold:
+        θ — (k+1)-mers observed at most this many times are discarded
+        during DBG construction (they are almost certainly errors).
+    tip_length_threshold:
+        Dangling paths at most this long are removed as tips.
+    bubble_edit_distance:
+        Alternative paths between the same pair of ambiguous vertices
+        are collapsed when their edit distance is below this value.
+    labeling_method:
+        ``"list_ranking"`` (default, the paper's preferred method) or
+        ``"sv"`` for the simplified S-V alternative.
+    error_correction_rounds:
+        How many times to run the ④⑤ error-correction pair followed by
+        re-labeling/merging (the paper's workflow uses one round:
+        ①②③④⑤⑥②③).
+    num_workers:
+        Simulated Pregel workers.
+    """
+
+    k: int = 21
+    coverage_threshold: int = 1
+    tip_length_threshold: int = 80
+    bubble_edit_distance: int = 5
+    labeling_method: str = LABELING_LIST_RANKING
+    error_correction_rounds: int = 1
+    num_workers: int = 4
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.k <= MAX_K:
+            raise PipelineConfigError(f"k must be in [1, {MAX_K}], got {self.k}")
+        if self.k % 2 == 0:
+            # Even k allows palindromic k-mers (a k-mer equal to its own
+            # reverse complement), which makes the canonical-vertex DBG
+            # ill-defined; assemblers — including the paper's k = 31 —
+            # therefore use odd k only.
+            raise PipelineConfigError(f"k must be odd to avoid palindromic k-mers, got {self.k}")
+        if self.coverage_threshold < 0:
+            raise PipelineConfigError(
+                f"coverage_threshold must be non-negative, got {self.coverage_threshold}"
+            )
+        if self.tip_length_threshold < 0:
+            raise PipelineConfigError(
+                f"tip_length_threshold must be non-negative, got {self.tip_length_threshold}"
+            )
+        if self.bubble_edit_distance < 0:
+            raise PipelineConfigError(
+                f"bubble_edit_distance must be non-negative, got {self.bubble_edit_distance}"
+            )
+        if self.labeling_method not in (LABELING_LIST_RANKING, LABELING_SIMPLIFIED_SV):
+            raise PipelineConfigError(
+                f"labeling_method must be {LABELING_LIST_RANKING!r} or "
+                f"{LABELING_SIMPLIFIED_SV!r}, got {self.labeling_method!r}"
+            )
+        if self.error_correction_rounds < 0:
+            raise PipelineConfigError(
+                f"error_correction_rounds must be non-negative, got {self.error_correction_rounds}"
+            )
+        if self.num_workers < 1:
+            raise PipelineConfigError(f"num_workers must be positive, got {self.num_workers}")
+
+    def paper_defaults(self) -> "AssemblyConfig":
+        """The exact parameter values used in the paper's experiments."""
+        return replace(
+            self,
+            k=31,
+            bubble_edit_distance=5,
+            tip_length_threshold=80,
+        )
+
+    def with_workers(self, num_workers: int) -> "AssemblyConfig":
+        """Copy of this config with a different simulated worker count."""
+        return replace(self, num_workers=num_workers)
+
+    def with_labeling(self, labeling_method: str) -> "AssemblyConfig":
+        """Copy of this config with a different contig-labeling method."""
+        return replace(self, labeling_method=labeling_method)

@@ -1,0 +1,150 @@
+"""Operation ① — DBG construction (Section IV-B).
+
+The operation loads reads and builds the canonical-k-mer de Bruijn
+graph through two mini-MapReduce phases, exactly as the paper
+describes:
+
+* **Phase (i)** — each read is split on ``N`` and cut into (k+1)-mers
+  with a sliding window; the packed (k+1)-mer ID is the shuffle key;
+  the reduce side sums per-worker counts and *discards* (k+1)-mers
+  whose total coverage is not above the user threshold θ, because such
+  edges are almost certainly the product of read errors.
+* **Phase (ii)** — each surviving (k+1)-mer emits two
+  ``(k-mer ID, partial adjacency)`` pairs, one for its prefix and one
+  for its suffix; the reduce side merges the partial 32-bit adjacency
+  bitmaps (Figure 8) into complete k-mer vertices.
+
+Both phases run through :class:`~repro.pregel.job.JobChain`, so the
+shuffle volume and per-worker load feed the Figure 12 cost model.
+
+(k+1)-mers are canonicalised before counting so that the same physical
+edge observed from the two strands contributes to a single coverage
+counter; the prefix/suffix polarity labels are derived from the
+canonical writing, which keeps them consistent with Property 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from ..dbg.bitmap import AdjacencyBitmap
+from ..dbg.graph import DeBruijnGraph
+from ..dbg.kmer_vertex import KmerVertexData
+from ..dna.encoding import canonical_encoded
+from ..dna.io_fastq import Read
+from ..dna.kmer import extract_kplus1mers, validate_k
+from ..pregel.job import JobChain
+from .config import AssemblyConfig
+
+
+@dataclass
+class ConstructionResult:
+    """Output of operation ①."""
+
+    graph: DeBruijnGraph
+    total_kplus1mers: int
+    distinct_kplus1mers: int
+    surviving_kplus1mers: int
+    filtered_kplus1mers: int
+
+
+def _phase1_map_factory(k: int):
+    """Map UDF of phase (i): read → [(canonical (k+1)-mer ID, 1), ...]."""
+
+    def map_read(read: Read) -> Iterable[Tuple[int, int]]:
+        for kp1 in extract_kplus1mers(read.sequence, k):
+            canonical_edge, _ = canonical_encoded(kp1.edge_id, k + 1)
+            yield canonical_edge, 1
+        return
+
+    return map_read
+
+
+def _phase1_reduce_factory(coverage_threshold: int):
+    """Reduce UDF of phase (i): keep (ID, total count) if count > θ."""
+
+    def reduce_edge(edge_id: int, counts: List[int]) -> Iterable[Tuple[int, int]]:
+        total = sum(counts)
+        if total > coverage_threshold:
+            yield edge_id, total
+        return
+
+    return reduce_edge
+
+
+def _phase2_map_factory(k: int):
+    """Map UDF of phase (ii): (k+1)-mer → two partial adjacency bitmaps."""
+
+    def map_edge(record: Tuple[int, int]) -> Iterable[Tuple[int, Tuple[str, str, int, int]]]:
+        edge_id, coverage = record
+        kmer_mask = (1 << (2 * k)) - 1
+        prefix_observed = edge_id >> 2
+        suffix_observed = edge_id & kmer_mask
+        appended_base = edge_id & 0b11
+        prepended_base = (edge_id >> (2 * k)) & 0b11
+
+        prefix_id, prefix_rc = canonical_encoded(prefix_observed, k)
+        suffix_id, suffix_rc = canonical_encoded(suffix_observed, k)
+        polarity = ("H" if prefix_rc else "L") + ("H" if suffix_rc else "L")
+
+        # The prefix vertex gains an out-neighbour reached by appending
+        # the edge's last base; the suffix vertex gains an in-neighbour
+        # reached by prepending the edge's first base (Figure 8).
+        yield prefix_id, (polarity, "out", appended_base, coverage)
+        yield suffix_id, (polarity, "in", prepended_base, coverage)
+
+    return map_edge
+
+
+def _phase2_reduce_factory(k: int):
+    """Reduce UDF of phase (ii): merge partial bitmaps into one vertex."""
+
+    def reduce_kmer(
+        kmer_id: int, partials: List[Tuple[str, str, int, int]]
+    ) -> Iterable[KmerVertexData]:
+        bitmap = AdjacencyBitmap()
+        for polarity, direction, base_bits, coverage in partials:
+            bitmap.add(polarity, direction, base_bits, coverage)
+        yield KmerVertexData.from_bitmap(kmer_id, k, bitmap)
+
+    return reduce_kmer
+
+
+def build_dbg(
+    reads: Iterable[Read],
+    config: AssemblyConfig,
+    chain: JobChain,
+) -> ConstructionResult:
+    """Run operation ① over ``reads`` and return the de Bruijn graph."""
+    validate_k(config.k)
+    reads = list(reads)
+
+    phase1 = chain.run_mapreduce(
+        name="dbg-construction/phase1-count-kplus1mers",
+        records=reads,
+        map_fn=_phase1_map_factory(config.k),
+        reduce_fn=_phase1_reduce_factory(config.coverage_threshold),
+    )
+    surviving: List[Tuple[int, int]] = phase1.outputs
+    total_kplus1mers = phase1.metrics.supersteps[0].messages_sent
+    distinct = phase1.groups
+
+    phase2 = chain.run_mapreduce(
+        name="dbg-construction/phase2-build-vertices",
+        records=surviving,
+        map_fn=_phase2_map_factory(config.k),
+        reduce_fn=_phase2_reduce_factory(config.k),
+    )
+
+    graph = DeBruijnGraph(config.k)
+    for vertex in phase2.outputs:
+        graph.kmers[vertex.kmer_id] = vertex
+
+    return ConstructionResult(
+        graph=graph,
+        total_kplus1mers=total_kplus1mers,
+        distinct_kplus1mers=distinct,
+        surviving_kplus1mers=len(surviving),
+        filtered_kplus1mers=distinct - len(surviving),
+    )

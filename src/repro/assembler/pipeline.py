@@ -1,0 +1,116 @@
+"""The PPA-assembler workflow driver.
+
+The paper's experiments use the workflow ① ② ③ ④ ⑤ ⑥ ② ③ of Figure 10:
+build the de Bruijn graph, label and merge contigs, correct errors
+(bubble filtering then tip removing), and finally label and merge once
+more so that contigs grow across junctions that error correction
+resolved.  :class:`PPAAssembler` implements exactly that workflow; the
+individual operations remain available as functions for users who want
+to compose their own strategy (the toolkit spirit of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ..dbg.ids import ContigIdAllocator
+from ..dna.io_fastq import Read
+from ..pregel.job import JobChain
+from .bubble import filter_bubbles
+from .config import AssemblyConfig
+from .construction import build_dbg
+from .labeling import label_contigs
+from .merging import merge_contigs
+from .results import AssemblyResult
+from .tips import remove_tips
+
+
+class PPAAssembler:
+    """End-to-end assembler implementing the paper's default workflow."""
+
+    def __init__(self, config: Optional[AssemblyConfig] = None) -> None:
+        self.config = config or AssemblyConfig()
+
+    def assemble(self, reads: Iterable[Read]) -> AssemblyResult:
+        """Assemble ``reads`` into contigs using workflow ①②③④⑤(⑥②③)*."""
+        config = self.config
+        job_chain = JobChain(num_workers=config.num_workers)
+        allocator = ContigIdAllocator()
+
+        result = AssemblyResult(
+            config=config,
+            graph=None,  # type: ignore[arg-type]  # filled in below
+            metrics=job_chain.pipeline_metrics,
+        )
+
+        # ── ① DBG construction ──────────────────────────────────────────
+        construction = build_dbg(reads, config, job_chain)
+        graph = construction.graph
+        result.graph = graph
+        result.add_stage(
+            "dbg-construction",
+            kmer_vertices=graph.kmer_count(),
+            distinct_kplus1mers=construction.distinct_kplus1mers,
+            filtered_kplus1mers=construction.filtered_kplus1mers,
+        )
+
+        # ── ② contig labeling + ③ contig merging (first round) ───────────
+        labeling = label_contigs(graph, config, job_chain, include_contigs=False)
+        result.labeling_metrics["kmers"] = labeling.metrics
+        result.add_stage(
+            "contig-labeling/kmers",
+            method=labeling.method,
+            labelled_vertices=len(labeling.labels),
+            supersteps=labeling.num_supersteps,
+            messages=labeling.num_messages,
+            cycle_fallback=labeling.used_cycle_fallback,
+        )
+
+        merging = merge_contigs(graph, labeling, config, job_chain, allocator)
+        result.add_stage(
+            "contig-merging/first-round",
+            contigs=len(merging.contigs_created),
+            tips_dropped=merging.tips_dropped,
+            cycles=merging.cycles_merged,
+        )
+
+        # ── ④ bubble filtering + ⑤ tip removing, then regrow (⑥ ② ③) ────
+        for round_index in range(config.error_correction_rounds):
+            bubbles = filter_bubbles(graph, config, job_chain)
+            tips = remove_tips(graph, config, job_chain)
+            result.add_stage(
+                f"error-correction/round-{round_index + 1}",
+                bubbles_pruned=bubbles.num_pruned,
+                tip_phases=tips.phases,
+                tips_removed=tips.tips_removed,
+            )
+
+            relabeling = label_contigs(graph, config, job_chain, include_contigs=True)
+            if round_index == 0:
+                result.labeling_metrics["contigs"] = relabeling.metrics
+            result.add_stage(
+                f"contig-labeling/contigs-round-{round_index + 1}",
+                method=relabeling.method,
+                labelled_vertices=len(relabeling.labels),
+                supersteps=relabeling.num_supersteps,
+                messages=relabeling.num_messages,
+                cycle_fallback=relabeling.used_cycle_fallback,
+            )
+
+            remerging = merge_contigs(graph, relabeling, config, job_chain, allocator)
+            result.add_stage(
+                f"contig-merging/round-{round_index + 2}",
+                contigs=len(remerging.contigs_created),
+                tips_dropped=remerging.tips_dropped,
+                cycles=remerging.cycles_merged,
+            )
+
+        return result
+
+
+def assemble_reads(
+    reads: Iterable[Read],
+    config: Optional[AssemblyConfig] = None,
+) -> AssemblyResult:
+    """One-call convenience wrapper around :class:`PPAAssembler`."""
+    return PPAAssembler(config).assemble(reads)

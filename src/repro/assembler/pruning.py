@@ -1,0 +1,105 @@
+"""Optional operation — coverage-threshold contig pruning.
+
+Section V of the paper points out that users may extend the toolkit,
+giving "add coverage-threshold pruning to bubble filtering" as the
+concrete example.  This module provides that extension as a standalone
+operation so it can be slotted into a custom workflow (see
+``examples/custom_workflow.py`` for how operations compose): contigs
+whose coverage is below an absolute threshold — or below a fraction of
+the median contig coverage — are removed together with the adjacency
+entries of their bordering ambiguous k-mers.
+
+Low-coverage contigs that survive bubble filtering are usually either
+sequencing-error artefacts that did not form a clean bubble (no
+alternative path with both endpoints shared) or contamination; pruning
+them trades a little genome fraction for fewer spurious contigs, which
+is exactly the trade-off the paper leaves to the user.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from ..dbg.graph import DeBruijnGraph
+from ..pregel.job import JobChain
+from .config import AssemblyConfig
+
+
+@dataclass
+class PruningResult:
+    """Output of the coverage-pruning operation."""
+
+    contigs_pruned: List[int]
+    median_coverage: float
+    threshold_used: float
+
+    @property
+    def num_pruned(self) -> int:
+        return len(self.contigs_pruned)
+
+
+def prune_low_coverage_contigs(
+    graph: DeBruijnGraph,
+    config: AssemblyConfig,
+    job_chain: JobChain,
+    absolute_threshold: Optional[int] = None,
+    relative_threshold: Optional[float] = 0.1,
+    protect_length: int = 1_000,
+) -> PruningResult:
+    """Remove contigs whose coverage marks them as likely artefacts.
+
+    Parameters
+    ----------
+    absolute_threshold:
+        Contigs with coverage strictly below this value are pruned.
+        ``None`` disables the absolute test.
+    relative_threshold:
+        Contigs with coverage below ``relative_threshold × median
+        contig coverage`` are pruned.  ``None`` disables the relative
+        test.  The default (0.1) only removes clear outliers.
+    protect_length:
+        Contigs at least this long are never pruned, regardless of
+        coverage — a long low-coverage contig is more plausibly a
+        genuine low-coverage region than an artefact.
+    """
+    coverages = [contig.coverage for contig in graph.contigs.values()]
+    if not coverages:
+        return PruningResult(contigs_pruned=[], median_coverage=0.0, threshold_used=0.0)
+
+    median_coverage = float(statistics.median(coverages))
+    thresholds = []
+    if absolute_threshold is not None:
+        thresholds.append(float(absolute_threshold))
+    if relative_threshold is not None:
+        thresholds.append(relative_threshold * median_coverage)
+    threshold = max(thresholds) if thresholds else 0.0
+
+    def map_contig(contig_id: int) -> Iterable[Tuple[int, int]]:
+        contig = graph.contigs.get(contig_id)
+        if contig is None:
+            return
+        if contig.length >= protect_length:
+            return
+        if contig.coverage < threshold:
+            yield contig_id, contig.coverage
+
+    def reduce_contig(contig_id: int, _coverages: List[int]) -> Iterable[int]:
+        yield contig_id
+
+    mapreduce = job_chain.run_mapreduce(
+        name="coverage-pruning/select-and-drop",
+        records=list(graph.contigs),
+        map_fn=map_contig,
+        reduce_fn=reduce_contig,
+    )
+    pruned = list(mapreduce.outputs)
+    for contig_id in pruned:
+        graph.remove_contig(contig_id)
+
+    return PruningResult(
+        contigs_pruned=pruned,
+        median_coverage=median_coverage,
+        threshold_used=threshold,
+    )

@@ -1,0 +1,97 @@
+"""Assembly results: what an end user gets back from the pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..dbg.graph import DeBruijnGraph
+from ..dna.io_fastq import FastaRecord, write_fasta
+from ..pregel.cost_model import ClusterProfile, CostModel
+from ..pregel.metrics import JobMetrics, PipelineMetrics
+from .config import AssemblyConfig
+
+
+@dataclass
+class StageSummary:
+    """One pipeline stage's headline numbers (shown by examples/reports)."""
+
+    name: str
+    detail: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class AssemblyResult:
+    """Everything produced by one :class:`~repro.assembler.pipeline.PPAAssembler` run."""
+
+    config: AssemblyConfig
+    graph: DeBruijnGraph
+    metrics: PipelineMetrics
+    stages: List[StageSummary] = field(default_factory=list)
+    labeling_metrics: Dict[str, List[JobMetrics]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # contig access
+    # ------------------------------------------------------------------
+    @property
+    def contigs(self) -> List[str]:
+        """All assembled contig sequences, longest first."""
+        return sorted(self.graph.contig_sequences(), key=len, reverse=True)
+
+    def contigs_longer_than(self, min_length: int) -> List[str]:
+        """Contigs above a length cutoff (QUAST uses 500 bp by default)."""
+        return [sequence for sequence in self.contigs if len(sequence) >= min_length]
+
+    def num_contigs(self, min_length: int = 0) -> int:
+        return len(self.contigs_longer_than(min_length))
+
+    def total_length(self, min_length: int = 0) -> int:
+        return sum(len(sequence) for sequence in self.contigs_longer_than(min_length))
+
+    def largest_contig(self) -> int:
+        contigs = self.contigs
+        return len(contigs[0]) if contigs else 0
+
+    def write_fasta(self, path) -> int:
+        """Write the contigs to a FASTA file; returns the record count."""
+        records = [
+            FastaRecord(name=f"contig_{index}_len_{len(sequence)}", sequence=sequence)
+            for index, sequence in enumerate(self.contigs)
+        ]
+        return write_fasta(records, path)
+
+    # ------------------------------------------------------------------
+    # cost model hooks
+    # ------------------------------------------------------------------
+    def estimated_seconds(self, profile: Optional[ClusterProfile] = None) -> float:
+        """Simulated end-to-end execution time (Figure 12's measurement)."""
+        return CostModel(profile).pipeline_seconds(self.metrics)
+
+    def estimated_breakdown(self, profile: Optional[ClusterProfile] = None) -> Dict[str, float]:
+        """Per-job simulated seconds."""
+        return CostModel(profile).breakdown(self.metrics)
+
+    # ------------------------------------------------------------------
+    # reporting helpers
+    # ------------------------------------------------------------------
+    def stage(self, name: str) -> Optional[StageSummary]:
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        return None
+
+    def add_stage(self, name: str, **detail: object) -> None:
+        self.stages.append(StageSummary(name=name, detail=dict(detail)))
+
+    def labeling_summary(self, which: str) -> Dict[str, int]:
+        """Supersteps/messages/runtime proxy for one labeling invocation.
+
+        ``which`` is ``"kmers"`` (the first ② of the workflow, Table II)
+        or ``"contigs"`` (the second ②, Table III).
+        """
+        jobs = self.labeling_metrics.get(which, [])
+        return {
+            "supersteps": sum(job.num_supersteps for job in jobs),
+            "messages": sum(job.total_messages for job in jobs),
+            "estimated_seconds": sum(CostModel().job_seconds(job) for job in jobs),
+        }

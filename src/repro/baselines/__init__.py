@@ -1,0 +1,33 @@
+"""Baseline assemblers used in the paper's experimental comparison.
+
+Re-implementations of the assembly strategies of ABySS, Ray,
+SWAP-Assembler and Spaler on the shared substrate (see
+:mod:`repro.baselines.base` for what exactly is reproduced and how the
+execution-time models are derived).
+"""
+
+from .abyss import AbyssLikeAssembler
+from .base import BaselineAssembler, BaselineResult
+from .ray import RayLikeAssembler
+from .spaler import SpalerLikeAssembler
+from .swap import SwapLikeAssembler
+from .walk import extract_unambiguous_contigs
+
+#: All baselines keyed by the names used in the paper's tables.
+BASELINES = {
+    "ABySS": AbyssLikeAssembler,
+    "Ray": RayLikeAssembler,
+    "SWAP-Assembler": SwapLikeAssembler,
+    "Spaler": SpalerLikeAssembler,
+}
+
+__all__ = [
+    "AbyssLikeAssembler",
+    "BaselineAssembler",
+    "BaselineResult",
+    "RayLikeAssembler",
+    "SpalerLikeAssembler",
+    "SwapLikeAssembler",
+    "extract_unambiguous_contigs",
+    "BASELINES",
+]

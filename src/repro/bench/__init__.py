@@ -1,0 +1,33 @@
+"""Benchmark harness shared by the scripts under ``benchmarks/``."""
+
+from .harness import (
+    BENCH_K,
+    BENCH_MIN_CONTIG,
+    FIGURE12_WORKERS,
+    PreparedDataset,
+    all_assembler_contigs,
+    bench_cluster_profile,
+    bench_scale,
+    ppa_config,
+    prepare_dataset,
+    run_baselines,
+    run_ppa,
+)
+from .reporting import format_comparison, format_scaling_series, format_table
+
+__all__ = [
+    "BENCH_K",
+    "BENCH_MIN_CONTIG",
+    "FIGURE12_WORKERS",
+    "PreparedDataset",
+    "all_assembler_contigs",
+    "bench_cluster_profile",
+    "bench_scale",
+    "ppa_config",
+    "prepare_dataset",
+    "run_baselines",
+    "run_ppa",
+    "format_comparison",
+    "format_scaling_series",
+    "format_table",
+]

@@ -1,0 +1,119 @@
+"""The contig vertex (Section IV-A, "Format of a Contig").
+
+A contig is produced by merging the k-mers of a maximal unambiguous
+path.  Its stored sequence is always written in the orientation the
+paper calls "contig-side polarity L" (strand 1, 5'→3'), so a contig has
+a well-defined *in* end (the 5' end of the stored sequence) and *out*
+end (the 3' end).  Each end either dangles (NULL) or attaches to an
+ambiguous k-mer vertex; the attachment records which port of that k-mer
+the contig plugs into and the coverage of the connecting (k+1)-mer
+edge.  The contig also carries its own coverage — the minimum edge
+coverage over all the (k+1)-mers it merged — which bubble filtering
+compares between alternative paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..dna.encoding import NULL_ID, is_null
+from ..dna.sequence import gc_content, reverse_complement
+from .kmer_vertex import TYPE_DEAD_END, TYPE_UNAMBIGUOUS
+
+#: Contig end identifiers.
+END_IN = "in"  #: the 5' end of the stored sequence
+END_OUT = "out"  #: the 3' end of the stored sequence
+
+
+@dataclass(frozen=True)
+class ContigEnd:
+    """Attachment of one contig end to the rest of the graph."""
+
+    neighbor_id: int = NULL_ID
+    neighbor_port: int = 0
+    edge_coverage: int = 0
+
+    def is_dead_end(self) -> bool:
+        return is_null(self.neighbor_id)
+
+
+@dataclass
+class ContigVertexData:
+    """Mutable state of one contig vertex."""
+
+    contig_id: int
+    sequence: str
+    coverage: int
+    in_end: ContigEnd = field(default_factory=ContigEnd)
+    out_end: ContigEnd = field(default_factory=ContigEnd)
+    #: IDs of the k-mer vertices merged into this contig (kept for
+    #: bookkeeping/tests; a space-conscious implementation would drop it).
+    member_kmers: List[int] = field(default_factory=list)
+
+    # -- basic properties --------------------------------------------------
+    @property
+    def length(self) -> int:
+        return len(self.sequence)
+
+    def gc_fraction(self) -> float:
+        return gc_content(self.sequence)
+
+    def reverse_complement_sequence(self) -> str:
+        return reverse_complement(self.sequence)
+
+    # -- ends ---------------------------------------------------------------
+    def end(self, which: str) -> ContigEnd:
+        if which == END_IN:
+            return self.in_end
+        if which == END_OUT:
+            return self.out_end
+        raise ValueError(f"contig end must be 'in' or 'out', got {which!r}")
+
+    def set_end(self, which: str, end: ContigEnd) -> None:
+        if which == END_IN:
+            self.in_end = end
+        elif which == END_OUT:
+            self.out_end = end
+        else:
+            raise ValueError(f"contig end must be 'in' or 'out', got {which!r}")
+
+    def neighbor_ids(self) -> List[int]:
+        """Non-NULL k-mer neighbours of this contig (0, 1 or 2 of them)."""
+        ids = []
+        for end in (self.in_end, self.out_end):
+            if not end.is_dead_end():
+                ids.append(end.neighbor_id)
+        return ids
+
+    def ordered_neighbor_pair(self) -> Optional[Tuple[int, int]]:
+        """``(smaller, larger)`` neighbour IDs if both ends attach to k-mers.
+
+        Bubble filtering groups contigs by this pair: two contigs that
+        share both ambiguous endpoints are alternative paths between the
+        same positions, i.e. a bubble candidate.
+        """
+        if self.in_end.is_dead_end() or self.out_end.is_dead_end():
+            return None
+        a, b = self.in_end.neighbor_id, self.out_end.neighbor_id
+        return (a, b) if a <= b else (b, a)
+
+    def vertex_type(self) -> str:
+        """⟨1⟩ if at least one end dangles, else ⟨1-1⟩ (Section IV-A)."""
+        if self.in_end.is_dead_end() or self.out_end.is_dead_end():
+            return TYPE_DEAD_END
+        return TYPE_UNAMBIGUOUS
+
+    def is_isolated(self) -> bool:
+        """True when both ends dangle (no ambiguous neighbours at all)."""
+        return self.in_end.is_dead_end() and self.out_end.is_dead_end()
+
+    def is_tip_candidate(self, length_threshold: int) -> bool:
+        """Dangling and short: the definition of a tip (Section III)."""
+        return self.vertex_type() == TYPE_DEAD_END and self.length <= length_threshold
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ContigVertexData id={self.contig_id:#x} length={self.length} "
+            f"coverage={self.coverage} type={self.vertex_type()}>"
+        )

@@ -1,0 +1,77 @@
+"""Vertex-ID helpers shared by the DBG layer and the assembler jobs.
+
+The raw encoding of Figure 7 lives in :mod:`repro.dna.encoding`; this
+module adds the small amount of policy the assembler needs on top of
+it: sequential contig-ID allocation per worker and classification
+helpers used when a single message stream mixes k-mer IDs, contig IDs,
+NULL and flipped contig-end markers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..dna.encoding import (
+    NULL_ID,
+    flip_id,
+    is_contig_id,
+    is_flipped,
+    is_kmer_id,
+    is_null,
+    make_contig_id,
+    split_contig_id,
+    unflip_id,
+)
+
+
+@dataclass
+class ContigIdAllocator:
+    """Allocates the worker-scoped contig IDs of Figure 7(c).
+
+    The i-th worker's j-th contig gets the 64-bit ID ``1 | i | j`` (MSB
+    set, 31 bits of worker index, 32 bits of counter).  Counters start
+    at 1 because ``worker 0 / contig 0`` would collide with NULL.
+    """
+
+    next_order: Dict[int, int] = field(default_factory=dict)
+
+    def allocate(self, worker_id: int) -> int:
+        order = self.next_order.get(worker_id, 1)
+        self.next_order[worker_id] = order + 1
+        return make_contig_id(worker_id, order)
+
+    def allocated_count(self, worker_id: int) -> int:
+        return self.next_order.get(worker_id, 1) - 1
+
+    def total_allocated(self) -> int:
+        return sum(order - 1 for order in self.next_order.values())
+
+
+def describe_id(vertex_id: int) -> str:
+    """Readable classification of any 64-bit vertex ID (debugging aid)."""
+    if is_null(vertex_id):
+        return "NULL"
+    if is_flipped(vertex_id):
+        return f"contig-end-marker({unflip_id(vertex_id):#x})"
+    if is_contig_id(vertex_id):
+        worker, order = split_contig_id(vertex_id)
+        return f"contig(worker={worker}, order={order})"
+    if is_kmer_id(vertex_id):
+        return f"kmer({vertex_id:#x})"
+    return f"unknown({vertex_id:#x})"
+
+
+__all__ = [
+    "ContigIdAllocator",
+    "describe_id",
+    "NULL_ID",
+    "flip_id",
+    "unflip_id",
+    "is_flipped",
+    "is_null",
+    "is_contig_id",
+    "is_kmer_id",
+    "make_contig_id",
+    "split_contig_id",
+]

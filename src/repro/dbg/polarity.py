@@ -1,0 +1,122 @@
+"""Edge polarity: the L/H labels of Section III and Property 1.
+
+Reads come from both strands, so a DBG vertex is a *canonical* k-mer
+and each end of an edge carries a polarity label:
+
+* ``L`` — the observed k-mer at that end was already canonical;
+* ``H`` — the observed k-mer was the reverse complement of the
+  canonical form.
+
+Property 1 of the paper states that edge ``(u, v)`` with polarity
+``⟨X:Y⟩`` is equivalent to edge ``(v, u)`` with polarity ``⟨Ȳ:X̄⟩``;
+this is what allows k-mers generated from different strands to be
+stitched consistently.
+
+Internally the library maps each (direction, label) pair onto one of
+two *ports* of the canonical k-mer — the 3' end of the canonical
+orientation (``PORT_OUT``) or its 5' end (``PORT_IN``).  The port view
+is the standard bidirected-DBG formulation; it is exactly equivalent to
+the paper's polarity labels (the mapping is implemented and tested
+here) and makes the traversal logic of contig merging and tip removal
+direction-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+LABEL_L = "L"
+LABEL_H = "H"
+
+#: Port constants: the two sides of a canonical k-mer.
+PORT_OUT = 0  #: the 3' end of the canonical orientation (extension by appending)
+PORT_IN = 1  #: the 5' end of the canonical orientation (extension by prepending)
+
+
+def complement_label(label: str) -> str:
+    """``H̄ = L`` and ``L̄ = H`` (paper notation)."""
+    if label == LABEL_L:
+        return LABEL_H
+    if label == LABEL_H:
+        return LABEL_L
+    raise ValueError(f"polarity label must be 'L' or 'H', got {label!r}")
+
+
+def reverse_polarity(polarity: str) -> str:
+    """Apply Property 1: ``⟨X:Y⟩`` on (u,v) ≡ ``⟨Ȳ:X̄⟩`` on (v,u)."""
+    if len(polarity) != 2:
+        raise ValueError(f"polarity must be two characters, got {polarity!r}")
+    source_label, target_label = polarity[0], polarity[1]
+    return complement_label(target_label) + complement_label(source_label)
+
+
+def source_port(label: str) -> int:
+    """Port used on the *source* (prefix) side of an edge with label ``label``.
+
+    The edge extends the observed prefix at its 3' end; if the observed
+    orientation is canonical (L) that is the canonical 3' end
+    (``PORT_OUT``), otherwise the canonical 5' end (``PORT_IN``).
+    """
+    return PORT_OUT if label == LABEL_L else PORT_IN
+
+
+def target_port(label: str) -> int:
+    """Port used on the *target* (suffix) side of an edge with label ``label``.
+
+    The edge enters the observed suffix at its 5' end; for a canonical
+    observation that is ``PORT_IN``, otherwise ``PORT_OUT``.
+    """
+    return PORT_IN if label == LABEL_L else PORT_OUT
+
+
+def label_for_source_port(port: int) -> str:
+    """Inverse of :func:`source_port`."""
+    return LABEL_L if port == PORT_OUT else LABEL_H
+
+
+def label_for_target_port(port: int) -> str:
+    """Inverse of :func:`target_port`."""
+    return LABEL_L if port == PORT_IN else LABEL_H
+
+
+def other_port(port: int) -> int:
+    """The opposite side of a k-mer (walking *through* a ⟨1-1⟩ vertex)."""
+    if port not in (PORT_OUT, PORT_IN):
+        raise ValueError(f"port must be {PORT_OUT} or {PORT_IN}, got {port}")
+    return PORT_IN if port == PORT_OUT else PORT_OUT
+
+
+@dataclass(frozen=True)
+class PolarizedEdge:
+    """A DBG edge in the paper's source→target + polarity notation."""
+
+    source: int
+    target: int
+    polarity: str
+    coverage: int = 1
+
+    def reversed(self) -> "PolarizedEdge":
+        """The equivalent edge written in the other direction (Property 1)."""
+        return PolarizedEdge(
+            source=self.target,
+            target=self.source,
+            polarity=reverse_polarity(self.polarity),
+            coverage=self.coverage,
+        )
+
+    def ports(self) -> Tuple[int, int]:
+        """``(source_port, target_port)`` of this edge."""
+        return source_port(self.polarity[0]), target_port(self.polarity[1])
+
+    def canonical_form(self) -> "PolarizedEdge":
+        """Deterministic representative among the two equivalent writings.
+
+        The edge and its reverse describe the same adjacency; tests and
+        deduplication use the writing with the smaller source ID (ties
+        broken by polarity string).
+        """
+        reversed_edge = self.reversed()
+        own_key = (self.source, self.target, self.polarity)
+        other_key = (reversed_edge.source, reversed_edge.target, reversed_edge.polarity)
+        return self if own_key <= other_key else reversed_edge

@@ -1,0 +1,76 @@
+"""Nucleotide alphabet, complements, and the paper's 2-bit code.
+
+Section IV-A of the paper fixes the encoding A=00, T=11, G=10, C=01 so
+that a k-mer (k ≤ 31) packs into a 64-bit integer.  A convenient
+property of this particular assignment is that complementation is a
+bitwise NOT of the 2-bit code (00↔11, 01↔10), which the encoding module
+exploits to reverse-complement packed k-mers without ever expanding
+them back to strings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..errors import InvalidNucleotideError
+
+#: Valid sequence characters.  ``N`` marks an undetermined base; reads
+#: are split on ``N`` during DBG construction (Section IV-B, op ①).
+NUCLEOTIDES: Tuple[str, ...] = ("A", "C", "G", "T")
+AMBIGUOUS = "N"
+VALID_CHARACTERS = frozenset(NUCLEOTIDES) | {AMBIGUOUS}
+
+#: 2-bit code from the paper: A (00), C (01), G (10), T (11).
+BASE_TO_BITS: Dict[str, int] = {"A": 0b00, "C": 0b01, "G": 0b10, "T": 0b11}
+BITS_TO_BASE: Dict[int, str] = {bits: base for base, bits in BASE_TO_BITS.items()}
+
+#: Watson-Crick complements.
+COMPLEMENT: Dict[str, str] = {"A": "T", "T": "A", "G": "C", "C": "G", "N": "N"}
+
+#: Translation table for fast string-level complementation.
+_COMPLEMENT_TABLE = str.maketrans("ACGTN", "TGCAN")
+
+
+def complement_base(base: str) -> str:
+    """Complement of a single nucleotide (``A``↔``T``, ``C``↔``G``)."""
+    try:
+        return COMPLEMENT[base]
+    except KeyError:
+        raise InvalidNucleotideError(base) from None
+
+
+def complement_bits(bits: int) -> int:
+    """Complement of a 2-bit base code (bitwise NOT within 2 bits)."""
+    return (~bits) & 0b11
+
+
+def encode_base(base: str) -> int:
+    """2-bit code of a nucleotide; raises on ``N`` or anything else."""
+    try:
+        return BASE_TO_BITS[base]
+    except KeyError:
+        raise InvalidNucleotideError(base) from None
+
+
+def decode_base(bits: int) -> str:
+    """Nucleotide for a 2-bit code."""
+    return BITS_TO_BASE[bits & 0b11]
+
+
+def is_valid_sequence(sequence: str, allow_ambiguous: bool = True) -> bool:
+    """True if ``sequence`` only contains A/C/G/T (and optionally N)."""
+    allowed = VALID_CHARACTERS if allow_ambiguous else frozenset(NUCLEOTIDES)
+    return all(character in allowed for character in sequence)
+
+
+def validate_sequence(sequence: str, allow_ambiguous: bool = True) -> None:
+    """Raise :class:`InvalidNucleotideError` at the first bad character."""
+    allowed = VALID_CHARACTERS if allow_ambiguous else frozenset(NUCLEOTIDES)
+    for position, character in enumerate(sequence):
+        if character not in allowed:
+            raise InvalidNucleotideError(character, position)
+
+
+def complement_translation_table():
+    """The ``str.translate`` table used for fast reverse complements."""
+    return _COMPLEMENT_TABLE

@@ -1,0 +1,228 @@
+"""Named dataset profiles mirroring Table I of the paper.
+
+The paper evaluates on four datasets:
+
+=========================  ==========  ===============  ==================
+dataset                     # reads     avg read length  reference length
+=========================  ==========  ===============  ==================
+Homo Sapiens Chromosome 2   4.81 M      100 bp           48,170,570
+Homo Sapiens Chromosome X   9.26 M      100 bp           96,301,240
+Human Chromosome 14         18.25 M     101 bp           (none published)
+Bombus Impatiens            151.55 M    155 bp           (none published)
+=========================  ==========  ===============  ==================
+
+Running tens of millions of reads through a pure-Python Pregel
+simulator is not feasible, so each profile is scaled down by a constant
+factor while keeping the *relative* sizes, read lengths, coverage, and
+the presence/absence of a reference, which is what the benchmarks rely
+on (relative execution time across datasets, reference-based metrics
+only for HC-2/HC-X).  The scale factor is configurable so users with
+more patience can enlarge the datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .io_fastq import Read
+from .simulator import ReadSimulationConfig, ReadSimulator, generate_genome
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Scaled-down stand-in for one of the paper's datasets."""
+
+    name: str
+    paper_name: str
+    genome_length: int
+    read_length: int
+    coverage: float
+    error_rate: float
+    repeat_fraction: float
+    has_reference: bool
+    paper_reads_millions: float
+    paper_read_length: int
+    paper_reference_length: Optional[int]
+    seed: int
+
+    def expected_reads(self) -> int:
+        """Approximate number of reads this profile will generate."""
+        return max(1, int(round(self.coverage * self.genome_length / self.read_length)))
+
+    def generate(self) -> Tuple[Optional[str], List[Read]]:
+        """Materialise the dataset: ``(reference or None, reads)``.
+
+        The reference genome is always generated (reads must come from
+        somewhere) but is returned as ``None`` for profiles whose paper
+        counterpart has no published reference, so that benchmark code
+        cannot accidentally use it (Table V only reports reference-free
+        metrics for this reason).
+        """
+        genome = generate_genome(
+            length=self.genome_length,
+            repeat_fraction=self.repeat_fraction,
+            seed=self.seed,
+        )
+        simulator = ReadSimulator(
+            ReadSimulationConfig(
+                read_length=self.read_length,
+                coverage=self.coverage,
+                error_rate=self.error_rate,
+                seed=self.seed + 1,
+            )
+        )
+        reads = simulator.simulate(genome, name_prefix=self.name)
+        return (genome if self.has_reference else None, reads)
+
+    def generate_with_reference(self) -> Tuple[str, List[Read]]:
+        """Like :meth:`generate` but always return the reference (for tests)."""
+        genome = generate_genome(
+            length=self.genome_length,
+            repeat_fraction=self.repeat_fraction,
+            seed=self.seed,
+        )
+        simulator = ReadSimulator(
+            ReadSimulationConfig(
+                read_length=self.read_length,
+                coverage=self.coverage,
+                error_rate=self.error_rate,
+                seed=self.seed + 1,
+            )
+        )
+        return genome, simulator.simulate(genome, name_prefix=self.name)
+
+    def table1_row(self) -> Dict[str, object]:
+        """The row of Table I this profile stands in for, plus scaled values."""
+        return {
+            "dataset": self.paper_name,
+            "paper_reads_millions": self.paper_reads_millions,
+            "paper_read_length_bp": self.paper_read_length,
+            "paper_reference_length": self.paper_reference_length,
+            "scaled_reads": self.expected_reads(),
+            "scaled_read_length_bp": self.read_length,
+            "scaled_reference_length": self.genome_length,
+        }
+
+
+def _profile(
+    name: str,
+    paper_name: str,
+    genome_length: int,
+    read_length: int,
+    coverage: float,
+    has_reference: bool,
+    paper_reads_millions: float,
+    paper_read_length: int,
+    paper_reference_length: Optional[int],
+    seed: int,
+    error_rate: float = 0.005,
+    repeat_fraction: float = 0.04,
+) -> DatasetProfile:
+    return DatasetProfile(
+        name=name,
+        paper_name=paper_name,
+        genome_length=genome_length,
+        read_length=read_length,
+        coverage=coverage,
+        error_rate=error_rate,
+        repeat_fraction=repeat_fraction,
+        has_reference=has_reference,
+        paper_reads_millions=paper_reads_millions,
+        paper_read_length=paper_read_length,
+        paper_reference_length=paper_reference_length,
+        seed=seed,
+    )
+
+
+#: Default scaled profiles.  Relative sizes follow Table I:
+#: HC-2 < HC-X < HC-14 << BI.
+DEFAULT_PROFILES: Dict[str, DatasetProfile] = {
+    "hc2": _profile(
+        name="hc2",
+        paper_name="Homo Sapiens Chromosome 2",
+        genome_length=24_000,
+        read_length=100,
+        coverage=20.0,
+        has_reference=True,
+        paper_reads_millions=4.81,
+        paper_read_length=100,
+        paper_reference_length=48_170_570,
+        seed=20,
+    ),
+    "hcx": _profile(
+        name="hcx",
+        paper_name="Homo Sapiens Chromosome X",
+        genome_length=48_000,
+        read_length=100,
+        coverage=20.0,
+        has_reference=True,
+        paper_reads_millions=9.26,
+        paper_read_length=100,
+        paper_reference_length=96_301_240,
+        seed=23,
+    ),
+    "hc14": _profile(
+        name="hc14",
+        paper_name="Human Chromosome 14",
+        genome_length=90_000,
+        read_length=101,
+        coverage=20.0,
+        has_reference=False,
+        paper_reads_millions=18.25,
+        paper_read_length=101,
+        paper_reference_length=None,
+        seed=14,
+    ),
+    "bi": _profile(
+        name="bi",
+        paper_name="Bombus Impatiens",
+        genome_length=250_000,
+        read_length=155,
+        coverage=15.0,
+        has_reference=False,
+        paper_reads_millions=151.55,
+        paper_read_length=155,
+        paper_reference_length=None,
+        seed=8,
+    ),
+}
+
+
+def get_profile(name: str, scale: float = 1.0) -> DatasetProfile:
+    """Look up a profile by name, optionally rescaling the genome length.
+
+    ``scale`` multiplies the genome length (and therefore the read
+    count at constant coverage); the benchmarks use small scales so the
+    full suite runs in minutes.
+    """
+    try:
+        base = DEFAULT_PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset profile {name!r}; available: {sorted(DEFAULT_PROFILES)}"
+        ) from None
+    if scale == 1.0:
+        return base
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    scaled_length = max(2_000, int(base.genome_length * scale))
+    return DatasetProfile(
+        name=base.name,
+        paper_name=base.paper_name,
+        genome_length=scaled_length,
+        read_length=base.read_length,
+        coverage=base.coverage,
+        error_rate=base.error_rate,
+        repeat_fraction=base.repeat_fraction,
+        has_reference=base.has_reference,
+        paper_reads_millions=base.paper_reads_millions,
+        paper_read_length=base.paper_read_length,
+        paper_reference_length=base.paper_reference_length,
+        seed=base.seed,
+    )
+
+
+def all_profiles(scale: float = 1.0) -> List[DatasetProfile]:
+    """All four paper datasets in Table I order."""
+    return [get_profile(name, scale) for name in ("hc2", "hcx", "hc14", "bi")]

@@ -1,0 +1,180 @@
+"""FASTQ and FASTA parsing and writing.
+
+The paper's datasets are FASTQ files ("All the datasets are in FASTQ
+format, which includes the sequence of each DNA read").  The read
+simulator writes FASTQ so the full pipeline — file on disk, parse,
+assemble — matches what a user of the original toolkit would do;
+assembled contigs are written as FASTA, which is what QUAST consumes.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, TextIO, Union
+
+from ..errors import FastqFormatError
+from .alphabet import VALID_CHARACTERS
+
+PathOrHandle = Union[str, os.PathLike, TextIO]
+
+
+@dataclass(frozen=True)
+class Read:
+    """One sequencing read."""
+
+    name: str
+    sequence: str
+    quality: Optional[str] = None
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+
+@dataclass(frozen=True)
+class FastaRecord:
+    """One FASTA record (used for references and assembled contigs)."""
+
+    name: str
+    sequence: str
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+
+def _open_for_reading(source: PathOrHandle) -> tuple[TextIO, bool]:
+    if isinstance(source, (str, os.PathLike)):
+        return open(source, "r", encoding="ascii"), True
+    return source, False
+
+
+def _open_for_writing(target: PathOrHandle) -> tuple[TextIO, bool]:
+    if isinstance(target, (str, os.PathLike)):
+        return open(target, "w", encoding="ascii"), True
+    return target, False
+
+
+# ----------------------------------------------------------------------
+# FASTQ
+# ----------------------------------------------------------------------
+def parse_fastq(source: PathOrHandle, validate: bool = True) -> Iterator[Read]:
+    """Yield :class:`Read` records from a FASTQ file or handle.
+
+    The parser is strict about the four-line record structure but
+    tolerant about quality strings (any printable ASCII); sequence
+    characters are validated against A/C/G/T/N unless ``validate`` is
+    False.
+    """
+    handle, owns_handle = _open_for_reading(source)
+    try:
+        line_number = 0
+        while True:
+            header = handle.readline()
+            if not header:
+                return
+            line_number += 1
+            header = header.rstrip("\n")
+            if not header:
+                continue
+            if not header.startswith("@"):
+                raise FastqFormatError(
+                    f"expected '@' header, found {header[:20]!r}", line_number
+                )
+            sequence = handle.readline().rstrip("\n").upper()
+            separator = handle.readline().rstrip("\n")
+            quality = handle.readline().rstrip("\n")
+            line_number += 3
+            if not separator.startswith("+"):
+                raise FastqFormatError("missing '+' separator line", line_number - 1)
+            if len(quality) != len(sequence):
+                raise FastqFormatError(
+                    f"quality length {len(quality)} != sequence length {len(sequence)}",
+                    line_number,
+                )
+            if validate:
+                for position, character in enumerate(sequence):
+                    if character not in VALID_CHARACTERS:
+                        raise FastqFormatError(
+                            f"invalid sequence character {character!r} at column {position}",
+                            line_number - 2,
+                        )
+            yield Read(name=header[1:], sequence=sequence, quality=quality)
+    finally:
+        if owns_handle:
+            handle.close()
+
+
+def write_fastq(reads: Iterable[Read], target: PathOrHandle) -> int:
+    """Write reads in FASTQ format; returns the number of records written."""
+    handle, owns_handle = _open_for_writing(target)
+    count = 0
+    try:
+        for read in reads:
+            quality = read.quality if read.quality is not None else "I" * len(read.sequence)
+            handle.write(f"@{read.name}\n{read.sequence}\n+\n{quality}\n")
+            count += 1
+        return count
+    finally:
+        if owns_handle:
+            handle.close()
+
+
+# ----------------------------------------------------------------------
+# FASTA
+# ----------------------------------------------------------------------
+def parse_fasta(source: PathOrHandle) -> Iterator[FastaRecord]:
+    """Yield :class:`FastaRecord` items from a FASTA file or handle."""
+    handle, owns_handle = _open_for_reading(source)
+    try:
+        name: Optional[str] = None
+        chunks: List[str] = []
+        for raw_line in handle:
+            line = raw_line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith(">"):
+                if name is not None:
+                    yield FastaRecord(name=name, sequence="".join(chunks).upper())
+                name = line[1:].strip()
+                chunks = []
+            else:
+                if name is None:
+                    raise FastqFormatError("FASTA data before the first '>' header")
+                chunks.append(line.strip())
+        if name is not None:
+            yield FastaRecord(name=name, sequence="".join(chunks).upper())
+    finally:
+        if owns_handle:
+            handle.close()
+
+
+def write_fasta(
+    records: Iterable[FastaRecord],
+    target: PathOrHandle,
+    line_width: int = 80,
+) -> int:
+    """Write FASTA records wrapped at ``line_width``; returns record count."""
+    if line_width <= 0:
+        raise ValueError(f"line_width must be positive, got {line_width}")
+    handle, owns_handle = _open_for_writing(target)
+    count = 0
+    try:
+        for record in records:
+            handle.write(f">{record.name}\n")
+            sequence = record.sequence
+            for start in range(0, len(sequence), line_width):
+                handle.write(sequence[start : start + line_width] + "\n")
+            count += 1
+        return count
+    finally:
+        if owns_handle:
+            handle.close()
+
+
+def reads_from_strings(sequences: Iterable[str], prefix: str = "read") -> List[Read]:
+    """Wrap raw sequence strings into :class:`Read` records (test helper)."""
+    return [
+        Read(name=f"{prefix}-{index}", sequence=sequence.upper())
+        for index, sequence in enumerate(sequences)
+    ]

@@ -1,0 +1,93 @@
+"""Exception hierarchy for the PPA-assembler reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.  Sub-classes
+are grouped per subsystem (Pregel engine, DNA handling, assembly
+pipeline, quality assessment) to make failures self-describing.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class PregelError(ReproError):
+    """Base class for errors raised by the Pregel engine substrate."""
+
+
+class VertexNotFoundError(PregelError):
+    """A message or request targeted a vertex ID that does not exist."""
+
+    def __init__(self, vertex_id: int) -> None:
+        super().__init__(f"vertex {vertex_id!r} does not exist in the graph")
+        self.vertex_id = vertex_id
+
+
+class InvalidJobError(PregelError):
+    """A job definition is inconsistent (e.g. no input, bad chaining)."""
+
+
+class SuperstepLimitExceededError(PregelError):
+    """A Pregel job exceeded its configured maximum number of supersteps.
+
+    PPAs must terminate in O(log n) supersteps; hitting this limit
+    almost always indicates an algorithmic bug rather than a large
+    input, so the engine fails loudly instead of looping forever.
+    """
+
+    def __init__(self, limit: int) -> None:
+        super().__init__(f"job did not terminate within {limit} supersteps")
+        self.limit = limit
+
+
+class AggregatorError(PregelError):
+    """An aggregator was used inconsistently (unknown name, bad type)."""
+
+
+class DnaError(ReproError):
+    """Base class for sequence handling errors."""
+
+
+class InvalidNucleotideError(DnaError):
+    """A sequence contained a character outside ``A/C/G/T/N``."""
+
+    def __init__(self, character: str, position: int | None = None) -> None:
+        location = "" if position is None else f" at position {position}"
+        super().__init__(f"invalid nucleotide {character!r}{location}")
+        self.character = character
+        self.position = position
+
+
+class InvalidKmerError(DnaError):
+    """A k-mer had an unsupported length or contained invalid characters."""
+
+
+class FastqFormatError(DnaError):
+    """A FASTQ/FASTA record could not be parsed."""
+
+    def __init__(self, message: str, line_number: int | None = None) -> None:
+        location = "" if line_number is None else f" (line {line_number})"
+        super().__init__(f"{message}{location}")
+        self.line_number = line_number
+
+
+class AssemblyError(ReproError):
+    """Base class for errors raised by the assembly pipeline."""
+
+
+class GraphFormatError(AssemblyError):
+    """A de Bruijn graph structure violated a format invariant."""
+
+
+class PipelineConfigError(AssemblyError):
+    """The assembly pipeline was configured inconsistently."""
+
+
+class QualityError(ReproError):
+    """Base class for errors raised during quality assessment."""
+
+
+class AlignmentError(QualityError):
+    """Contig-to-reference alignment could not be performed."""

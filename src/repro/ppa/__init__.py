@@ -1,0 +1,50 @@
+"""Practical Pregel Algorithms (PPAs) used as building blocks.
+
+The paper builds its contig-labeling operation from two PPAs published
+in the authors' earlier PVLDB work and reviewed in Section II:
+
+* **list ranking** (:mod:`repro.ppa.list_ranking`) — pointer doubling
+  over a linked list, O(log n) rounds;
+* **simplified S-V** (:mod:`repro.ppa.sv`) — Shiloach-Vishkin connected
+  components without the star-hooking step.
+
+The original S-V (with star hooking) and Hash-Min are included for the
+ablation benchmarks.
+"""
+
+from .hash_min import HashMinVertex, run_hash_min
+from .hash_min import components_from_result as hash_min_components
+from .list_ranking import (
+    ListNode,
+    ListRankingVertex,
+    ranks_from_result,
+    run_list_ranking,
+    sequential_list_ranking,
+)
+from .sv import (
+    GraphInput,
+    OriginalSVVertex,
+    SimplifiedSVVertex,
+    components_from_result,
+    run_original_sv,
+    run_simplified_sv,
+    sequential_connected_components,
+)
+
+__all__ = [
+    "HashMinVertex",
+    "run_hash_min",
+    "hash_min_components",
+    "ListNode",
+    "ListRankingVertex",
+    "ranks_from_result",
+    "run_list_ranking",
+    "sequential_list_ranking",
+    "GraphInput",
+    "OriginalSVVertex",
+    "SimplifiedSVVertex",
+    "components_from_result",
+    "run_original_sv",
+    "run_simplified_sv",
+    "sequential_connected_components",
+]

@@ -1,0 +1,365 @@
+"""Shiloach-Vishkin style connected components in Pregel (Section II).
+
+Two variants are provided:
+
+* :func:`run_simplified_sv` — the paper's *simplified S-V* algorithm:
+  every round performs **tree hooking** followed by **shortcutting**,
+  dropping the star-hooking step (and its expensive star test) of the
+  original PRAM algorithm.  ``D[v]`` decreases monotonically and
+  converges to the smallest vertex ID in ``v``'s connected component.
+* :func:`run_original_sv` — the original algorithm including the
+  star-hooking step, kept for the ablation benchmark
+  (``benchmarks/bench_ablation_sv_variants.py``).  It produces the same
+  labels but needs extra supersteps per round for the star test, which
+  is exactly the overhead the paper's simplification removes.
+
+Each round of the simplified algorithm is expressed as four supersteps:
+
+====  ==============================================================
+phase action
+====  ==============================================================
+0     apply hook messages received from the previous round, then ask
+      the parent ``D[v]`` for *its* parent (request)
+1     parents respond with their current ``D``
+2     store the grandparent; broadcast ``D[v]`` to all neighbours
+3     tree hooking: if my parent is a root, hook it onto the smallest
+      neighbouring ``D``; then shortcut ``D[v] ← D[D[v]]``
+====  ==============================================================
+
+Termination: a ``changed`` aggregator records whether any ``D[v]``
+changed during the round; the driver stops the job after the first
+round with no change (checked at the round boundary).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..pregel import (
+    ComputeContext,
+    JobResult,
+    PregelEngine,
+    PregelJob,
+    Vertex,
+    or_aggregator,
+)
+
+# Message tags.  Using small tuples keeps message byte accounting honest
+# without the overhead of dataclass instances on hot paths.
+_ASK_PARENT = "ask"
+_PARENT_REPLY = "reply"
+_NEIGHBOR_D = "nbr"
+_HOOK = "hook"
+
+_SUPERSTEPS_PER_ROUND_SIMPLIFIED = 4
+_SUPERSTEPS_PER_ROUND_ORIGINAL = 6
+
+
+@dataclass
+class GraphInput:
+    """Undirected input graph given as an adjacency dictionary."""
+
+    adjacency: Dict[int, Sequence[int]]
+
+    def vertices(self) -> List[int]:
+        return list(self.adjacency)
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[Tuple[int, int]]) -> "GraphInput":
+        adjacency: Dict[int, Set[int]] = {}
+        for u, v in edges:
+            adjacency.setdefault(u, set()).add(v)
+            adjacency.setdefault(v, set()).add(u)
+        return cls({vertex: sorted(neighbors) for vertex, neighbors in adjacency.items()})
+
+    def add_isolated(self, vertices: Iterable[int]) -> "GraphInput":
+        adjacency = {vertex: list(neighbors) for vertex, neighbors in self.adjacency.items()}
+        for vertex in vertices:
+            adjacency.setdefault(vertex, [])
+        return GraphInput(adjacency)
+
+
+class _SVVertexBase(Vertex):
+    """Shared state/machinery for both S-V variants.
+
+    ``value`` is a dict holding:
+
+    * ``D`` — the current parent pointer,
+    * ``grandparent`` — latest known ``D[D[v]]``,
+    * ``parent_is_root`` — whether ``D[v]`` was a root at the last probe,
+    * ``min_neighbor_d`` — smallest ``D`` among neighbours this round.
+    """
+
+    PHASES = _SUPERSTEPS_PER_ROUND_SIMPLIFIED
+
+    def _phase(self, ctx: ComputeContext) -> int:
+        return ctx.superstep % self.PHASES
+
+    # -- individual phases ----------------------------------------------
+    def _apply_hooks_and_ask_parent(self, messages: List, ctx: ComputeContext) -> None:
+        changed = False
+        for kind, payload in messages:
+            if kind == _HOOK and payload < self.value["D"]:
+                self.value["D"] = payload
+                changed = True
+        if changed:
+            ctx.aggregate("changed", True)
+        ctx.send(self.value["D"], (_ASK_PARENT, self.vertex_id))
+
+    def _answer_parent_probes(self, messages: List, ctx: ComputeContext) -> None:
+        seen: Set[int] = set()
+        for kind, payload in messages:
+            if kind == _ASK_PARENT and payload not in seen:
+                seen.add(payload)
+                ctx.send(payload, (_PARENT_REPLY, self.value["D"]))
+
+    def _record_grandparent_and_broadcast(self, messages: List, ctx: ComputeContext) -> None:
+        for kind, payload in messages:
+            if kind == _PARENT_REPLY:
+                self.value["grandparent"] = payload
+        parent = self.value["D"]
+        self.value["parent_is_root"] = self.value["grandparent"] == parent
+        for neighbor in self.edges:
+            ctx.send(neighbor, (_NEIGHBOR_D, self.value["D"]))
+
+    def _hook_and_shortcut(self, messages: List, ctx: ComputeContext) -> None:
+        min_neighbor_d: Optional[int] = None
+        for kind, payload in messages:
+            if kind == _NEIGHBOR_D:
+                if min_neighbor_d is None or payload < min_neighbor_d:
+                    min_neighbor_d = payload
+        self.value["min_neighbor_d"] = min_neighbor_d
+
+        parent = self.value["D"]
+        # Tree hooking: if my parent is a (tree) root and a neighbour's
+        # tree has a smaller representative, hook my parent onto it.
+        if (
+            self.value["parent_is_root"]
+            and min_neighbor_d is not None
+            and min_neighbor_d < parent
+        ):
+            ctx.send(parent, (_HOOK, min_neighbor_d))
+            ctx.aggregate("hooked", True)
+
+        # Shortcutting: move closer to the root.
+        grandparent = self.value["grandparent"]
+        if grandparent is not None and grandparent < self.value["D"]:
+            self.value["D"] = grandparent
+            ctx.aggregate("changed", True)
+
+
+class SimplifiedSVVertex(_SVVertexBase):
+    """Vertex program for the simplified (no star hooking) S-V algorithm."""
+
+    PHASES = _SUPERSTEPS_PER_ROUND_SIMPLIFIED
+
+    def compute(self, messages: List, ctx: ComputeContext) -> None:
+        phase = self._phase(ctx)
+        if phase == 0:
+            self._apply_hooks_and_ask_parent(messages, ctx)
+        elif phase == 1:
+            self._answer_parent_probes(messages, ctx)
+        elif phase == 2:
+            self._record_grandparent_and_broadcast(messages, ctx)
+        else:
+            self._hook_and_shortcut(messages, ctx)
+        # Vertices never vote to halt: termination is decided globally by
+        # the driver through the "changed" aggregator, mirroring the
+        # paper's "checked by using aggregator" remark.
+
+
+class OriginalSVVertex(_SVVertexBase):
+    """Vertex program for the original S-V algorithm (with star hooking).
+
+    Two extra supersteps per round implement the star test: a vertex
+    belongs to a star if its grandparent equals its parent *and* no
+    vertex in the same tree observed otherwise.  Star hooking then lets
+    non-root trees of height one hook onto neighbouring trees, which is
+    redundant for correctness in the Pregel setting — exactly the
+    paper's observation — but costs messages and supersteps.
+    """
+
+    PHASES = _SUPERSTEPS_PER_ROUND_ORIGINAL
+
+    def compute(self, messages: List, ctx: ComputeContext) -> None:
+        phase = self._phase(ctx)
+        if phase == 0:
+            self._apply_hooks_and_ask_parent(messages, ctx)
+        elif phase == 1:
+            self._answer_parent_probes(messages, ctx)
+        elif phase == 2:
+            self._record_grandparent_and_broadcast(messages, ctx)
+        elif phase == 3:
+            self._star_probe(messages, ctx)
+        elif phase == 4:
+            self._star_confirm(messages, ctx)
+        else:
+            self._hook_and_shortcut_with_star(messages, ctx)
+
+    # -- star machinery ----------------------------------------------------
+    def _star_probe(self, messages: List, ctx: ComputeContext) -> None:
+        # Record neighbour D values broadcast in phase 2 so the final
+        # phase can hook; then tell the grandparent it is not a star
+        # root if our parent chain has depth >= 2.
+        min_neighbor_d: Optional[int] = None
+        for kind, payload in messages:
+            if kind == _NEIGHBOR_D:
+                if min_neighbor_d is None or payload < min_neighbor_d:
+                    min_neighbor_d = payload
+        self.value["min_neighbor_d"] = min_neighbor_d
+        self.value["in_star"] = True
+        grandparent = self.value["grandparent"]
+        if grandparent != self.value["D"]:
+            self.value["in_star"] = False
+            ctx.send(grandparent, ("notstar", self.vertex_id))
+            ctx.send(self.value["D"], ("notstar", self.vertex_id))
+
+    def _star_confirm(self, messages: List, ctx: ComputeContext) -> None:
+        for kind, _payload in messages:
+            if kind == "notstar":
+                self.value["in_star"] = False
+        # Propagate the star flag down from the parent: ask the parent.
+        ctx.send(self.value["D"], ("askstar", self.vertex_id))
+
+    def _hook_and_shortcut_with_star(self, messages: List, ctx: ComputeContext) -> None:
+        for kind, payload in messages:
+            if kind == "askstar" and not self.value.get("in_star", True):
+                # Parent is not in a star: nothing to send; requesters
+                # keep their own flag.  (A full implementation would
+                # reply either way; replying only in the negative halves
+                # the messages and preserves the conservative semantics.)
+                ctx.send(payload, ("notstar", self.vertex_id))
+
+        min_neighbor_d = self.value.get("min_neighbor_d")
+        parent = self.value["D"]
+        hook_allowed = self.value["parent_is_root"] or self.value.get("in_star", False)
+        if hook_allowed and min_neighbor_d is not None and min_neighbor_d < parent:
+            ctx.send(parent, (_HOOK, min_neighbor_d))
+            ctx.aggregate("hooked", True)
+
+        grandparent = self.value["grandparent"]
+        if grandparent is not None and grandparent < self.value["D"]:
+            self.value["D"] = grandparent
+            ctx.aggregate("changed", True)
+
+
+# ----------------------------------------------------------------------
+# drivers
+# ----------------------------------------------------------------------
+def _build_vertices(graph: GraphInput, vertex_class) -> List[_SVVertexBase]:
+    vertices = []
+    for vertex_id, neighbors in graph.adjacency.items():
+        vertices.append(
+            vertex_class(
+                vertex_id,
+                value={
+                    "D": vertex_id,
+                    "grandparent": vertex_id,
+                    "parent_is_root": True,
+                    "min_neighbor_d": None,
+                },
+                edges=list(neighbors),
+            )
+        )
+    return vertices
+
+
+class _RoundConvergenceCheck:
+    """Stateful halt condition: stop after a fully quiet round.
+
+    A round is quiet when no ``D[v]`` changed *and* no hook message was
+    emitted.  Checking only for changes would terminate too early: a
+    round can be change-free yet emit hooks whose effect only lands at
+    the start of the next round.
+    """
+
+    def __init__(self, phases_per_round: int) -> None:
+        self._phases = phases_per_round
+        self._superstep = -1
+        self._active_this_round = False
+
+    def __call__(self, snapshot: Dict[str, object]) -> bool:
+        self._superstep += 1
+        if snapshot.get("changed") or snapshot.get("hooked"):
+            self._active_this_round = True
+        is_round_boundary = (self._superstep + 1) % self._phases == 0
+        if not is_round_boundary:
+            return False
+        round_active = self._active_this_round
+        self._active_this_round = False
+        return not round_active
+
+
+def _run_sv(
+    graph: GraphInput,
+    vertex_class,
+    job_name: str,
+    num_workers: int,
+    engine: Optional[PregelEngine],
+) -> JobResult:
+    vertices = _build_vertices(graph, vertex_class)
+    job = PregelJob(
+        name=job_name,
+        vertices=vertices,
+        aggregators=[or_aggregator("changed"), or_aggregator("hooked")],
+        halt_condition=_RoundConvergenceCheck(vertex_class.PHASES),
+    )
+    if engine is None:
+        engine = PregelEngine(num_workers=num_workers)
+    return engine.run(job)
+
+
+def run_simplified_sv(
+    graph: GraphInput,
+    num_workers: int = 4,
+    engine: Optional[PregelEngine] = None,
+) -> JobResult:
+    """Run the simplified S-V algorithm; labels are in ``vertex.value['D']``."""
+    return _run_sv(graph, SimplifiedSVVertex, "simplified-sv", num_workers, engine)
+
+
+def run_original_sv(
+    graph: GraphInput,
+    num_workers: int = 4,
+    engine: Optional[PregelEngine] = None,
+) -> JobResult:
+    """Run the original S-V algorithm (with star hooking) for the ablation."""
+    return _run_sv(graph, OriginalSVVertex, "original-sv", num_workers, engine)
+
+
+def components_from_result(result: JobResult) -> Dict[int, int]:
+    """Extract ``vertex_id -> component label`` from a finished S-V job."""
+    return {vertex_id: vertex.value["D"] for vertex_id, vertex in result.vertices.items()}
+
+
+def sequential_connected_components(graph: GraphInput) -> Dict[int, int]:
+    """Reference union-find implementation used by tests.
+
+    Labels each vertex with the smallest vertex ID in its component,
+    matching the fixed point of the S-V algorithms.
+    """
+    parent: Dict[int, int] = {vertex: vertex for vertex in graph.adjacency}
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    def union(a: int, b: int) -> None:
+        ra, rb = find(a), find(b)
+        if ra == rb:
+            return
+        if ra < rb:
+            parent[rb] = ra
+        else:
+            parent[ra] = rb
+
+    for vertex, neighbors in graph.adjacency.items():
+        for neighbor in neighbors:
+            union(vertex, neighbor)
+
+    return {vertex: find(vertex) for vertex in graph.adjacency}

@@ -1,0 +1,217 @@
+"""The BSP master loop: drives a Pregel job to termination.
+
+Usage sketch::
+
+    engine = PregelEngine(num_workers=16)
+    result = engine.run(
+        PregelJob(
+            name="list-ranking",
+            vertex_class=ListRankingVertex,
+            vertices=initial_vertices,
+            aggregators=[or_aggregator("changed")],
+        )
+    )
+    result.vertices       # vertex_id -> Vertex after termination
+    result.metrics        # JobMetrics (supersteps, messages, bytes, per-worker)
+    result.aggregates     # list of per-superstep aggregate snapshots
+
+Termination follows Pregel semantics: the job stops when every vertex
+has voted to halt and no message is in flight.  A ``halt_condition``
+callback lets a driver stop a job early based on aggregator values
+(used by the simplified S-V algorithm and the labeling fallback logic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..errors import InvalidJobError, SuperstepLimitExceededError
+from .aggregator import Aggregator, AggregatorRegistry
+from .message import Combiner, MessageRouter
+from .metrics import JobMetrics, SuperstepMetrics
+from .partitioner import HashPartitioner
+from .vertex import Vertex, VertexFactory
+from .worker import Worker
+
+#: Safety net: PPAs run in O(log n) supersteps, so any job that needs
+#: more than this many supersteps is considered buggy.
+DEFAULT_MAX_SUPERSTEPS = 10_000
+
+
+@dataclass
+class PregelJob:
+    """Specification of one vertex-centric job.
+
+    Parameters
+    ----------
+    name:
+        Human-readable job name (appears in metrics and reports).
+    vertices:
+        The initial vertices.  Any iterable of :class:`Vertex`
+        instances; ownership passes to the engine.
+    combiner:
+        Optional message combiner.
+    aggregators:
+        Aggregators available to ``compute`` and to ``halt_condition``.
+    vertex_factory:
+        If given, messages to unknown vertex IDs create vertices
+        instead of raising.
+    halt_condition:
+        Called after every superstep with the aggregate snapshot; the
+        job stops when it returns True.
+    max_supersteps:
+        Upper bound on supersteps before the engine raises
+        :class:`~repro.errors.SuperstepLimitExceededError`.
+    """
+
+    name: str
+    vertices: Iterable[Vertex]
+    combiner: Optional[Combiner] = None
+    aggregators: Sequence[Aggregator] = field(default_factory=tuple)
+    vertex_factory: Optional[VertexFactory] = None
+    halt_condition: Optional[Callable[[Dict[str, Any]], bool]] = None
+    max_supersteps: int = DEFAULT_MAX_SUPERSTEPS
+
+
+@dataclass
+class JobResult:
+    """Everything a caller gets back from :meth:`PregelEngine.run`."""
+
+    job_name: str
+    vertices: Dict[int, Vertex]
+    metrics: JobMetrics
+    aggregates: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def num_supersteps(self) -> int:
+        return self.metrics.num_supersteps
+
+    @property
+    def total_messages(self) -> int:
+        return self.metrics.total_messages
+
+    def vertex_values(self) -> Dict[int, Any]:
+        """Convenience: ``vertex_id -> vertex.value`` for assertions."""
+        return {vertex_id: vertex.value for vertex_id, vertex in self.vertices.items()}
+
+
+class PregelEngine:
+    """Simulates a Pregel cluster with ``num_workers`` workers in-process."""
+
+    def __init__(self, num_workers: int = 4) -> None:
+        if num_workers <= 0:
+            raise InvalidJobError(f"num_workers must be positive, got {num_workers}")
+        self.num_workers = num_workers
+        self.partitioner = HashPartitioner(num_workers)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def run(self, job: PregelJob) -> JobResult:
+        """Execute ``job`` until global termination and return the result."""
+        workers = self._partition_vertices(job.vertices)
+        num_vertices = sum(len(worker) for worker in workers)
+        if num_vertices == 0:
+            raise InvalidJobError(f"job {job.name!r} has no vertices")
+
+        registry = AggregatorRegistry()
+        for aggregator in job.aggregators:
+            registry.register(aggregator)
+
+        router = MessageRouter(self.partitioner, job.combiner)
+        metrics = JobMetrics(job_name=job.name, num_workers=self.num_workers)
+        aggregate_history: List[Dict[str, Any]] = []
+
+        superstep = 0
+        inboxes: Dict[int, Dict[int, List[Any]]] = {}
+        while True:
+            if superstep >= job.max_supersteps:
+                raise SuperstepLimitExceededError(job.max_supersteps)
+
+            active = sum(worker.active_count() for worker in workers)
+            pending = any(inboxes.get(w, {}) for w in range(self.num_workers))
+            if active == 0 and not pending:
+                break
+
+            step_metrics = self._run_superstep(
+                superstep, job, workers, inboxes, router, registry, num_vertices
+            )
+            metrics.add(step_metrics)
+
+            snapshot = registry.finish_superstep()
+            aggregate_history.append(snapshot)
+
+            inboxes = router.deliver()
+            superstep += 1
+
+            if job.halt_condition is not None and job.halt_condition(snapshot):
+                break
+
+        vertices: Dict[int, Vertex] = {}
+        for worker in workers:
+            vertices.update(worker.vertices)
+        return JobResult(
+            job_name=job.name,
+            vertices=vertices,
+            metrics=metrics,
+            aggregates=aggregate_history,
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _partition_vertices(self, vertices: Iterable[Vertex]) -> List[Worker]:
+        workers = [Worker(worker_id) for worker_id in range(self.num_workers)]
+        for vertex in vertices:
+            worker_id = self.partitioner.worker_for(vertex.vertex_id)
+            workers[worker_id].add_vertex(vertex)
+        return workers
+
+    def _run_superstep(
+        self,
+        superstep: int,
+        job: PregelJob,
+        workers: List[Worker],
+        inboxes: Dict[int, Dict[int, List[Any]]],
+        router: MessageRouter,
+        registry: AggregatorRegistry,
+        num_vertices: int,
+    ) -> SuperstepMetrics:
+        step = SuperstepMetrics(superstep=superstep)
+        previous_aggregates = registry.previous_values()
+
+        for worker in workers:
+            inbox = inboxes.get(worker.worker_id, {})
+            aggregator_copies = registry.current_copies()
+            outbox, counters = worker.execute_superstep(
+                superstep=superstep,
+                inbox=inbox,
+                aggregator_copies=aggregator_copies,
+                previous_aggregates=previous_aggregates,
+                num_vertices=num_vertices,
+                vertex_factory=job.vertex_factory,
+            )
+            registry.merge_from(aggregator_copies)
+            router.post(outbox)
+
+            step.compute_calls += counters["compute_calls"]
+            step.compute_ops += counters["compute_ops"]
+            step.messages_sent += counters["messages_sent"]
+            step.bytes_sent += counters["bytes_sent"]
+            step.worker_compute_ops.append(counters["compute_ops"])
+            step.worker_messages_sent.append(counters["messages_sent"])
+            step.worker_bytes_sent.append(counters["bytes_sent"])
+            step.worker_messages_received.append(counters["messages_received"])
+            step.worker_bytes_received.append(counters["bytes_received"])
+
+        step.active_vertices = sum(worker.active_count() for worker in workers)
+        return step
+
+
+def run_single_job(
+    job: PregelJob,
+    num_workers: int = 4,
+) -> JobResult:
+    """One-shot helper: create an engine, run ``job``, return the result."""
+    return PregelEngine(num_workers=num_workers).run(job)

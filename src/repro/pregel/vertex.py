@@ -1,0 +1,211 @@
+"""Vertex abstraction for the Pregel computation model.
+
+A Pregel program is written from the perspective of a single vertex:
+in every superstep each *active* vertex receives the messages sent to
+it in the previous superstep, may mutate its own value, send messages
+to other vertices, and finally vote to halt.  The engine in
+:mod:`repro.pregel.engine` drives instances of :class:`Vertex`
+subclasses through this loop.
+
+The design follows the description in Section II of the paper
+(Malewicz et al.'s Pregel as exposed by Pregel+), including the
+``vote_to_halt`` / reactivation-on-message semantics and access to the
+current superstep number and aggregators through a per-superstep
+:class:`ComputeContext`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generic, Iterable, List, Optional, TypeVar
+
+MessageT = TypeVar("MessageT")
+ValueT = TypeVar("ValueT")
+
+
+class ComputeContext:
+    """Everything a vertex may touch during one ``compute`` call.
+
+    The context is created by the worker that owns the vertex and gives
+    the vertex controlled access to:
+
+    * the current superstep number (``superstep``),
+    * message sending (``send``),
+    * aggregators (``aggregate`` / ``aggregated_value``),
+    * global graph statistics (``num_vertices``).
+
+    Keeping this state out of the :class:`Vertex` instances themselves
+    keeps vertices cheap (they are created in the millions) and makes
+    the message accounting used by the cost model exact.
+    """
+
+    __slots__ = ("superstep", "_outbox", "_aggregators", "_previous_aggregates",
+                 "num_vertices", "messages_sent", "bytes_sent")
+
+    def __init__(
+        self,
+        superstep: int,
+        outbox: List[tuple],
+        aggregators: Dict[str, Any],
+        previous_aggregates: Dict[str, Any],
+        num_vertices: int,
+    ) -> None:
+        self.superstep = superstep
+        self._outbox = outbox
+        self._aggregators = aggregators
+        self._previous_aggregates = previous_aggregates
+        self.num_vertices = num_vertices
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    def send(self, target_id: int, message: Any) -> None:
+        """Send ``message`` to the vertex identified by ``target_id``.
+
+        The message is delivered at the start of the next superstep.
+        Sending to a non-existent vertex raises
+        :class:`~repro.errors.VertexNotFoundError` at delivery time
+        unless the job opted into auto-creating vertices (mirroring the
+        behaviour of Pregel+ with a vertex-factory).
+        """
+        self._outbox.append((target_id, message))
+        self.messages_sent += 1
+        self.bytes_sent += _estimate_size(message)
+
+    def aggregate(self, name: str, value: Any) -> None:
+        """Contribute ``value`` to the aggregator called ``name``."""
+        aggregator = self._aggregators.get(name)
+        if aggregator is None:
+            from ..errors import AggregatorError
+
+            raise AggregatorError(f"unknown aggregator {name!r}")
+        aggregator.accumulate(value)
+
+    def aggregated_value(self, name: str) -> Any:
+        """Return the value aggregated under ``name`` in the previous superstep."""
+        if name not in self._previous_aggregates:
+            from ..errors import AggregatorError
+
+            raise AggregatorError(f"aggregator {name!r} has no value from the previous superstep")
+        return self._previous_aggregates[name]
+
+
+def _estimate_size(message: Any) -> int:
+    """Rough byte-size estimate of a message for the cost model.
+
+    The estimate intentionally stays cheap: integers count as 8 bytes,
+    strings and bytes as their length, and containers as the sum of
+    their elements plus a small header.  The absolute numbers only need
+    to be consistent across algorithms, because the cost model compares
+    algorithms against each other rather than against real hardware.
+    """
+    if message is None:
+        return 1
+    if isinstance(message, bool):
+        return 1
+    if isinstance(message, int):
+        return 8
+    if isinstance(message, float):
+        return 8
+    if isinstance(message, (str, bytes)):
+        return len(message)
+    if isinstance(message, (tuple, list)):
+        return 4 + sum(_estimate_size(item) for item in message)
+    if isinstance(message, dict):
+        return 4 + sum(
+            _estimate_size(key) + _estimate_size(value) for key, value in message.items()
+        )
+    if hasattr(message, "message_size"):
+        return int(message.message_size())
+    return 16
+
+
+class Vertex(Generic[ValueT, MessageT]):
+    """Base class for user-defined Pregel vertices.
+
+    Subclasses implement :meth:`compute`.  A vertex owns
+
+    * ``vertex_id`` — the unique 64-bit integer identifier used for
+      message routing and hash partitioning,
+    * ``value`` — an arbitrary mutable attribute ``a(v)``,
+    * ``edges`` — the adjacency list; the engine treats it as opaque
+      (assembly jobs store compact bitmaps here, PPA primitives store
+      plain lists of neighbour IDs).
+
+    ``halted`` implements vote-to-halt: a halted vertex is skipped by
+    the engine until a message arrives for it, which reactivates it.
+    """
+
+    __slots__ = ("vertex_id", "value", "edges", "halted")
+
+    def __init__(self, vertex_id: int, value: ValueT = None, edges: Any = None) -> None:
+        self.vertex_id = vertex_id
+        self.value = value
+        self.edges = edges if edges is not None else []
+        self.halted = False
+
+    def compute(self, messages: List[MessageT], ctx: ComputeContext) -> None:
+        """Process incoming ``messages`` for one superstep.
+
+        Subclasses must override this.  The default implementation
+        raises ``NotImplementedError`` so that forgetting to override
+        it fails loudly.
+        """
+        raise NotImplementedError("Vertex subclasses must implement compute()")
+
+    def vote_to_halt(self) -> None:
+        """Deactivate this vertex until a message reactivates it."""
+        self.halted = True
+
+    def reactivate(self) -> None:
+        """Mark the vertex active again (used by the engine on message delivery)."""
+        self.halted = False
+
+    @property
+    def degree(self) -> int:
+        """Number of adjacency-list entries (``d(v)`` in the paper)."""
+        try:
+            return len(self.edges)
+        except TypeError:
+            return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "halted" if self.halted else "active"
+        return f"<{type(self).__name__} id={self.vertex_id} value={self.value!r} {state}>"
+
+
+class VertexFactory:
+    """Creates vertices on demand when a message targets an unknown ID.
+
+    Google's Pregel creates missing vertices automatically; Pregel+
+    lets the application decide.  Jobs that want auto-creation pass a
+    factory; jobs that consider an unknown target a bug pass ``None``
+    and get :class:`~repro.errors.VertexNotFoundError` instead.
+    """
+
+    def __init__(self, vertex_class, default_value=None, default_edges=None) -> None:
+        self._vertex_class = vertex_class
+        self._default_value = default_value
+        self._default_edges = default_edges
+
+    def create(self, vertex_id: int) -> Vertex:
+        edges = list(self._default_edges) if self._default_edges is not None else None
+        return self._vertex_class(vertex_id, self._default_value, edges)
+
+
+def vertices_from_pairs(
+    vertex_class,
+    pairs: Iterable[tuple],
+) -> List[Vertex]:
+    """Build vertices from ``(vertex_id, value, edges)`` tuples.
+
+    Convenience constructor used by tests and examples.  ``pairs`` may
+    contain two-element tuples (``edges`` defaults to an empty list).
+    """
+    vertices: List[Vertex] = []
+    for pair in pairs:
+        if len(pair) == 2:
+            vertex_id, value = pair
+            vertices.append(vertex_class(vertex_id, value))
+        else:
+            vertex_id, value, edges = pair
+            vertices.append(vertex_class(vertex_id, value, edges))
+    return vertices

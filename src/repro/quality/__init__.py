@@ -1,0 +1,30 @@
+"""QUAST-style assembly quality assessment.
+
+Reference-free statistics (N50, totals, GC), a seed-and-chain aligner
+against the known reference, and the combined report whose fields map
+one-to-one to the rows of Table IV / Table V of the paper.
+"""
+
+from .alignment import AlignedBlock, ContigAlignment, ReferenceAligner
+from .quast import QualityReport, compare_assemblies, evaluate_assembly
+from .stats import (
+    ContigStatistics,
+    contig_statistics,
+    l50_value,
+    n50_value,
+    nx_value,
+)
+
+__all__ = [
+    "AlignedBlock",
+    "ContigAlignment",
+    "ReferenceAligner",
+    "QualityReport",
+    "compare_assemblies",
+    "evaluate_assembly",
+    "ContigStatistics",
+    "contig_statistics",
+    "l50_value",
+    "n50_value",
+    "nx_value",
+]

@@ -1,0 +1,171 @@
+"""QUAST-style quality report (the metrics of Table IV).
+
+Combines the reference-free statistics of :mod:`repro.quality.stats`
+with the reference-based metrics derived from
+:class:`~repro.quality.alignment.ReferenceAligner` into a single report
+whose fields correspond one-to-one to the rows of Table IV:
+
+=============================  =======================================
+Table IV row                   report field
+=============================  =======================================
+# of contigs                   ``num_contigs``
+Total length                   ``total_length``
+N50                            ``n50``
+Largest contig                 ``largest_contig``
+GC (%)                         ``gc_percent``
+# Misassemblies                ``misassemblies``
+Misassembled length            ``misassembled_length``
+Unaligned length               ``unaligned_length``
+Genome fraction (%)            ``genome_fraction``
+# Mismatches per 100 kbp       ``mismatches_per_100kbp``
+# Indels per 100 kbp           ``indels_per_100kbp``
+Largest alignment              ``largest_alignment``
+=============================  =======================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .alignment import ContigAlignment, ReferenceAligner
+from .stats import ContigStatistics, contig_statistics
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """All quality metrics for one assembly (Table IV rows)."""
+
+    assembler: str
+    num_contigs: int
+    total_length: int
+    n50: int
+    largest_contig: int
+    gc_percent: float
+    # Reference-based metrics; None when no reference was provided
+    # (Table V only reports the four metrics above in that case).
+    misassemblies: Optional[int] = None
+    misassembled_length: Optional[int] = None
+    unaligned_length: Optional[int] = None
+    genome_fraction: Optional[float] = None
+    mismatches_per_100kbp: Optional[float] = None
+    indels_per_100kbp: Optional[float] = None
+    largest_alignment: Optional[int] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        row: Dict[str, object] = {
+            "assembler": self.assembler,
+            "num_contigs": self.num_contigs,
+            "total_length": self.total_length,
+            "n50": self.n50,
+            "largest_contig": self.largest_contig,
+            "gc_percent": round(self.gc_percent, 2),
+        }
+        if self.misassemblies is not None:
+            row.update(
+                {
+                    "misassemblies": self.misassemblies,
+                    "misassembled_length": self.misassembled_length,
+                    "unaligned_length": self.unaligned_length,
+                    "genome_fraction": round(self.genome_fraction or 0.0, 3),
+                    "mismatches_per_100kbp": round(self.mismatches_per_100kbp or 0.0, 2),
+                    "indels_per_100kbp": round(self.indels_per_100kbp or 0.0, 2),
+                    "largest_alignment": self.largest_alignment,
+                }
+            )
+        return row
+
+
+def evaluate_assembly(
+    contigs: Sequence[str],
+    reference: Optional[str] = None,
+    assembler: str = "assembly",
+    min_contig_length: int = 500,
+    anchor_k: int = 21,
+) -> QualityReport:
+    """Evaluate one contig set, optionally against a reference.
+
+    ``min_contig_length`` mirrors QUAST's 500 bp cutoff; the scaled
+    benchmark datasets pass a proportionally smaller value.
+    """
+    kept = [contig for contig in contigs if len(contig) >= min_contig_length]
+    basic: ContigStatistics = contig_statistics(kept, min_contig_length=min_contig_length)
+
+    report_kwargs = {
+        "assembler": assembler,
+        "num_contigs": basic.num_contigs,
+        "total_length": basic.total_length,
+        "n50": basic.n50,
+        "largest_contig": basic.largest_contig,
+        "gc_percent": basic.gc_percent,
+    }
+    if reference is None or not kept:
+        return QualityReport(**report_kwargs)
+
+    aligner = ReferenceAligner(reference, anchor_k=anchor_k)
+    alignments: List[ContigAlignment] = aligner.align_all(kept)
+
+    misassembled = [alignment for alignment in alignments if alignment.is_misassembled]
+    aligned_bases = sum(alignment.aligned_length for alignment in alignments)
+    mismatches = sum(alignment.mismatches for alignment in alignments)
+    indels = sum(alignment.indels for alignment in alignments)
+
+    covered = _covered_positions(alignments, len(reference))
+    genome_fraction = 100.0 * covered / len(reference) if reference else 0.0
+
+    per_100kbp = 100_000.0 / aligned_bases if aligned_bases else 0.0
+    return QualityReport(
+        misassemblies=len(misassembled),
+        misassembled_length=sum(alignment.contig_length for alignment in misassembled),
+        unaligned_length=sum(alignment.unaligned_length for alignment in alignments),
+        genome_fraction=genome_fraction,
+        mismatches_per_100kbp=mismatches * per_100kbp,
+        indels_per_100kbp=indels * per_100kbp,
+        largest_alignment=max(
+            (alignment.largest_block for alignment in alignments), default=0
+        ),
+        **report_kwargs,
+    )
+
+
+def _covered_positions(alignments: List[ContigAlignment], reference_length: int) -> int:
+    """Number of reference positions covered by at least one aligned block."""
+    intervals = []
+    for alignment in alignments:
+        for block in alignment.blocks:
+            start = max(0, block.reference_start)
+            end = min(reference_length, block.reference_end)
+            if end > start:
+                intervals.append((start, end))
+    if not intervals:
+        return 0
+    intervals.sort()
+    covered = 0
+    current_start, current_end = intervals[0]
+    for start, end in intervals[1:]:
+        if start > current_end:
+            covered += current_end - current_start
+            current_start, current_end = start, end
+        else:
+            current_end = max(current_end, end)
+    covered += current_end - current_start
+    return covered
+
+
+def compare_assemblies(
+    assemblies: Dict[str, Sequence[str]],
+    reference: Optional[str] = None,
+    min_contig_length: int = 500,
+    anchor_k: int = 21,
+) -> List[QualityReport]:
+    """Evaluate several assemblies (one per assembler) for a Table IV/V style comparison."""
+    return [
+        evaluate_assembly(
+            contigs,
+            reference=reference,
+            assembler=name,
+            min_contig_length=min_contig_length,
+            anchor_k=anchor_k,
+        )
+        for name, contigs in assemblies.items()
+    ]

@@ -1,0 +1,116 @@
+"""Reference-free contig statistics (the metrics of Table V).
+
+These are the standard assembly summary statistics QUAST reports
+without needing a reference sequence: contig counts above a length
+threshold, total assembled length, N50/L50, the largest contig, and GC
+content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from ..dna.sequence import gc_content
+
+
+@dataclass(frozen=True)
+class ContigStatistics:
+    """Summary statistics over one set of contigs."""
+
+    num_contigs: int
+    total_length: int
+    largest_contig: int
+    n50: int
+    l50: int
+    gc_percent: float
+    min_contig_length: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "num_contigs": self.num_contigs,
+            "total_length": self.total_length,
+            "largest_contig": self.largest_contig,
+            "n50": self.n50,
+            "l50": self.l50,
+            "gc_percent": round(self.gc_percent, 2),
+            "min_contig_length": self.min_contig_length,
+        }
+
+
+def n50_value(lengths: Sequence[int]) -> int:
+    """N50: length of the contig at which half the total length is reached.
+
+    Formally, sort the contigs from longest to shortest and accumulate
+    their lengths; N50 is the length of the contig that makes the
+    running total reach half of the overall total (the paper's
+    "sequence length of the contig that contains the middle element").
+    """
+    ordered = sorted(lengths, reverse=True)
+    total = sum(ordered)
+    if total == 0:
+        return 0
+    accumulated = 0
+    for length in ordered:
+        accumulated += length
+        if accumulated * 2 >= total:
+            return length
+    return ordered[-1]
+
+
+def l50_value(lengths: Sequence[int]) -> int:
+    """L50: number of contigs needed to reach half the total length."""
+    ordered = sorted(lengths, reverse=True)
+    total = sum(ordered)
+    if total == 0:
+        return 0
+    accumulated = 0
+    for index, length in enumerate(ordered, start=1):
+        accumulated += length
+        if accumulated * 2 >= total:
+            return index
+    return len(ordered)
+
+
+def nx_value(lengths: Sequence[int], fraction: float) -> int:
+    """Generalised Nx (e.g. ``fraction=0.9`` gives N90)."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    ordered = sorted(lengths, reverse=True)
+    total = sum(ordered)
+    if total == 0:
+        return 0
+    accumulated = 0
+    for length in ordered:
+        accumulated += length
+        if accumulated >= total * fraction:
+            return length
+    return ordered[-1]
+
+
+def contig_statistics(
+    contigs: Iterable[str],
+    min_contig_length: int = 500,
+) -> ContigStatistics:
+    """Compute the Table V statistics over ``contigs``.
+
+    Only contigs at least ``min_contig_length`` long are counted, which
+    is QUAST's convention (500 bp by default); the benchmarks scale the
+    threshold down together with the datasets.
+    """
+    kept: List[str] = [contig for contig in contigs if len(contig) >= min_contig_length]
+    lengths = [len(contig) for contig in kept]
+    total = sum(lengths)
+    gc = 0.0
+    if total:
+        gc_bases = sum(gc_content(contig) * len(contig) for contig in kept)
+        gc = 100.0 * gc_bases / total
+    return ContigStatistics(
+        num_contigs=len(kept),
+        total_length=total,
+        largest_contig=max(lengths, default=0),
+        n50=n50_value(lengths),
+        l50=l50_value(lengths),
+        gc_percent=gc,
+        min_contig_length=min_contig_length,
+    )

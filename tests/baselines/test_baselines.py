@@ -1,0 +1,135 @@
+"""Tests for the baseline assemblers (ABySS/Ray/SWAP/Spaler-like)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    BASELINES,
+    AbyssLikeAssembler,
+    BaselineResult,
+    RayLikeAssembler,
+    SpalerLikeAssembler,
+    SwapLikeAssembler,
+)
+from repro.dna.sequence import reverse_complement
+from repro.quality import evaluate_assembly, n50_value
+
+ALL_CLASSES = [AbyssLikeAssembler, RayLikeAssembler, SwapLikeAssembler, SpalerLikeAssembler]
+
+
+@pytest.fixture(scope="module")
+def dataset(noisy_dataset):
+    return noisy_dataset
+
+
+def test_registry_contains_all_paper_baselines():
+    assert set(BASELINES) == {"ABySS", "Ray", "SWAP-Assembler", "Spaler"}
+
+
+@pytest.mark.parametrize("assembler_class", ALL_CLASSES)
+def test_baseline_produces_contigs_covering_most_of_the_genome(dataset, assembler_class):
+    genome, reads = dataset
+    result = assembler_class(k=15, num_workers=4).assemble(reads)
+    assert isinstance(result, BaselineResult)
+    assert result.num_contigs() > 0
+    assert result.estimated_seconds > 0
+    # The assembled bases should be in the same ballpark as the genome
+    # (no massive over- or under-assembly).
+    assert 0.5 * len(genome) <= result.total_length() <= 2.0 * len(genome)
+
+
+@pytest.mark.parametrize("assembler_class", ALL_CLASSES)
+def test_baseline_contigs_are_mostly_genuine(dataset, assembler_class):
+    genome, reads = dataset
+    result = assembler_class(k=15, num_workers=4).assemble(reads)
+    report = evaluate_assembly(
+        result.contigs_longer_than(100),
+        reference=genome,
+        assembler=result.assembler,
+        min_contig_length=100,
+        anchor_k=15,
+    )
+    if report.num_contigs:
+        assert report.genome_fraction > 30.0
+        assert report.mismatches_per_100kbp < 2_000
+
+
+@pytest.mark.parametrize("assembler_class", ALL_CLASSES)
+def test_baseline_validation_of_parameters(assembler_class):
+    with pytest.raises(ValueError):
+        assembler_class(k=0)
+    with pytest.raises(ValueError):
+        assembler_class(k=15, num_workers=0)
+
+
+def test_abyss_probing_increases_ambiguity(dataset):
+    """Section V's criticism: probing all 8 neighbours inflates ambiguity."""
+    genome, reads = dataset
+    abyss = AbyssLikeAssembler(k=15, num_workers=4).assemble(reads)
+    swap = SwapLikeAssembler(k=15, num_workers=4).assemble(reads)
+    assert abyss.counters["ambiguous_vertices"] >= swap.counters["ambiguous_vertices"]
+    assert abyss.counters["probe_messages"] == 8 * abyss.counters["kmers"]
+
+
+def test_abyss_runtime_insensitive_to_workers(dataset):
+    _genome, reads = dataset
+    few = AbyssLikeAssembler(k=15, num_workers=16).assemble(reads)
+    many = AbyssLikeAssembler(k=15, num_workers=64).assemble(reads)
+    ratio = few.estimated_seconds / many.estimated_seconds
+    assert 0.7 < ratio < 1.3  # flat scaling
+
+
+def test_ray_is_slowest_baseline(dataset):
+    """Figure 12: Ray is roughly an order of magnitude slower."""
+    _genome, reads = dataset
+    ray = RayLikeAssembler(k=15, num_workers=16).assemble(reads)
+    abyss = AbyssLikeAssembler(k=15, num_workers=16).assemble(reads)
+    swap = SwapLikeAssembler(k=15, num_workers=16).assemble(reads)
+    assert ray.estimated_seconds > abyss.estimated_seconds
+    assert ray.estimated_seconds > swap.estimated_seconds
+
+
+def test_ray_and_swap_scale_with_workers(dataset):
+    _genome, reads = dataset
+    for assembler_class in (RayLikeAssembler, SwapLikeAssembler):
+        few = assembler_class(k=15, num_workers=16).assemble(reads)
+        many = assembler_class(k=15, num_workers=64).assemble(reads)
+        assert many.estimated_seconds < few.estimated_seconds
+
+
+def test_ray_does_not_over_assemble(dataset):
+    genome, reads = dataset
+    result = RayLikeAssembler(k=15, num_workers=4).assemble(reads)
+    assert result.total_length() <= 1.2 * len(genome)
+
+
+def test_swap_is_more_fragmented_than_abyss_or_equal(dataset):
+    """SWAP performs no error correction: lower N50 than the others (Table IV shape)."""
+    _genome, reads = dataset
+    swap = SwapLikeAssembler(k=15, num_workers=4).assemble(reads)
+    abyss = AbyssLikeAssembler(k=15, num_workers=4).assemble(reads)
+    assert len(swap.contigs) >= len(abyss.contigs) * 0.5  # sanity: same ballpark
+    assert n50_value([len(c) for c in swap.contigs]) <= n50_value([len(c) for c in abyss.contigs]) * 1.5
+
+
+def test_spaler_iterations_counted(dataset):
+    _genome, reads = dataset
+    result = SpalerLikeAssembler(k=15, num_workers=4, seed=3).assemble(reads)
+    assert result.counters["spark_iterations"] >= 1
+
+
+def test_baseline_result_helpers():
+    result = BaselineResult(
+        assembler="x", contigs=["A" * 10, "C" * 600], num_workers=4
+    )
+    assert result.num_contigs(min_length=500) == 1
+    assert result.total_length(min_length=500) == 600
+    assert result.largest_contig() == 600
+
+
+def test_baselines_deterministic(dataset):
+    _genome, reads = dataset
+    first = AbyssLikeAssembler(k=15, num_workers=4).assemble(reads)
+    second = AbyssLikeAssembler(k=15, num_workers=4).assemble(reads)
+    assert first.contigs == second.contigs

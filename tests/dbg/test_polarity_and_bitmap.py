@@ -1,0 +1,221 @@
+"""Tests for edge polarity (Property 1) and the Figure 8 adjacency formats."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dbg.bitmap import (
+    NULL_ITEM,
+    POLARITY_CLASSES,
+    AdjacencyBitmap,
+    bit_position,
+    decode_item,
+    encode_item,
+    expand_bitmap,
+    is_null_item,
+    neighbor_kmer_id,
+    split_bit_position,
+)
+from repro.dbg.polarity import (
+    LABEL_H,
+    LABEL_L,
+    PORT_IN,
+    PORT_OUT,
+    PolarizedEdge,
+    complement_label,
+    label_for_source_port,
+    label_for_target_port,
+    other_port,
+    reverse_polarity,
+    source_port,
+    target_port,
+)
+from repro.dna.encoding import decode_kmer, encode_kmer
+from repro.dna.kmer import extract_kplus1mers
+from repro.dna.sequence import reverse_complement
+
+dna = st.text(alphabet="ACGT", min_size=8, max_size=80)
+
+
+# ----------------------------------------------------------------------
+# polarity
+# ----------------------------------------------------------------------
+def test_complement_label():
+    assert complement_label(LABEL_L) == LABEL_H
+    assert complement_label(LABEL_H) == LABEL_L
+    with pytest.raises(ValueError):
+        complement_label("X")
+
+
+def test_property1_reverse_polarity():
+    """Property 1: ⟨X:Y⟩ on (u,v) is ⟨Ȳ:X̄⟩ on (v,u)."""
+    assert reverse_polarity("LL") == "HH"
+    assert reverse_polarity("LH") == "LH"
+    assert reverse_polarity("HL") == "HL"
+    assert reverse_polarity("HH") == "LL"
+    with pytest.raises(ValueError):
+        reverse_polarity("L")
+
+
+def test_reverse_polarity_is_involution():
+    for polarity in POLARITY_CLASSES:
+        assert reverse_polarity(reverse_polarity(polarity)) == polarity
+
+
+def test_port_label_round_trip():
+    for label in (LABEL_L, LABEL_H):
+        assert label_for_source_port(source_port(label)) == label
+        assert label_for_target_port(target_port(label)) == label
+
+
+def test_other_port():
+    assert other_port(PORT_IN) == PORT_OUT
+    assert other_port(PORT_OUT) == PORT_IN
+    with pytest.raises(ValueError):
+        other_port(5)
+
+
+def test_polarized_edge_equivalence_ports():
+    edge = PolarizedEdge(source=1, target=2, polarity="LH", coverage=3)
+    reversed_edge = edge.reversed()
+    assert reversed_edge.source == 2 and reversed_edge.target == 1
+    assert reversed_edge.polarity == "LH"
+    # The two writings attach to the same ports of the same vertices.
+    source_p, target_p = edge.ports()
+    reverse_source_p, reverse_target_p = reversed_edge.ports()
+    assert (source_p, target_p) == (reverse_target_p, reverse_source_p)
+
+
+def test_polarized_edge_canonical_form_deterministic():
+    edge = PolarizedEdge(source=9, target=2, polarity="HL")
+    assert edge.canonical_form() == edge.reversed().canonical_form()
+
+
+# ----------------------------------------------------------------------
+# bit positions and items
+# ----------------------------------------------------------------------
+def test_bit_position_round_trip():
+    seen = set()
+    for polarity in POLARITY_CLASSES:
+        for direction in ("in", "out"):
+            for base_bits in range(4):
+                position = bit_position(polarity, direction, base_bits)
+                assert 0 <= position < 32
+                assert position not in seen
+                seen.add(position)
+                assert split_bit_position(position) == (polarity, direction, base_bits)
+    assert len(seen) == 32
+
+
+def test_bit_position_validation():
+    with pytest.raises(ValueError):
+        bit_position("XX", "in", 0)
+    with pytest.raises(ValueError):
+        bit_position("LL", "sideways", 0)
+    with pytest.raises(ValueError):
+        bit_position("LL", "in", 4)
+    with pytest.raises(ValueError):
+        split_bit_position(32)
+
+
+def test_item_encode_decode_round_trip():
+    for polarity in POLARITY_CLASSES:
+        for direction in ("in", "out"):
+            for base_bits in range(4):
+                item = encode_item(base_bits, direction, polarity)
+                assert item < 0x80
+                assert decode_item(item) == (base_bits, direction, polarity)
+
+
+def test_null_item():
+    assert NULL_ITEM == 0b1000_0000
+    assert is_null_item(NULL_ITEM)
+    with pytest.raises(ValueError):
+        decode_item(NULL_ITEM)
+    with pytest.raises(ValueError):
+        decode_item(0b0110_0000)
+
+
+# ----------------------------------------------------------------------
+# adjacency bitmap
+# ----------------------------------------------------------------------
+def test_bitmap_add_and_query():
+    bitmap = AdjacencyBitmap()
+    bitmap.add("LH", "out", 2, coverage=3)
+    assert bitmap.has("LH", "out", 2)
+    assert not bitmap.has("LH", "out", 1)
+    assert bitmap.coverage_at("LH", "out", 2) == 3
+    assert bitmap.degree() == 1
+
+
+def test_bitmap_duplicate_adds_accumulate_coverage():
+    bitmap = AdjacencyBitmap()
+    bitmap.add("LL", "in", 0)
+    bitmap.add("LL", "in", 0, coverage=4)
+    assert bitmap.degree() == 1
+    assert bitmap.coverage_at("LL", "in", 0) == 5
+
+
+def test_bitmap_merge():
+    left, right = AdjacencyBitmap(), AdjacencyBitmap()
+    left.add("LL", "out", 1, coverage=2)
+    right.add("LL", "out", 1, coverage=3)
+    right.add("HH", "in", 0, coverage=1)
+    left.merge(right)
+    assert left.degree() == 2
+    assert left.coverage_at("LL", "out", 1) == 5
+
+
+def test_bitmap_entries_and_copy():
+    bitmap = AdjacencyBitmap()
+    bitmap.add("HL", "in", 3, coverage=7)
+    entries = list(bitmap.entries())
+    assert entries == [("HL", "in", 3, 7)]
+    clone = bitmap.copy()
+    clone.add("LL", "out", 0)
+    assert bitmap.degree() == 1 and clone.degree() == 2
+
+
+# ----------------------------------------------------------------------
+# neighbour reconstruction (the heart of the compact format)
+# ----------------------------------------------------------------------
+def test_paper_recipe_hh_out_neighbour():
+    """Section IV-A: ⟨H:H⟩ out-edge reconstructs rc(append(rc(self), base))."""
+    k = 4
+    vertex = "ACGG"
+    base = "C"
+    expected = reverse_complement(reverse_complement(vertex)[1:] + base)
+    got = neighbor_kmer_id(encode_kmer(vertex), k, "HH", "out", encode_kmer(base))
+    assert decode_kmer(got, k) == expected
+
+
+@given(dna)
+def test_property_bitmap_reconstructs_observed_edges(sequence):
+    """Building bitmaps from (k+1)-mers and expanding them recovers the edges."""
+    k = 5
+    if len(sequence) < k + 1:
+        return
+    bitmaps = {}
+    expected_edges = set()
+    for edge in extract_kplus1mers(sequence, k):
+        polarity = edge.polarity()
+        appended = edge.edge_id & 0b11
+        prepended = (edge.edge_id >> (2 * k)) & 0b11
+        bitmaps.setdefault(edge.prefix.kmer_id, AdjacencyBitmap()).add(polarity, "out", appended)
+        bitmaps.setdefault(edge.suffix.kmer_id, AdjacencyBitmap()).add(polarity, "in", prepended)
+        expected_edges.add((edge.prefix.kmer_id, edge.suffix.kmer_id))
+
+    for vertex_id, bitmap in bitmaps.items():
+        for neighbor, _polarity, direction, _base, _coverage in expand_bitmap(vertex_id, k, bitmap):
+            if direction == "out":
+                assert (vertex_id, neighbor) in expected_edges
+            else:
+                assert (neighbor, vertex_id) in expected_edges
+
+
+def test_neighbor_kmer_id_validation():
+    with pytest.raises(ValueError):
+        neighbor_kmer_id(0, 4, "L", "out", 0)
+    with pytest.raises(ValueError):
+        neighbor_kmer_id(0, 4, "LL", "diagonal", 0)

@@ -1,0 +1,273 @@
+"""Tests for k-mer/contig vertex records, vertex IDs and the graph container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dbg.contig_vertex import END_IN, END_OUT, ContigEnd, ContigVertexData
+from repro.dbg.graph import DeBruijnGraph
+from repro.dbg.ids import ContigIdAllocator, describe_id
+from repro.dbg.kmer_vertex import (
+    TYPE_AMBIGUOUS,
+    TYPE_DEAD_END,
+    TYPE_UNAMBIGUOUS,
+    ContigLink,
+    KmerVertexData,
+)
+from repro.dbg.polarity import PORT_IN, PORT_OUT
+from repro.dna.encoding import NULL_ID, encode_kmer, make_contig_id
+from repro.errors import GraphFormatError
+
+
+def _kmer(sequence):
+    return encode_kmer(sequence)
+
+
+# ----------------------------------------------------------------------
+# k-mer vertex
+# ----------------------------------------------------------------------
+def test_vertex_type_dead_end():
+    vertex = KmerVertexData(_kmer("ACGT"), 4)
+    vertex.add_adjacency(_kmer("CGTA"), PORT_OUT, PORT_IN)
+    assert vertex.vertex_type() == TYPE_DEAD_END
+    assert vertex.is_unambiguous()
+
+
+def test_vertex_type_unambiguous():
+    vertex = KmerVertexData(_kmer("ACGT"), 4)
+    vertex.add_adjacency(_kmer("CGTA"), PORT_OUT, PORT_IN)
+    vertex.add_adjacency(_kmer("TACG"), PORT_IN, PORT_OUT)
+    assert vertex.vertex_type() == TYPE_UNAMBIGUOUS
+
+
+def test_vertex_type_ambiguous_same_port():
+    vertex = KmerVertexData(_kmer("ACGT"), 4)
+    vertex.add_adjacency(_kmer("CGTA"), PORT_OUT, PORT_IN)
+    vertex.add_adjacency(_kmer("CGTC"), PORT_OUT, PORT_IN)
+    assert vertex.vertex_type() == TYPE_AMBIGUOUS
+    assert vertex.is_ambiguous()
+
+
+def test_vertex_type_ambiguous_three_neighbors():
+    vertex = KmerVertexData(_kmer("ACGT"), 4)
+    vertex.add_adjacency(_kmer("CGTA"), PORT_OUT, PORT_IN)
+    vertex.add_adjacency(_kmer("CGTC"), PORT_OUT, PORT_IN)
+    vertex.add_adjacency(_kmer("TACG"), PORT_IN, PORT_OUT)
+    assert vertex.vertex_type() == TYPE_AMBIGUOUS
+
+
+def test_duplicate_adjacency_merges_coverage():
+    vertex = KmerVertexData(_kmer("ACGT"), 4)
+    vertex.add_adjacency(_kmer("CGTA"), PORT_OUT, PORT_IN, coverage=2)
+    vertex.add_adjacency(_kmer("CGTA"), PORT_OUT, PORT_IN, coverage=3)
+    assert vertex.degree == 1
+    assert vertex.adjacencies[0].coverage == 5
+
+
+def test_parallel_contig_adjacencies_stay_distinct():
+    """Bubble case: two contigs between the same k-mers must not merge."""
+    vertex = KmerVertexData(_kmer("ACGT"), 4)
+    far = _kmer("GGGG")
+    vertex.add_adjacency(far, PORT_OUT, PORT_IN, coverage=4, via_contig=ContigLink(make_contig_id(0, 1), 100, 4))
+    vertex.add_adjacency(far, PORT_OUT, PORT_IN, coverage=2, via_contig=ContigLink(make_contig_id(0, 2), 101, 2))
+    assert vertex.degree == 2
+
+
+def test_remove_adjacency_by_neighbor_and_port():
+    vertex = KmerVertexData(_kmer("ACGT"), 4)
+    vertex.add_adjacency(_kmer("CGTA"), PORT_OUT, PORT_IN)
+    vertex.add_adjacency(_kmer("CGTA"), PORT_IN, PORT_OUT)
+    assert vertex.remove_adjacency(_kmer("CGTA"), my_port=PORT_OUT) == 1
+    assert vertex.degree == 1
+    assert vertex.remove_adjacency(_kmer("CGTA")) == 1
+    assert vertex.degree == 0
+
+
+def test_remove_contig_adjacency():
+    vertex = KmerVertexData(_kmer("ACGT"), 4)
+    contig_id = make_contig_id(1, 1)
+    vertex.add_adjacency(NULL_ID, PORT_OUT, 0, via_contig=ContigLink(contig_id, 50, 3))
+    assert vertex.remove_contig_adjacency(contig_id) == 1
+    assert vertex.degree == 0
+
+
+def test_other_adjacency_and_lookup():
+    vertex = KmerVertexData(_kmer("ACGT"), 4)
+    a, b = _kmer("CGTA"), _kmer("TACG")
+    vertex.add_adjacency(a, PORT_OUT, PORT_IN)
+    vertex.add_adjacency(b, PORT_IN, PORT_OUT)
+    assert vertex.adjacency_to(a).neighbor_id == a
+    assert vertex.adjacency_to(_kmer("GGGG")) is None
+    assert vertex.other_adjacency(excluding_neighbor=a).neighbor_id == b
+
+
+def test_vertex_sequence_and_min_coverage():
+    vertex = KmerVertexData(_kmer("ACGT"), 4)
+    assert vertex.sequence() == "ACGT"
+    assert vertex.min_coverage() == 0
+    vertex.add_adjacency(_kmer("CGTA"), PORT_OUT, PORT_IN, coverage=7)
+    vertex.add_adjacency(_kmer("TACG"), PORT_IN, PORT_OUT, coverage=3)
+    assert vertex.min_coverage() == 3
+
+
+def test_neighbor_ids_excludes_null_by_default():
+    vertex = KmerVertexData(_kmer("ACGT"), 4)
+    vertex.add_adjacency(NULL_ID, PORT_OUT, 0)
+    vertex.add_adjacency(_kmer("TACG"), PORT_IN, PORT_OUT)
+    assert vertex.neighbor_ids() == [_kmer("TACG")]
+    assert len(vertex.neighbor_ids(include_null=True)) == 2
+
+
+# ----------------------------------------------------------------------
+# contig vertex
+# ----------------------------------------------------------------------
+def test_contig_types_and_endpoints():
+    kmer_a, kmer_b = _kmer("AAAA"), _kmer("CCCC")
+    contig = ContigVertexData(
+        contig_id=make_contig_id(0, 1),
+        sequence="ACGTACGT",
+        coverage=9,
+        in_end=ContigEnd(kmer_a, PORT_OUT, 5),
+        out_end=ContigEnd(kmer_b, PORT_IN, 6),
+    )
+    assert contig.vertex_type() == TYPE_UNAMBIGUOUS
+    assert contig.ordered_neighbor_pair() == tuple(sorted((kmer_a, kmer_b)))
+    assert contig.neighbor_ids() == [kmer_a, kmer_b]
+    assert not contig.is_isolated()
+    assert contig.length == 8
+
+
+def test_contig_dangling_and_isolated():
+    contig = ContigVertexData(make_contig_id(0, 2), "ACGT" * 10, coverage=3)
+    assert contig.vertex_type() == TYPE_DEAD_END
+    assert contig.is_isolated()
+    assert contig.ordered_neighbor_pair() is None
+    assert contig.is_tip_candidate(length_threshold=100)
+    assert not contig.is_tip_candidate(length_threshold=10)
+
+
+def test_contig_end_accessors():
+    contig = ContigVertexData(make_contig_id(0, 3), "ACGTACGT", coverage=1)
+    end = ContigEnd(_kmer("AAAA"), PORT_IN, 2)
+    contig.set_end(END_OUT, end)
+    assert contig.end(END_OUT) == end
+    assert contig.end(END_IN).is_dead_end()
+    with pytest.raises(ValueError):
+        contig.end("sideways")
+    with pytest.raises(ValueError):
+        contig.set_end("sideways", end)
+
+
+def test_contig_gc_and_reverse_complement():
+    contig = ContigVertexData(make_contig_id(0, 4), "GGCC", coverage=1)
+    assert contig.gc_fraction() == 1.0
+    assert contig.reverse_complement_sequence() == "GGCC"
+
+
+# ----------------------------------------------------------------------
+# IDs
+# ----------------------------------------------------------------------
+def test_contig_id_allocator_per_worker():
+    allocator = ContigIdAllocator()
+    first = allocator.allocate(0)
+    second = allocator.allocate(0)
+    third = allocator.allocate(5)
+    assert first != second != third
+    assert allocator.allocated_count(0) == 2
+    assert allocator.allocated_count(5) == 1
+    assert allocator.total_allocated() == 3
+
+
+def test_describe_id():
+    assert describe_id(NULL_ID) == "NULL"
+    assert describe_id(make_contig_id(2, 9)) == "contig(worker=2, order=9)"
+    assert describe_id(_kmer("ACGT")).startswith("kmer(")
+
+
+# ----------------------------------------------------------------------
+# graph container
+# ----------------------------------------------------------------------
+def _simple_graph():
+    graph = DeBruijnGraph(4)
+    a, b, c = _kmer("AAAA"), _kmer("AAAC"), _kmer("AACC")
+    graph.add_edge(a, PORT_OUT, b, PORT_IN, coverage=3)
+    graph.add_edge(b, PORT_OUT, c, PORT_IN, coverage=2)
+    return graph, (a, b, c)
+
+
+def test_graph_add_edge_is_mirrored():
+    graph, (a, b, _c) = _simple_graph()
+    graph.validate()
+    assert graph.kmers[a].adjacency_to(b).coverage == 3
+    assert graph.kmers[b].adjacency_to(a).coverage == 3
+
+
+def test_graph_counts_and_statistics():
+    graph, (a, b, c) = _simple_graph()
+    assert graph.kmer_count() == 3
+    assert graph.edge_count() == 2
+    stats = graph.statistics().as_dict()
+    assert stats["kmer_vertices"] == 3
+    assert stats["type_1"] == 2
+    assert stats["type_1_1"] == 1
+
+
+def test_graph_remove_kmer_cleans_adjacencies():
+    graph, (a, b, c) = _simple_graph()
+    graph.remove_kmer(b)
+    assert b not in graph
+    assert graph.kmers[a].adjacency_to(b) is None
+    graph.validate()
+
+
+def test_graph_remove_contig_cleans_kmer_links():
+    graph, (a, b, c) = _simple_graph()
+    contig_id = make_contig_id(0, 1)
+    graph.add_contig(
+        ContigVertexData(contig_id, "AAAACC", coverage=1, in_end=ContigEnd(a, PORT_OUT, 1))
+    )
+    graph.kmers[a].add_adjacency(NULL_ID, PORT_OUT, 0, via_contig=ContigLink(contig_id, 6, 1))
+    graph.remove_contig(contig_id)
+    assert contig_id not in graph.contigs
+    assert all(adj.via_contig is None for adj in graph.kmers[a].adjacencies)
+
+
+def test_graph_duplicate_contig_rejected():
+    graph, _ = _simple_graph()
+    contig_id = make_contig_id(0, 1)
+    graph.add_contig(ContigVertexData(contig_id, "AAAA", coverage=1))
+    with pytest.raises(GraphFormatError):
+        graph.add_contig(ContigVertexData(contig_id, "CCCC", coverage=1))
+
+
+def test_graph_validation_detects_missing_mirror():
+    graph, (a, b, _c) = _simple_graph()
+    graph.kmers[b].remove_adjacency(a)
+    with pytest.raises(GraphFormatError):
+        graph.validate()
+
+
+def test_graph_validation_detects_short_contig():
+    graph, _ = _simple_graph()
+    graph.add_contig(ContigVertexData(make_contig_id(0, 1), "AC", coverage=1))
+    with pytest.raises(GraphFormatError):
+        graph.validate()
+
+
+def test_graph_rejects_bad_k():
+    with pytest.raises(GraphFormatError):
+        DeBruijnGraph(0)
+
+
+def test_graph_vertices_of_type_queries():
+    graph, (a, b, c) = _simple_graph()
+    graph.add_edge(b, PORT_OUT, _kmer("AACG"), PORT_IN)
+    assert b in graph.ambiguous_vertices()
+    assert set(graph.unambiguous_vertices()) == {a, c, _kmer("AACG")}
+
+
+def test_graph_self_loop_edge_count():
+    graph = DeBruijnGraph(4)
+    a = _kmer("ATAT")
+    graph.add_edge(a, PORT_OUT, a, PORT_OUT)
+    assert graph.edge_count() == 1

@@ -1,0 +1,308 @@
+"""Tests for k-mer extraction, FASTQ/FASTA IO, the read simulator and datasets."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dna.datasets import DEFAULT_PROFILES, all_profiles, get_profile
+from repro.dna.encoding import decode_kmer
+from repro.dna.io_fastq import (
+    FastaRecord,
+    Read,
+    parse_fasta,
+    parse_fastq,
+    reads_from_strings,
+    write_fasta,
+    write_fastq,
+)
+from repro.dna.kmer import (
+    extract_canonical_kmer_ids,
+    extract_kplus1mers,
+    validate_k,
+)
+from repro.dna.sequence import canonical, reverse_complement
+from repro.dna.simulator import (
+    ReadSimulationConfig,
+    ReadSimulator,
+    generate_genome,
+    simulate_dataset,
+)
+from repro.errors import FastqFormatError, InvalidKmerError
+
+dna = st.text(alphabet="ACGT", min_size=6, max_size=60)
+
+
+# ----------------------------------------------------------------------
+# k-mer extraction
+# ----------------------------------------------------------------------
+def test_paper_example_3mers():
+    """Figure 4: read "ATTG" with k=2 yields 3-mers ATT and TTG."""
+    edges = list(extract_kplus1mers("ATTG", 2))
+    assert len(edges) == 2
+    prefixes = [decode_kmer(edge.prefix.kmer_id, 2) for edge in edges]
+    suffixes = [decode_kmer(edge.suffix.kmer_id, 2) for edge in edges]
+    # Vertices are canonical 2-mers.
+    assert prefixes == [canonical("AT"), canonical("TT")]
+    assert suffixes == [canonical("TT"), canonical("TG")]
+
+
+def test_reads_shorter_than_k_plus_one_ignored():
+    assert list(extract_kplus1mers("ACG", 3)) == []
+
+
+def test_n_bases_split_reads():
+    edges = list(extract_kplus1mers("ACGTNACGT", 3))
+    # Each N-free fragment "ACGT" yields one 4-mer.
+    assert len(edges) == 2
+
+
+@given(dna)
+def test_property_kplus1mer_count(sequence):
+    k = 4
+    expected = max(0, len(sequence) - k)
+    assert len(list(extract_kplus1mers(sequence, k))) == expected
+
+
+@given(dna)
+def test_property_strand_symmetry(sequence):
+    """A read and its reverse complement produce the same canonical edges."""
+    k = 4
+    forward = {
+        frozenset(((edge.prefix.kmer_id), (edge.suffix.kmer_id)))
+        for edge in extract_kplus1mers(sequence, k)
+    }
+    backward = {
+        frozenset(((edge.prefix.kmer_id), (edge.suffix.kmer_id)))
+        for edge in extract_kplus1mers(reverse_complement(sequence), k)
+    }
+    assert forward == backward
+
+
+def test_extract_canonical_kmer_ids():
+    ids = extract_canonical_kmer_ids("ACGTT", 3)
+    assert len(ids) == 3
+    assert all(decode_kmer(kmer_id, 3) == canonical(kmer) for kmer_id, kmer in zip(ids, ["ACG", "CGT", "GTT"]))
+
+
+def test_validate_k_bounds():
+    validate_k(1)
+    validate_k(31)
+    with pytest.raises(InvalidKmerError):
+        validate_k(0)
+    with pytest.raises(InvalidKmerError):
+        validate_k(32)
+
+
+# ----------------------------------------------------------------------
+# FASTQ / FASTA
+# ----------------------------------------------------------------------
+def test_fastq_round_trip():
+    reads = [Read("r1", "ACGT", "IIII"), Read("r2", "GGTTA", "ABCDE")]
+    buffer = io.StringIO()
+    assert write_fastq(reads, buffer) == 2
+    buffer.seek(0)
+    parsed = list(parse_fastq(buffer))
+    assert parsed == reads
+
+
+def test_fastq_default_quality():
+    buffer = io.StringIO()
+    write_fastq([Read("r", "ACGT")], buffer)
+    buffer.seek(0)
+    assert list(parse_fastq(buffer))[0].quality == "IIII"
+
+
+def test_fastq_bad_header_raises():
+    with pytest.raises(FastqFormatError):
+        list(parse_fastq(io.StringIO("not-a-header\nACGT\n+\nIIII\n")))
+
+
+def test_fastq_bad_separator_raises():
+    with pytest.raises(FastqFormatError):
+        list(parse_fastq(io.StringIO("@r\nACGT\nIIII\nIIII\n")))
+
+
+def test_fastq_quality_length_mismatch_raises():
+    with pytest.raises(FastqFormatError):
+        list(parse_fastq(io.StringIO("@r\nACGT\n+\nII\n")))
+
+
+def test_fastq_invalid_character_raises():
+    with pytest.raises(FastqFormatError):
+        list(parse_fastq(io.StringIO("@r\nACXT\n+\nIIII\n")))
+    # but passes when validation is off
+    buffer = io.StringIO("@r\nACXT\n+\nIIII\n")
+    assert list(parse_fastq(buffer, validate=False))[0].sequence == "ACXT"
+
+
+def test_fasta_round_trip_with_wrapping():
+    records = [FastaRecord("chr1", "ACGT" * 50), FastaRecord("chr2", "GG")]
+    buffer = io.StringIO()
+    assert write_fasta(records, buffer, line_width=25) == 2
+    buffer.seek(0)
+    assert list(parse_fasta(buffer)) == records
+
+
+def test_fasta_data_before_header_raises():
+    with pytest.raises(FastqFormatError):
+        list(parse_fasta(io.StringIO("ACGT\n>late\nACGT\n")))
+
+
+def test_fasta_bad_line_width():
+    with pytest.raises(ValueError):
+        write_fasta([FastaRecord("x", "ACGT")], io.StringIO(), line_width=0)
+
+
+def test_reads_from_strings():
+    reads = reads_from_strings(["acgt", "GGG"], prefix="t")
+    assert reads[0].name == "t-0" and reads[0].sequence == "ACGT"
+    assert reads[1].sequence == "GGG"
+
+
+def test_file_round_trip(tmp_path):
+    path = tmp_path / "reads.fastq"
+    reads = [Read("a", "ACGTACGT", "IIIIIIII")]
+    write_fastq(reads, path)
+    assert list(parse_fastq(path)) == reads
+
+
+# ----------------------------------------------------------------------
+# simulator
+# ----------------------------------------------------------------------
+def test_generate_genome_properties():
+    genome = generate_genome(10_000, gc_content=0.41, seed=1)
+    assert len(genome) == 10_000
+    assert set(genome) <= set("ACGT")
+    gc = sum(1 for base in genome if base in "GC") / len(genome)
+    assert 0.35 < gc < 0.47
+
+
+def test_generate_genome_deterministic():
+    assert generate_genome(2_000, seed=5) == generate_genome(2_000, seed=5)
+    assert generate_genome(2_000, seed=5) != generate_genome(2_000, seed=6)
+
+
+def test_generate_genome_repeats_create_duplicates():
+    no_repeats = generate_genome(20_000, repeat_fraction=0.0, seed=3)
+    with_repeats = generate_genome(20_000, repeat_fraction=0.2, repeat_length=500, seed=3)
+
+    def distinct_kmers(genome, k=31):
+        return len({genome[i : i + k] for i in range(len(genome) - k + 1)})
+
+    assert distinct_kmers(with_repeats) < distinct_kmers(no_repeats)
+
+
+def test_generate_genome_validation():
+    with pytest.raises(ValueError):
+        generate_genome(0)
+    with pytest.raises(ValueError):
+        generate_genome(100, gc_content=1.5)
+    with pytest.raises(ValueError):
+        generate_genome(100, repeat_fraction=1.0)
+
+
+def test_read_simulator_coverage_and_lengths():
+    genome = generate_genome(5_000, seed=2)
+    config = ReadSimulationConfig(read_length=100, coverage=12, error_rate=0.0, seed=3)
+    reads = ReadSimulator(config).simulate(genome)
+    assert len(reads) == ReadSimulator(config).number_of_reads(len(genome))
+    assert all(len(read) == 100 for read in reads)
+    total_bases = sum(len(read) for read in reads)
+    assert total_bases == pytest.approx(12 * 5_000, rel=0.05)
+
+
+def test_read_simulator_error_rate():
+    genome = generate_genome(5_000, seed=4)
+    config = ReadSimulationConfig(read_length=100, coverage=10, error_rate=0.05, both_strands=False, ambiguous_rate=0.0, seed=5)
+    reads = ReadSimulator(config).simulate(genome)
+    mismatches = 0
+    total = 0
+    for read in reads:
+        start = int(read.name.split(":")[1])
+        original = genome[start : start + 100]
+        mismatches += sum(1 for a, b in zip(read.sequence, original) if a != b)
+        total += len(original)
+    assert 0.03 < mismatches / total < 0.07
+
+
+def test_read_simulator_both_strands():
+    genome = generate_genome(3_000, seed=6)
+    config = ReadSimulationConfig(read_length=80, coverage=10, error_rate=0.0, seed=7)
+    reads = ReadSimulator(config).simulate(genome)
+    strands = {read.name.rsplit(":", 1)[-1] for read in reads}
+    assert strands == {"+", "-"}
+
+
+def test_read_simulator_rejects_short_genome():
+    with pytest.raises(ValueError):
+        ReadSimulator(ReadSimulationConfig(read_length=100)).simulate("ACGT")
+
+
+def test_simulation_config_validation():
+    with pytest.raises(ValueError):
+        ReadSimulationConfig(read_length=0)
+    with pytest.raises(ValueError):
+        ReadSimulationConfig(coverage=0)
+    with pytest.raises(ValueError):
+        ReadSimulationConfig(error_rate=1.5)
+
+
+def test_simulate_dataset_helper():
+    genome, reads = simulate_dataset(2_000, read_length=50, coverage=5, seed=1)
+    assert len(genome) == 2_000
+    assert len(reads) == 200
+
+
+# ----------------------------------------------------------------------
+# dataset profiles
+# ----------------------------------------------------------------------
+def test_all_four_paper_profiles_exist():
+    assert set(DEFAULT_PROFILES) == {"hc2", "hcx", "hc14", "bi"}
+    profiles = all_profiles()
+    assert [profile.name for profile in profiles] == ["hc2", "hcx", "hc14", "bi"]
+
+
+def test_profile_relative_sizes_match_table1_order():
+    profiles = {name: get_profile(name) for name in ("hc2", "hcx", "hc14", "bi")}
+    assert (
+        profiles["hc2"].genome_length
+        < profiles["hcx"].genome_length
+        < profiles["hc14"].genome_length
+        < profiles["bi"].genome_length
+    )
+
+
+def test_profile_reference_availability_matches_paper():
+    assert get_profile("hc2").has_reference
+    assert get_profile("hcx").has_reference
+    assert not get_profile("hc14").has_reference
+    assert not get_profile("bi").has_reference
+
+
+def test_profile_generation_respects_reference_flag():
+    small = get_profile("hc14", scale=0.05)
+    reference, reads = small.generate()
+    assert reference is None
+    assert reads
+    reference2, _ = small.generate_with_reference()
+    assert reference2 is not None
+
+
+def test_profile_scaling():
+    base = get_profile("hc2")
+    scaled = get_profile("hc2", scale=0.5)
+    assert scaled.genome_length == pytest.approx(base.genome_length * 0.5, rel=0.01)
+    with pytest.raises(ValueError):
+        get_profile("hc2", scale=-1)
+    with pytest.raises(KeyError):
+        get_profile("unknown")
+
+
+def test_profile_table1_row():
+    row = get_profile("hc2").table1_row()
+    assert row["paper_reads_millions"] == 4.81
+    assert row["paper_reference_length"] == 48_170_570
+    assert row["scaled_reads"] > 0

@@ -1,0 +1,157 @@
+"""Tests for string-level sequence operations and the alphabet."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dna.alphabet import (
+    complement_base,
+    complement_bits,
+    decode_base,
+    encode_base,
+    is_valid_sequence,
+    validate_sequence,
+)
+from repro.dna.sequence import (
+    canonical,
+    edit_distance,
+    gc_content,
+    hamming_distance,
+    kmerize,
+    overlap_concatenate,
+    reverse_complement,
+    split_on_ambiguous,
+)
+from repro.errors import InvalidNucleotideError
+
+dna = st.text(alphabet="ACGT", min_size=0, max_size=80)
+dna_nonempty = st.text(alphabet="ACGT", min_size=1, max_size=80)
+
+
+# ----------------------------------------------------------------------
+# alphabet
+# ----------------------------------------------------------------------
+def test_complement_pairs():
+    assert complement_base("A") == "T"
+    assert complement_base("T") == "A"
+    assert complement_base("G") == "C"
+    assert complement_base("C") == "G"
+    assert complement_base("N") == "N"
+
+
+def test_complement_rejects_invalid():
+    with pytest.raises(InvalidNucleotideError):
+        complement_base("X")
+
+
+def test_bit_codes_match_paper():
+    assert encode_base("A") == 0b00
+    assert encode_base("C") == 0b01
+    assert encode_base("G") == 0b10
+    assert encode_base("T") == 0b11
+
+
+def test_complement_bits_is_bitwise_not():
+    for base in "ACGT":
+        assert decode_base(complement_bits(encode_base(base))) == complement_base(base)
+
+
+def test_sequence_validation():
+    assert is_valid_sequence("ACGTN")
+    assert not is_valid_sequence("ACGTN", allow_ambiguous=False)
+    assert not is_valid_sequence("ACGU")
+    validate_sequence("ACGT")
+    with pytest.raises(InvalidNucleotideError) as excinfo:
+        validate_sequence("ACXT")
+    assert excinfo.value.position == 2
+
+
+# ----------------------------------------------------------------------
+# reverse complement / canonical
+# ----------------------------------------------------------------------
+def test_reverse_complement_example_from_paper():
+    """Section III: rc of strand 1 "ATTGCAAGTC" is "GACTTGCAAT"."""
+    assert reverse_complement("ATTGCAAGTC") == "GACTTGCAAT"
+
+
+@given(dna)
+def test_property_rc_involution(sequence):
+    assert reverse_complement(reverse_complement(sequence)) == sequence
+
+
+@given(dna_nonempty)
+def test_property_canonical_is_min(sequence):
+    result = canonical(sequence)
+    assert result == min(sequence, reverse_complement(sequence))
+    assert canonical(reverse_complement(sequence)) == result
+
+
+# ----------------------------------------------------------------------
+# misc sequence ops
+# ----------------------------------------------------------------------
+def test_gc_content():
+    assert gc_content("GGCC") == 1.0
+    assert gc_content("AATT") == 0.0
+    assert gc_content("ACGT") == 0.5
+    assert gc_content("") == 0.0
+    assert gc_content("NN") == 0.0
+    assert gc_content("GCNN") == 1.0
+
+
+def test_split_on_ambiguous():
+    assert split_on_ambiguous("ACNNGT") == ["AC", "GT"]
+    assert split_on_ambiguous("NNN") == []
+    assert split_on_ambiguous("ACGT") == ["ACGT"]
+
+
+def test_kmerize():
+    assert list(kmerize("ACGTT", 3)) == ["ACG", "CGT", "GTT"]
+    assert list(kmerize("AC", 3)) == []
+    with pytest.raises(ValueError):
+        list(kmerize("ACGT", 0))
+
+
+def test_overlap_concatenate():
+    assert overlap_concatenate("ACGT", "GTTA", 2) == "ACGTTA"
+    assert overlap_concatenate("ACGT", "TTTT", 0) == "ACGTTTTT"
+    with pytest.raises(ValueError):
+        overlap_concatenate("ACGT", "CCCC", 2)
+    with pytest.raises(ValueError):
+        overlap_concatenate("ACGT", "GT", 3)
+    with pytest.raises(ValueError):
+        overlap_concatenate("ACGT", "GT", -1)
+
+
+def test_hamming_distance():
+    assert hamming_distance("ACGT", "ACGT") == 0
+    assert hamming_distance("ACGT", "ACCT") == 1
+    with pytest.raises(ValueError):
+        hamming_distance("ACGT", "ACG")
+
+
+# ----------------------------------------------------------------------
+# edit distance
+# ----------------------------------------------------------------------
+def test_edit_distance_basic():
+    assert edit_distance("ACGT", "ACGT") == 0
+    assert edit_distance("ACGT", "ACCT") == 1
+    assert edit_distance("ACGT", "ACG") == 1
+    assert edit_distance("", "ACG") == 3
+
+
+def test_edit_distance_upper_bound_short_circuits():
+    assert edit_distance("A" * 50, "T" * 50, upper_bound=5) == 6
+    assert edit_distance("ACGT", "ACGTTTTT", upper_bound=2) == 3
+
+
+@given(dna, dna)
+def test_property_edit_distance_symmetric(a, b):
+    assert edit_distance(a, b) == edit_distance(b, a)
+
+
+@given(dna_nonempty)
+def test_property_edit_distance_single_substitution(sequence):
+    mutated = list(sequence)
+    mutated[0] = {"A": "C", "C": "G", "G": "T", "T": "A"}[mutated[0]]
+    assert edit_distance(sequence, "".join(mutated)) == 1

@@ -1,0 +1,101 @@
+"""Tests for the list-ranking BPPA."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ppa import (
+    ListNode,
+    ranks_from_result,
+    run_list_ranking,
+    sequential_list_ranking,
+)
+
+
+def _chain(num_nodes, value=1.0, shuffle_seed=None, id_offset=1):
+    ids = list(range(id_offset, id_offset + num_nodes))
+    nodes = [
+        ListNode(ids[i], value, ids[i - 1] if i > 0 else None) for i in range(num_nodes)
+    ]
+    if shuffle_seed is not None:
+        random.Random(shuffle_seed).shuffle(nodes)
+    return nodes
+
+
+def test_paper_example_unit_values():
+    """Figure 1: five vertices with value 1 get prefix sums 1..5."""
+    nodes = _chain(5)
+    ranks = ranks_from_result(run_list_ranking(nodes, num_workers=2))
+    assert ranks == {1: 1.0, 2: 2.0, 3: 3.0, 4: 4.0, 5: 5.0}
+
+
+def test_single_node_list():
+    ranks = ranks_from_result(run_list_ranking([ListNode(7, 3.5, None)]))
+    assert ranks == {7: 3.5}
+
+
+def test_matches_sequential_reference_on_random_values():
+    rng = random.Random(3)
+    nodes = [
+        ListNode(i, rng.uniform(-5, 5), i - 1 if i > 1 else None) for i in range(1, 101)
+    ]
+    result = run_list_ranking(nodes, num_workers=4)
+    expected = sequential_list_ranking(nodes)
+    got = ranks_from_result(result)
+    assert got.keys() == expected.keys()
+    for key in expected:
+        assert got[key] == pytest.approx(expected[key])
+
+
+def test_storage_order_does_not_matter():
+    ordered = _chain(64)
+    shuffled = _chain(64, shuffle_seed=9)
+    assert ranks_from_result(run_list_ranking(ordered)) == ranks_from_result(
+        run_list_ranking(shuffled)
+    )
+
+
+def test_logarithmic_superstep_bound():
+    """The BPPA property: O(log n) rounds, two supersteps per round."""
+    for length in (8, 64, 512):
+        nodes = _chain(length)
+        result = run_list_ranking(nodes, num_workers=4)
+        bound = 2 * (math.ceil(math.log2(length)) + 2)
+        assert result.num_supersteps <= bound
+
+
+def test_linear_communication_per_round():
+    nodes = _chain(200)
+    result = run_list_ranking(nodes, num_workers=4)
+    for step in result.metrics.supersteps:
+        # Each vertex sends at most one request or one response per superstep.
+        assert step.messages_sent <= 2 * len(nodes)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    lengths=st.integers(min_value=1, max_value=60),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_prefix_sums_match_reference(lengths, seed):
+    rng = random.Random(seed)
+    nodes = [
+        ListNode(i * 7, rng.randint(0, 9), (i - 1) * 7 if i > 1 else None)
+        for i in range(1, lengths + 1)
+    ]
+    rng.shuffle(nodes)
+    got = ranks_from_result(run_list_ranking(nodes, num_workers=3))
+    assert got == sequential_list_ranking(nodes)
+
+
+def test_multiple_disjoint_lists():
+    first = _chain(10, id_offset=1)
+    second = _chain(7, id_offset=100)
+    nodes = first + second
+    ranks = ranks_from_result(run_list_ranking(nodes, num_workers=4))
+    assert ranks[10] == 10.0
+    assert ranks[106] == 7.0

@@ -1,0 +1,135 @@
+"""Tests for the S-V connected-component PPAs and Hash-Min."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ppa import (
+    GraphInput,
+    components_from_result,
+    hash_min_components,
+    run_hash_min,
+    run_original_sv,
+    run_simplified_sv,
+    sequential_connected_components,
+)
+
+
+def _random_graph(num_vertices, num_edges, seed):
+    rng = random.Random(seed)
+    edges = [
+        (rng.randrange(num_vertices), rng.randrange(num_vertices)) for _ in range(num_edges)
+    ]
+    return GraphInput.from_edges(edges).add_isolated(range(num_vertices))
+
+
+def test_graph_input_from_edges_symmetric():
+    graph = GraphInput.from_edges([(1, 2), (2, 3)])
+    assert set(graph.adjacency[2]) == {1, 3}
+    assert graph.adjacency[1] == [2]
+
+
+def test_graph_input_add_isolated():
+    graph = GraphInput.from_edges([(1, 2)]).add_isolated([5])
+    assert graph.adjacency[5] == []
+
+
+def test_single_vertex_component():
+    graph = GraphInput({42: []})
+    labels = components_from_result(run_simplified_sv(graph))
+    assert labels == {42: 42}
+
+
+def test_two_components():
+    graph = GraphInput.from_edges([(1, 2), (2, 3), (10, 11)])
+    labels = components_from_result(run_simplified_sv(graph))
+    assert labels[1] == labels[2] == labels[3] == 1
+    assert labels[10] == labels[11] == 10
+
+
+def test_path_graph_labels_are_minimum():
+    graph = GraphInput.from_edges([(i, i + 1) for i in range(100)])
+    labels = components_from_result(run_simplified_sv(graph))
+    assert set(labels.values()) == {0}
+
+
+def test_cycle_graph():
+    n = 64
+    graph = GraphInput.from_edges([(i, (i + 1) % n) for i in range(n)])
+    labels = components_from_result(run_simplified_sv(graph))
+    assert set(labels.values()) == {0}
+
+
+def test_star_graph():
+    graph = GraphInput.from_edges([(0, i) for i in range(1, 50)])
+    labels = components_from_result(run_simplified_sv(graph))
+    assert set(labels.values()) == {0}
+
+
+def test_simplified_sv_matches_union_find_on_random_graphs():
+    for seed in range(5):
+        graph = _random_graph(150, 200, seed)
+        labels = components_from_result(run_simplified_sv(graph, num_workers=4))
+        assert labels == sequential_connected_components(graph)
+
+
+def test_original_sv_matches_union_find():
+    graph = _random_graph(120, 150, 7)
+    labels = components_from_result(run_original_sv(graph, num_workers=4))
+    assert labels == sequential_connected_components(graph)
+
+
+def test_original_sv_needs_more_supersteps_than_simplified():
+    """The paper's motivation for the simplification (star hooking is overhead)."""
+    graph = _random_graph(200, 260, 3)
+    simplified = run_simplified_sv(graph, num_workers=4)
+    original = run_original_sv(graph, num_workers=4)
+    assert simplified.num_supersteps < original.num_supersteps
+
+
+def test_simplified_sv_logarithmic_rounds_on_path():
+    n = 512
+    graph = GraphInput.from_edges([(i, i + 1) for i in range(n - 1)])
+    result = run_simplified_sv(graph, num_workers=4)
+    # 4 supersteps per round, O(log n) rounds plus slack for the final
+    # quiet round.
+    assert result.num_supersteps <= 4 * (math.ceil(math.log2(n)) + 4)
+
+
+def test_hash_min_matches_union_find():
+    graph = _random_graph(100, 140, 11)
+    labels = hash_min_components(run_hash_min(graph, num_workers=4))
+    assert labels == sequential_connected_components(graph)
+
+
+def test_hash_min_needs_diameter_rounds_on_path():
+    """Hash-Min is O(diameter): far more supersteps than S-V on a long path."""
+    n = 200
+    graph = GraphInput.from_edges([(i, i + 1) for i in range(n - 1)])
+    hash_min_result = run_hash_min(graph, num_workers=4)
+    sv_result = run_simplified_sv(graph, num_workers=4)
+    assert hash_min_result.num_supersteps > sv_result.num_supersteps
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    num_vertices=st.integers(min_value=1, max_value=60),
+    density=st.floats(min_value=0.0, max_value=2.0),
+    seed=st.integers(min_value=0, max_value=1_000),
+)
+def test_property_sv_equals_union_find(num_vertices, density, seed):
+    graph = _random_graph(num_vertices, int(num_vertices * density), seed)
+    labels = components_from_result(run_simplified_sv(graph, num_workers=3))
+    assert labels == sequential_connected_components(graph)
+
+
+def test_component_labels_are_member_ids():
+    graph = _random_graph(80, 100, 23)
+    labels = components_from_result(run_simplified_sv(graph))
+    for vertex, label in labels.items():
+        assert label in graph.adjacency
+        assert label <= vertex

@@ -1,0 +1,105 @@
+"""Tests for message routing, combiners and hash partitioning."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pregel.message import Combiner, MessageRouter, min_combiner, sum_combiner
+from repro.pregel.partitioner import HashPartitioner
+
+
+# ----------------------------------------------------------------------
+# partitioner
+# ----------------------------------------------------------------------
+def test_partitioner_rejects_non_positive_workers():
+    with pytest.raises(ValueError):
+        HashPartitioner(0)
+
+
+def test_partitioner_is_deterministic():
+    partitioner = HashPartitioner(8)
+    assert all(partitioner.worker_for(i) == partitioner.worker_for(i) for i in range(1000))
+
+
+@given(st.integers(min_value=0, max_value=2**64 - 1), st.integers(min_value=1, max_value=64))
+def test_partitioner_in_range(key, workers):
+    partitioner = HashPartitioner(workers)
+    assert 0 <= partitioner.worker_for(key) < workers
+
+
+def test_partitioner_balances_sequential_ids():
+    partitioner = HashPartitioner(8)
+    counts = [0] * 8
+    for key in range(10_000):
+        counts[partitioner.worker_for(key)] += 1
+    assert max(counts) < 2 * min(counts)
+
+
+def test_partitioner_handles_non_integer_keys():
+    partitioner = HashPartitioner(4)
+    assert 0 <= partitioner.worker_for(("a", 1)) < 4
+    assert 0 <= partitioner.worker_for("string-key") < 4
+
+
+# ----------------------------------------------------------------------
+# combiners
+# ----------------------------------------------------------------------
+def test_min_combiner():
+    combiner = min_combiner()
+    assert combiner.combine(3, 5) == 3
+
+
+def test_sum_combiner():
+    combiner = sum_combiner()
+    assert combiner.combine(3, 5) == 8
+
+
+def test_custom_combiner():
+    combiner = Combiner(lambda a, b: a + "," + b)
+    assert combiner.combine("x", "y") == "x,y"
+
+
+# ----------------------------------------------------------------------
+# router
+# ----------------------------------------------------------------------
+def test_router_counts_raw_messages():
+    router = MessageRouter(HashPartitioner(4))
+    router.post([(1, "a"), (2, "b"), (1, "c")])
+    assert router.raw_message_count == 3
+    assert router.raw_byte_count > 0
+    assert router.has_pending()
+
+
+def test_router_delivery_groups_by_vertex():
+    router = MessageRouter(HashPartitioner(1))
+    router.post([(1, "a"), (2, "b"), (1, "c")])
+    inboxes = router.deliver()
+    assert sorted(inboxes[0][1]) == ["a", "c"]
+    assert inboxes[0][2] == ["b"]
+    assert not router.has_pending()
+
+
+def test_router_with_combiner_collapses_per_vertex():
+    router = MessageRouter(HashPartitioner(1), combiner=min_combiner())
+    router.post([(7, 5), (7, 3), (7, 9)])
+    inboxes = router.deliver()
+    assert inboxes[0][7] == [3]
+
+
+def test_router_per_worker_accounting():
+    partitioner = HashPartitioner(4)
+    router = MessageRouter(partitioner)
+    router.post([(i, "payload") for i in range(100)])
+    total = sum(router.messages_to_worker(worker) for worker in range(4))
+    assert total == 100
+    total_bytes = sum(router.bytes_to_worker(worker) for worker in range(4))
+    assert total_bytes == 100 * len("payload")
+
+
+def test_router_reset_counters():
+    router = MessageRouter(HashPartitioner(2))
+    router.post([(1, "a")])
+    router.reset_counters()
+    assert router.raw_message_count == 0
+    assert router.raw_byte_count == 0

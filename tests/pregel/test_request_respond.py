@@ -1,0 +1,67 @@
+"""Tests for the request-respond idiom."""
+
+from __future__ import annotations
+
+from repro.pregel import (
+    PregelEngine,
+    PregelJob,
+    Request,
+    RequestRespondMixin,
+    Response,
+    Vertex,
+    split_responses,
+)
+
+
+class StateVertex(RequestRespondMixin, Vertex):
+    """Answers requests with its own value; requesters record the answer."""
+
+    def request_payload(self, tag):
+        return self.value
+
+    def compute(self, messages, ctx):
+        remaining = self.respond_to_requests(messages, ctx)
+        responses, _ = split_responses(remaining)
+        for response in responses:
+            self.value = ("got", response.responder, response.payload)
+        if ctx.superstep == 0 and self.vertex_id == 1:
+            self.send_request(ctx, 2)
+            return
+        self.vote_to_halt()
+
+
+def test_request_gets_answered_in_two_supersteps():
+    vertices = [StateVertex(1, value="asker"), StateVertex(2, value="target-state")]
+    result = PregelEngine(num_workers=2).run(PregelJob(name="rr", vertices=vertices))
+    assert result.vertices[1].value == ("got", 2, "target-state")
+    assert result.num_supersteps == 3
+
+
+def test_duplicate_requests_answered_once():
+    class DoubleAsker(StateVertex):
+        def compute(self, messages, ctx):
+            remaining = self.respond_to_requests(messages, ctx)
+            responses, _ = split_responses(remaining)
+            if responses:
+                self.value = len(responses)
+            if ctx.superstep == 0 and self.vertex_id == 1:
+                self.send_request(ctx, 2)
+                self.send_request(ctx, 2)
+                return
+            self.vote_to_halt()
+
+    vertices = [DoubleAsker(1, value=0), DoubleAsker(2, value="state")]
+    result = PregelEngine(num_workers=1).run(PregelJob(name="dup", vertices=vertices))
+    assert result.vertices[1].value == 1
+
+
+def test_split_responses_separates_message_kinds():
+    messages = [Response(responder=1, payload="x"), "other", Request(requester=2)]
+    responses, others = split_responses(messages)
+    assert len(responses) == 1 and responses[0].payload == "x"
+    assert others == ["other", Request(requester=2)]
+
+
+def test_message_sizes_reported():
+    assert Request(requester=1).message_size() > 0
+    assert Response(responder=1, payload="abcdef").message_size() > Request(requester=1).message_size()

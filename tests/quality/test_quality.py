@@ -1,0 +1,179 @@
+"""Tests for the QUAST-style quality assessment."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dna.sequence import reverse_complement
+from repro.dna.simulator import generate_genome
+from repro.errors import AlignmentError
+from repro.quality import (
+    ReferenceAligner,
+    compare_assemblies,
+    contig_statistics,
+    evaluate_assembly,
+    l50_value,
+    n50_value,
+    nx_value,
+)
+
+
+# ----------------------------------------------------------------------
+# reference-free statistics
+# ----------------------------------------------------------------------
+def test_n50_basic():
+    # total 100; half is 50; cumulative 40, 70 -> the 30-length contig.
+    assert n50_value([40, 30, 20, 10]) == 30
+    assert n50_value([100]) == 100
+    assert n50_value([]) == 0
+    assert n50_value([1, 1, 1, 1]) == 1
+
+
+def test_l50_basic():
+    assert l50_value([40, 30, 20, 10]) == 2
+    assert l50_value([100]) == 1
+    assert l50_value([]) == 0
+
+
+def test_nx_value():
+    lengths = [50, 30, 20]
+    assert nx_value(lengths, 0.5) == n50_value(lengths)
+    assert nx_value(lengths, 0.9) == 20
+    with pytest.raises(ValueError):
+        nx_value(lengths, 0.0)
+
+
+@given(st.lists(st.integers(min_value=1, max_value=10_000), min_size=1, max_size=50))
+def test_property_n50_is_an_existing_length_and_at_least_median_weighted(lengths):
+    value = n50_value(lengths)
+    assert value in lengths
+    # At least half of the total length lies in contigs >= N50.
+    total = sum(lengths)
+    assert sum(length for length in lengths if length >= value) * 2 >= total
+
+
+def test_contig_statistics_respects_min_length():
+    contigs = ["A" * 600, "C" * 400, "G" * 700]
+    stats = contig_statistics(contigs, min_contig_length=500)
+    assert stats.num_contigs == 2
+    assert stats.total_length == 1300
+    assert stats.largest_contig == 700
+    assert stats.min_contig_length == 500
+
+
+def test_contig_statistics_gc_percent():
+    stats = contig_statistics(["GGCC", "AATT"], min_contig_length=1)
+    assert stats.gc_percent == pytest.approx(50.0)
+
+
+def test_contig_statistics_empty():
+    stats = contig_statistics([], min_contig_length=500)
+    assert stats.num_contigs == 0 and stats.n50 == 0 and stats.gc_percent == 0.0
+
+
+# ----------------------------------------------------------------------
+# aligner
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def reference():
+    return generate_genome(6_000, repeat_fraction=0.0, seed=77)
+
+
+def test_exact_substring_aligns_fully(reference):
+    aligner = ReferenceAligner(reference, anchor_k=21)
+    contig = reference[1000:2500]
+    alignment = aligner.align_contig(contig)
+    assert not alignment.is_misassembled
+    assert alignment.aligned_length >= 0.95 * len(contig)
+    assert alignment.mismatches == 0
+    assert alignment.unaligned_length <= 0.05 * len(contig)
+
+
+def test_reverse_complement_contig_aligns(reference):
+    aligner = ReferenceAligner(reference, anchor_k=21)
+    contig = reverse_complement(reference[2000:3000])
+    alignment = aligner.align_contig(contig)
+    assert alignment.aligned_length >= 0.9 * len(contig)
+    assert all(block.is_reverse for block in alignment.blocks)
+
+
+def test_contig_with_mismatches_counts_them(reference):
+    aligner = ReferenceAligner(reference, anchor_k=21)
+    contig = list(reference[500:1500])
+    for position in (200, 600):
+        contig[position] = {"A": "C", "C": "G", "G": "T", "T": "A"}[contig[position]]
+    alignment = aligner.align_contig("".join(contig))
+    assert not alignment.is_misassembled
+    assert alignment.mismatches >= 2
+
+
+def test_random_sequence_does_not_align(reference):
+    aligner = ReferenceAligner(reference, anchor_k=21)
+    foreign = generate_genome(800, seed=123456)
+    alignment = aligner.align_contig(foreign)
+    assert alignment.aligned_length < 100
+    assert alignment.unaligned_length > 700
+
+
+def test_chimeric_contig_flagged_as_misassembled(reference):
+    aligner = ReferenceAligner(reference, anchor_k=21)
+    chimera = reference[100:900] + reference[4000:4800]
+    alignment = aligner.align_contig(chimera)
+    assert alignment.is_misassembled
+
+
+def test_short_contig_unaligned(reference):
+    aligner = ReferenceAligner(reference, anchor_k=21)
+    alignment = aligner.align_contig("ACGT")
+    assert alignment.unaligned_length == 4
+    assert alignment.blocks == []
+
+
+def test_aligner_rejects_short_reference():
+    with pytest.raises(AlignmentError):
+        ReferenceAligner("ACGT", anchor_k=21)
+
+
+# ----------------------------------------------------------------------
+# combined report
+# ----------------------------------------------------------------------
+def test_evaluate_assembly_without_reference(reference):
+    contigs = [reference[:1000], reference[2000:2700]]
+    report = evaluate_assembly(contigs, assembler="test", min_contig_length=500)
+    assert report.num_contigs == 2
+    assert report.misassemblies is None
+    assert "misassemblies" not in report.as_dict()
+
+
+def test_evaluate_assembly_with_reference(reference):
+    contigs = [reference[:2000], reference[2500:4500], reference[5000:5800]]
+    report = evaluate_assembly(
+        contigs, reference=reference, assembler="perfect", min_contig_length=100
+    )
+    assert report.misassemblies == 0
+    assert report.genome_fraction > 75.0
+    assert report.mismatches_per_100kbp == pytest.approx(0.0)
+    assert report.largest_alignment >= 1900
+    row = report.as_dict()
+    assert row["assembler"] == "perfect"
+    assert "genome_fraction" in row
+
+
+def test_evaluate_assembly_detects_chimeras(reference):
+    chimera = reference[100:900] + reference[4000:4800]
+    report = evaluate_assembly(
+        [chimera], reference=reference, assembler="chimeric", min_contig_length=100
+    )
+    assert report.misassemblies == 1
+    assert report.misassembled_length == len(chimera)
+
+
+def test_compare_assemblies_returns_one_report_per_assembler(reference):
+    reports = compare_assemblies(
+        {"good": [reference[:3000]], "empty": []},
+        reference=reference,
+        min_contig_length=100,
+    )
+    assert [report.assembler for report in reports] == ["good", "empty"]
+    assert reports[1].num_contigs == 0

@@ -1,0 +1,91 @@
+"""Tests for the benchmark harness helpers and table formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    BENCH_K,
+    FIGURE12_WORKERS,
+    bench_cluster_profile,
+    bench_scale,
+    format_comparison,
+    format_scaling_series,
+    format_table,
+    ppa_config,
+    prepare_dataset,
+)
+
+
+def test_bench_constants_match_paper_setup():
+    assert BENCH_K % 2 == 1
+    assert FIGURE12_WORKERS == (16, 32, 48, 64)
+
+
+def test_bench_scale_env_override(monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+    assert bench_scale(0.3) == 0.3
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "0.5")
+    assert bench_scale() == 0.5
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "not-a-number")
+    assert bench_scale(0.25) == 0.25
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "-1")
+    assert bench_scale(0.25) == 0.25
+
+
+def test_bench_cluster_profile_is_consistent():
+    profile = bench_cluster_profile()
+    assert profile.seconds_per_compute_op > 0
+    assert profile.seconds_per_byte > 0
+    assert profile.job_overhead_seconds > 0
+
+
+def test_prepare_dataset_caching_returns_same_object():
+    first = prepare_dataset("hc2", scale=0.05)
+    second = prepare_dataset("hc2", scale=0.05)
+    assert first is second
+    assert first.name == "hc2"
+
+
+def test_ppa_config_factory():
+    config = ppa_config(num_workers=32, labeling_method="sv")
+    assert config.num_workers == 32
+    assert config.labeling_method == "sv"
+    assert config.k == BENCH_K
+
+
+def test_format_table_alignment_and_title():
+    table = format_table(["Name", "Value"], [["a", 1], ["bbbb", 22]], title="T")
+    lines = table.splitlines()
+    assert lines[0] == "T"
+    assert "Name" in lines[1] and "Value" in lines[1]
+    assert len(lines) == 5
+    # Columns are aligned: header and data rows have the separator at the
+    # same position (the divider line uses "-+-" instead).
+    positions = {line.index("|") for line in (lines[1], lines[3], lines[4])}
+    assert len(positions) == 1
+    assert "-+-" in lines[2]
+
+
+def test_format_comparison_metric_rows():
+    rendered = format_comparison(
+        ["n50", "missing"],
+        {"PPA": {"n50": 100}, "ABySS": {"n50": 50}},
+        title="Quality",
+    )
+    assert "n50" in rendered
+    assert "-" in rendered  # missing metric filled with a dash
+    assert rendered.index("PPA") < rendered.index("ABySS")
+
+
+def test_format_scaling_series_rows_are_worker_counts():
+    rendered = format_scaling_series(
+        {"PPA": {16: 1.0, 64: 0.5}, "Ray": {16: 10.0, 64: 8.0}},
+        title="Scaling",
+        unit="s",
+    )
+    lines = rendered.splitlines()
+    assert lines[0] == "Scaling"
+    assert any(line.startswith("16") for line in lines)
+    assert any(line.startswith("64") for line in lines)
+    assert "10.0s" in rendered

@@ -1,0 +1,93 @@
+"""Tests for the exception hierarchy and the AssemblyResult helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ReproError
+from repro.errors import (
+    AggregatorError,
+    AlignmentError,
+    AssemblyError,
+    DnaError,
+    FastqFormatError,
+    GraphFormatError,
+    InvalidJobError,
+    InvalidKmerError,
+    InvalidNucleotideError,
+    PipelineConfigError,
+    PregelError,
+    QualityError,
+    SuperstepLimitExceededError,
+    VertexNotFoundError,
+)
+
+
+def test_every_exception_derives_from_repro_error():
+    for exception_class in (
+        PregelError,
+        VertexNotFoundError,
+        InvalidJobError,
+        SuperstepLimitExceededError,
+        AggregatorError,
+        DnaError,
+        InvalidNucleotideError,
+        InvalidKmerError,
+        FastqFormatError,
+        AssemblyError,
+        GraphFormatError,
+        PipelineConfigError,
+        QualityError,
+        AlignmentError,
+    ):
+        assert issubclass(exception_class, ReproError)
+
+
+def test_subsystem_grouping():
+    assert issubclass(VertexNotFoundError, PregelError)
+    assert issubclass(SuperstepLimitExceededError, PregelError)
+    assert issubclass(InvalidNucleotideError, DnaError)
+    assert issubclass(FastqFormatError, DnaError)
+    assert issubclass(GraphFormatError, AssemblyError)
+    assert issubclass(PipelineConfigError, AssemblyError)
+    assert issubclass(AlignmentError, QualityError)
+
+
+def test_error_payloads():
+    vertex_error = VertexNotFoundError(42)
+    assert vertex_error.vertex_id == 42
+    assert "42" in str(vertex_error)
+
+    limit_error = SuperstepLimitExceededError(100)
+    assert limit_error.limit == 100
+
+    nucleotide_error = InvalidNucleotideError("X", position=7)
+    assert nucleotide_error.character == "X"
+    assert "position 7" in str(nucleotide_error)
+
+    fastq_error = FastqFormatError("bad record", line_number=12)
+    assert fastq_error.line_number == 12
+    assert "line 12" in str(fastq_error)
+
+
+def test_catching_base_class_at_api_boundary():
+    from repro.assembler import AssemblyConfig
+
+    with pytest.raises(ReproError):
+        AssemblyConfig(k=2)  # even k -> PipelineConfigError -> ReproError
+
+
+def test_assembly_result_contig_ordering_and_counts(clean_dataset, small_config):
+    from repro.assembler import PPAAssembler
+
+    _genome, reads = clean_dataset
+    result = PPAAssembler(small_config).assemble(reads)
+    contigs = result.contigs
+    assert contigs == sorted(contigs, key=len, reverse=True)
+    assert result.num_contigs() == len(contigs)
+    assert result.largest_contig() == (len(contigs[0]) if contigs else 0)
+    # contigs_longer_than is consistent with num_contigs/total_length.
+    threshold = result.largest_contig() // 2 + 1
+    subset = result.contigs_longer_than(threshold)
+    assert result.num_contigs(threshold) == len(subset)
+    assert result.total_length(threshold) == sum(len(contig) for contig in subset)
