@@ -31,7 +31,7 @@ Quickstart::
 from .assembler import AssemblyConfig, AssemblyResult, PPAAssembler, assemble_reads
 from .errors import ReproError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AssemblyConfig",

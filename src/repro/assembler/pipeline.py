@@ -34,7 +34,7 @@ class PPAAssembler:
     def assemble(self, reads: Iterable[Read]) -> AssemblyResult:
         """Assemble ``reads`` into contigs using workflow ①②③④⑤(⑥②③)*."""
         config = self.config
-        job_chain = JobChain(num_workers=config.num_workers)
+        job_chain = JobChain(num_workers=config.num_workers, backend=config.backend)
         allocator = ContigIdAllocator()
 
         result = AssemblyResult(

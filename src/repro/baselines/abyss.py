@@ -47,8 +47,9 @@ class AbyssLikeAssembler(BaselineAssembler):
         num_workers: int = 4,
         coverage_threshold: int = 1,
         tip_length_threshold: int = 80,
+        backend: str = "serial",
     ) -> None:
-        super().__init__(k=k, num_workers=num_workers)
+        super().__init__(k=k, num_workers=num_workers, backend=backend)
         self.coverage_threshold = coverage_threshold
         self.tip_length_threshold = tip_length_threshold
 

@@ -61,18 +61,30 @@ class BaselineResult:
 
 
 class BaselineAssembler(ABC):
-    """Interface shared by the baseline assemblers."""
+    """Interface shared by the baseline assemblers.
+
+    ``backend`` selects the execution runtime, mirroring
+    :class:`~repro.assembler.config.AssemblyConfig` so that every
+    workload in a benchmark run — PPA-assembler and baselines alike —
+    can be driven with the same backend choice.  The baseline
+    strategies price their communication through per-tool cost
+    formulas, so the backend only affects any Pregel machinery a
+    strategy chooses to run, not its contigs.
+    """
 
     #: Human-readable tool name, as used in the paper's tables.
     name: str = "baseline"
 
-    def __init__(self, k: int = 21, num_workers: int = 4) -> None:
+    def __init__(self, k: int = 21, num_workers: int = 4, backend: str = "serial") -> None:
         if k < 1:
             raise ValueError(f"k must be positive, got {k}")
         if num_workers < 1:
             raise ValueError(f"num_workers must be positive, got {num_workers}")
+        from ..runtime import ensure_backend
+
         self.k = k
         self.num_workers = num_workers
+        self.backend = ensure_backend(backend)
 
     @abstractmethod
     def assemble(self, reads: Iterable[Read]) -> BaselineResult:

@@ -45,8 +45,9 @@ class RayLikeAssembler(BaselineAssembler):
         num_workers: int = 4,
         coverage_threshold: int = 1,
         extension_dominance: float = 0.85,
+        backend: str = "serial",
     ) -> None:
-        super().__init__(k=k, num_workers=num_workers)
+        super().__init__(k=k, num_workers=num_workers, backend=backend)
         self.coverage_threshold = coverage_threshold
         #: Fraction of the outgoing support a single base must hold for
         #: the extension to continue — Ray's "unanimity" rule.

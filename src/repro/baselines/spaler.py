@@ -42,8 +42,9 @@ class SpalerLikeAssembler(BaselineAssembler):
         coverage_threshold: int = 1,
         sample_fraction: float = 0.25,
         seed: int = 0,
+        backend: str = "serial",
     ) -> None:
-        super().__init__(k=k, num_workers=num_workers)
+        super().__init__(k=k, num_workers=num_workers, backend=backend)
         self.coverage_threshold = coverage_threshold
         self.sample_fraction = sample_fraction
         self.seed = seed

@@ -49,8 +49,9 @@ class SwapLikeAssembler(BaselineAssembler):
         coverage_threshold: int = 1,
         resolve_junctions: bool = False,
         junction_coverage_ratio: float = 0.5,
+        backend: str = "serial",
     ) -> None:
-        super().__init__(k=k, num_workers=num_workers)
+        super().__init__(k=k, num_workers=num_workers, backend=backend)
         #: SWAP filters singleton (k+1)-mers while counting, but performs
         #: no tip or bubble correction afterwards.
         self.coverage_threshold = coverage_threshold

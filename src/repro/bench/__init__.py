@@ -12,6 +12,7 @@ from .harness import (
     prepare_dataset,
     run_baselines,
     run_ppa,
+    run_ppa_timed,
 )
 from .reporting import format_comparison, format_scaling_series, format_table
 
@@ -27,6 +28,7 @@ __all__ = [
     "prepare_dataset",
     "run_baselines",
     "run_ppa",
+    "run_ppa_timed",
     "format_comparison",
     "format_scaling_series",
     "format_table",

@@ -15,6 +15,7 @@ the full scaled profiles described in DESIGN.md.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
@@ -99,7 +100,11 @@ def prepare_dataset(name: str, scale: Optional[float] = None) -> PreparedDataset
     return _prepare_cached(name, bench_scale() if scale is None else scale)
 
 
-def ppa_config(num_workers: int = 16, labeling_method: str = "list_ranking") -> AssemblyConfig:
+def ppa_config(
+    num_workers: int = 16,
+    labeling_method: str = "list_ranking",
+    backend: str = "serial",
+) -> AssemblyConfig:
     """The PPA-assembler configuration used by every benchmark."""
     return AssemblyConfig(
         k=BENCH_K,
@@ -108,23 +113,50 @@ def ppa_config(num_workers: int = 16, labeling_method: str = "list_ranking") -> 
         bubble_edit_distance=5,
         labeling_method=labeling_method,
         num_workers=num_workers,
+        backend=backend,
     )
 
 
-def run_ppa(dataset: PreparedDataset, num_workers: int = 16, labeling_method: str = "list_ranking") -> AssemblyResult:
+def run_ppa(
+    dataset: PreparedDataset,
+    num_workers: int = 16,
+    labeling_method: str = "list_ranking",
+    backend: str = "serial",
+) -> AssemblyResult:
     """Run PPA-assembler over a prepared dataset."""
-    return PPAAssembler(ppa_config(num_workers, labeling_method)).assemble(dataset.reads)
+    return PPAAssembler(ppa_config(num_workers, labeling_method, backend)).assemble(
+        dataset.reads
+    )
+
+
+def run_ppa_timed(
+    dataset: PreparedDataset,
+    num_workers: int = 16,
+    labeling_method: str = "list_ranking",
+    backend: str = "serial",
+) -> Tuple[AssemblyResult, float]:
+    """Run PPA-assembler and measure real wall-clock seconds.
+
+    The cost model estimates what a *simulated* cluster would take;
+    this measures what the chosen execution backend actually took on
+    the current host, so backends can be compared side by side
+    (``benchmarks/bench_backend_speedup.py``).
+    """
+    started = time.perf_counter()
+    result = run_ppa(dataset, num_workers, labeling_method, backend)
+    return result, time.perf_counter() - started
 
 
 def run_baselines(
     dataset: PreparedDataset,
     num_workers: int = 16,
+    backend: str = "serial",
 ) -> Dict[str, BaselineResult]:
     """Run the three baselines the paper compares against (Figure 12, Tables IV/V)."""
     baselines = {
-        "ABySS": AbyssLikeAssembler(k=BENCH_K, num_workers=num_workers),
-        "Ray": RayLikeAssembler(k=BENCH_K, num_workers=num_workers),
-        "SWAP-Assembler": SwapLikeAssembler(k=BENCH_K, num_workers=num_workers),
+        "ABySS": AbyssLikeAssembler(k=BENCH_K, num_workers=num_workers, backend=backend),
+        "Ray": RayLikeAssembler(k=BENCH_K, num_workers=num_workers, backend=backend),
+        "SWAP-Assembler": SwapLikeAssembler(k=BENCH_K, num_workers=num_workers, backend=backend),
     }
     return {name: assembler.assemble(dataset.reads) for name, assembler in baselines.items()}
 

@@ -1,0 +1,175 @@
+"""``repro-assemble``: command-line front end for the PPA-assembler.
+
+Three input modes, mirroring how the library is exercised elsewhere:
+
+* ``--dataset NAME`` materialises one of the paper's Table I dataset
+  profiles (scaled via ``--scale``);
+* ``--fastq PATH`` assembles reads from a FASTQ file;
+* ``--simulate LENGTH`` generates a random genome of the given length
+  and simulates reads from it (quickstart mode, no input files needed).
+
+The assembly runs on the execution backend chosen with ``--backend``
+(serial simulation by default, ``multiprocess`` for real parallelism)
+and prints a compact report: per-stage summaries, contig statistics and
+wall-clock / simulated-cluster seconds.  ``--output`` additionally
+writes the contigs as FASTA.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .assembler import AssemblyConfig, PPAAssembler
+from .assembler.config import LABELING_LIST_RANKING, LABELING_SIMPLIFIED_SV
+from .dna.datasets import get_profile
+from .dna.io_fastq import parse_fastq
+from .dna.simulator import simulate_dataset
+from .errors import ReproError
+from .quality.stats import n50_value
+from .runtime import available_backends
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-assemble",
+        description="De novo genome assembly with the PPA-assembler reproduction.",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--dataset",
+        metavar="NAME",
+        help="Table I dataset profile to simulate (e.g. hc2, hcx, hc14, bi)",
+    )
+    source.add_argument(
+        "--fastq",
+        metavar="PATH",
+        help="assemble reads from a FASTQ file",
+    )
+    source.add_argument(
+        "--simulate",
+        metavar="LENGTH",
+        type=int,
+        help="simulate reads from a random genome of this length",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.25,
+        help="genome-length multiplier for --dataset profiles (default 0.25)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="random seed for --simulate (default 0)"
+    )
+    parser.add_argument("-k", type=int, default=21, help="k-mer size (odd, default 21)")
+    parser.add_argument(
+        "--coverage-threshold",
+        type=int,
+        default=1,
+        help="drop (k+1)-mers observed at most this many times (default 1)",
+    )
+    parser.add_argument(
+        "--labeling",
+        choices=[LABELING_LIST_RANKING, LABELING_SIMPLIFIED_SV],
+        default=LABELING_LIST_RANKING,
+        help="contig-labeling method (default list_ranking)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default="serial",
+        help="execution backend for the Pregel stages (default serial)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="number of Pregel workers (default 4)"
+    )
+    parser.add_argument(
+        "--min-contig",
+        type=int,
+        default=0,
+        help="only count/report contigs at least this long (default 0)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FASTA",
+        help="write the assembled contigs to this FASTA file",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="print only the final statistics line"
+    )
+    return parser
+
+
+def _load_reads(args: argparse.Namespace):
+    if args.dataset is not None:
+        profile = get_profile(args.dataset, scale=args.scale)
+        _reference, reads = profile.generate()
+        return reads, f"dataset {profile.name} (scale {args.scale})"
+    if args.fastq is not None:
+        reads = list(parse_fastq(args.fastq))
+        return reads, f"fastq {args.fastq}"
+    _genome, reads = simulate_dataset(genome_length=args.simulate, seed=args.seed)
+    return reads, f"simulated genome of {args.simulate} bp (seed {args.seed})"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    try:
+        config = AssemblyConfig(
+            k=args.k,
+            coverage_threshold=args.coverage_threshold,
+            labeling_method=args.labeling,
+            num_workers=args.workers,
+            backend=args.backend,
+        )
+    except ReproError as exc:
+        parser.error(str(exc))
+
+    try:
+        reads, source = _load_reads(args)
+    except (OSError, ValueError, ReproError) as exc:
+        print(f"repro-assemble: failed to load reads: {exc}", file=sys.stderr)
+        return 1
+
+    if not args.quiet:
+        print(f"assembling {len(reads)} reads from {source}")
+        print(
+            f"  k={config.k} workers={config.num_workers} "
+            f"backend={config.backend} labeling={config.labeling_method}"
+        )
+
+    started = time.perf_counter()
+    try:
+        result = PPAAssembler(config).assemble(reads)
+    except ReproError as exc:
+        print(f"repro-assemble: assembly failed: {exc}", file=sys.stderr)
+        return 1
+    wall_seconds = time.perf_counter() - started
+
+    if not args.quiet:
+        for stage in result.stages:
+            detail = " ".join(f"{key}={value}" for key, value in stage.detail.items())
+            print(f"  [{stage.name}] {detail}")
+
+    contigs = result.contigs_longer_than(args.min_contig)
+    lengths = [len(contig) for contig in contigs]
+    print(
+        f"contigs={len(contigs)} total_bp={sum(lengths)} "
+        f"largest={max(lengths, default=0)} n50={n50_value(lengths)} "
+        f"wall_seconds={wall_seconds:.2f} "
+        f"simulated_seconds={result.estimated_seconds():.2f}"
+    )
+
+    if args.output:
+        written = result.write_fasta(args.output)
+        if not args.quiet:
+            print(f"wrote {written} contigs to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - python -m repro.cli
+    sys.exit(main())

@@ -24,6 +24,12 @@ class VertexNotFoundError(PregelError):
         super().__init__(f"vertex {vertex_id!r} does not exist in the graph")
         self.vertex_id = vertex_id
 
+    def __reduce__(self):
+        # Custom-constructor exceptions need an explicit reduce to
+        # survive the pickle round-trip between backend worker
+        # processes and the master.
+        return (VertexNotFoundError, (self.vertex_id,))
+
 
 class InvalidJobError(PregelError):
     """A job definition is inconsistent (e.g. no input, bad chaining)."""
@@ -41,9 +47,30 @@ class SuperstepLimitExceededError(PregelError):
         super().__init__(f"job did not terminate within {limit} supersteps")
         self.limit = limit
 
+    def __reduce__(self):
+        return (SuperstepLimitExceededError, (self.limit,))
+
 
 class AggregatorError(PregelError):
     """An aggregator was used inconsistently (unknown name, bad type)."""
+
+
+class UnknownBackendError(PregelError):
+    """An execution-backend name did not match any registered backend."""
+
+    def __init__(self, name: str, available: "list[str]") -> None:
+        super().__init__(
+            f"unknown execution backend {name!r}; available: {', '.join(available)}"
+        )
+        self.name = name
+        self.available = list(available)
+
+    def __reduce__(self):
+        return (UnknownBackendError, (self.name, self.available))
+
+
+class BackendExecutionError(PregelError):
+    """A worker process of a distributed backend failed irrecoverably."""
 
 
 class DnaError(ReproError):
@@ -59,6 +86,9 @@ class InvalidNucleotideError(DnaError):
         self.character = character
         self.position = position
 
+    def __reduce__(self):
+        return (InvalidNucleotideError, (self.character, self.position))
+
 
 class InvalidKmerError(DnaError):
     """A k-mer had an unsupported length or contained invalid characters."""
@@ -70,7 +100,11 @@ class FastqFormatError(DnaError):
     def __init__(self, message: str, line_number: int | None = None) -> None:
         location = "" if line_number is None else f" (line {line_number})"
         super().__init__(f"{message}{location}")
+        self.message = message
         self.line_number = line_number
+
+    def __reduce__(self):
+        return (FastqFormatError, (self.message, self.line_number))
 
 
 class AssemblyError(ReproError):

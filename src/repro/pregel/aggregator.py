@@ -65,35 +65,76 @@ class Aggregator:
         """Create an identical but empty aggregator (for per-worker partials)."""
         return Aggregator(self.name, self._initial, self._combine)
 
+    def dump_state(self) -> tuple:
+        """``(value, touched)`` pair describing the running partial.
+
+        The pair contains only plain data, so distributed backends can
+        ship per-worker partials between processes without having to
+        pickle the combine callable (which may be a lambda).
+        """
+        return (self._value, self._touched)
+
+    def load_state(self, value: Any, touched: bool) -> None:
+        """Restore a partial previously captured with :meth:`dump_state`."""
+        self._value = value
+        self._touched = touched
+
+
+# The built-in combine functions are module-level (not lambdas) so that
+# aggregators remain picklable — required by multiprocess execution
+# backends under the ``spawn`` start method.
+def _combine_sum(accumulated: Any, value: Any) -> Any:
+    return accumulated + value
+
+
+def _combine_max(accumulated: Any, value: Any) -> Any:
+    return value if accumulated is None else max(accumulated, value)
+
+
+def _combine_min(accumulated: Any, value: Any) -> Any:
+    return value if accumulated is None else min(accumulated, value)
+
+
+def _combine_or(accumulated: Any, value: Any) -> bool:
+    return bool(accumulated) or bool(value)
+
+
+def _combine_and(accumulated: Any, value: Any) -> bool:
+    return bool(accumulated) and bool(value)
+
+
+def _combine_count(accumulated: Any, _value: Any) -> int:
+    return accumulated + 1
+
 
 def sum_aggregator(name: str) -> Aggregator:
     """Aggregator summing integer/float contributions."""
-    return Aggregator(name, 0, lambda accumulated, value: accumulated + value)
+    return Aggregator(name, 0, _combine_sum)
 
 
 def max_aggregator(name: str) -> Aggregator:
     """Aggregator keeping the maximum contribution."""
-    return Aggregator(name, None, lambda accumulated, value: value if accumulated is None else max(accumulated, value))
+    return Aggregator(name, None, _combine_max)
 
 
 def min_aggregator(name: str) -> Aggregator:
     """Aggregator keeping the minimum contribution."""
-    return Aggregator(name, None, lambda accumulated, value: value if accumulated is None else min(accumulated, value))
+    return Aggregator(name, None, _combine_min)
 
 
 def or_aggregator(name: str) -> Aggregator:
     """Boolean "or" aggregator (used for convergence checks)."""
-    return Aggregator(name, False, lambda accumulated, value: bool(accumulated) or bool(value))
+    return Aggregator(name, False, _combine_or)
 
 
 def and_aggregator(name: str) -> Aggregator:
     """Boolean "and" aggregator."""
-    return Aggregator(name, True, lambda accumulated, value: bool(accumulated) and bool(value))
+    return Aggregator(name, True, _combine_and)
 
 
 def count_aggregator(name: str) -> Aggregator:
     """Counts how many vertices contributed (each contribution adds one)."""
-    return Aggregator(name, 0, lambda accumulated, _value: accumulated + 1)
+    return Aggregator(name, 0, _combine_count)
 
 
 class AggregatorRegistry:
@@ -125,6 +166,18 @@ class AggregatorRegistry:
     def merge_from(self, copies: Dict[str, Aggregator]) -> None:
         """Merge per-worker partial aggregates into the authoritative set."""
         for name, partial in copies.items():
+            self._aggregators[name].merge(partial)
+
+    def merge_states(self, states: Dict[str, tuple]) -> None:
+        """Merge ``name -> (value, touched)`` partials shipped by a worker.
+
+        Mirror of :meth:`merge_from` for distributed backends whose
+        workers report :meth:`Aggregator.dump_state` pairs instead of
+        aggregator objects.
+        """
+        for name, (value, touched) in states.items():
+            partial = self._aggregators[name].fresh_copy()
+            partial.load_state(value, touched)
             self._aggregators[name].merge(partial)
 
     def finish_superstep(self) -> Dict[str, Any]:

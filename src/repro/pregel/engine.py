@@ -1,4 +1,4 @@
-"""The BSP master loop: drives a Pregel job to termination.
+"""The BSP master facade: drives a Pregel job to termination.
 
 Usage sketch::
 
@@ -19,24 +19,35 @@ Termination follows Pregel semantics: the job stops when every vertex
 has voted to halt and no message is in flight.  A ``halt_condition``
 callback lets a driver stop a job early based on aggregator values
 (used by the simplified S-V algorithm and the labeling fallback logic).
+
+The superstep loop itself lives in :mod:`repro.runtime`: the engine
+delegates to an :class:`~repro.runtime.base.ExecutionBackend` chosen by
+name (``"serial"`` for the exact in-process cluster simulation,
+``"multiprocess"`` for shared-nothing worker processes).  Both produce
+identical results; they differ in whether supersteps execute on real
+parallel hardware or inside the calling process with exact counters.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
 
-from ..errors import InvalidJobError, SuperstepLimitExceededError
-from .aggregator import Aggregator, AggregatorRegistry
-from .message import Combiner, MessageRouter
-from .metrics import JobMetrics, SuperstepMetrics
-from .partitioner import HashPartitioner
+from ..errors import InvalidJobError
+from .aggregator import Aggregator
+from .message import Combiner
+from .metrics import JobMetrics
 from .vertex import Vertex, VertexFactory
-from .worker import Worker
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..runtime.base import ExecutionBackend
 
 #: Safety net: PPAs run in O(log n) supersteps, so any job that needs
 #: more than this many supersteps is considered buggy.
 DEFAULT_MAX_SUPERSTEPS = 10_000
+
+#: Backend used when the caller does not pick one explicitly.
+DEFAULT_BACKEND = "serial"
 
 
 @dataclass
@@ -97,121 +108,50 @@ class JobResult:
 
 
 class PregelEngine:
-    """Simulates a Pregel cluster with ``num_workers`` workers in-process."""
+    """Runs Pregel jobs on ``num_workers`` workers via an execution backend.
 
-    def __init__(self, num_workers: int = 4) -> None:
+    ``backend`` may be a registered backend name (``"serial"``,
+    ``"multiprocess"``) or an already-constructed
+    :class:`~repro.runtime.base.ExecutionBackend` instance, in which
+    case its worker count takes precedence.
+    """
+
+    def __init__(
+        self,
+        num_workers: int = 4,
+        backend: Union[str, "ExecutionBackend"] = DEFAULT_BACKEND,
+    ) -> None:
         if num_workers <= 0:
             raise InvalidJobError(f"num_workers must be positive, got {num_workers}")
-        self.num_workers = num_workers
-        self.partitioner = HashPartitioner(num_workers)
+        # Deferred import: repro.runtime imports this module for the
+        # PregelJob/JobResult dataclasses.
+        from ..runtime import create_backend
+
+        self._backend = create_backend(backend, num_workers=num_workers)
+        self.num_workers = self._backend.num_workers
+        self.partitioner = self._backend.partitioner
+
+    @property
+    def backend(self) -> "ExecutionBackend":
+        """The execution backend running this engine's jobs."""
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        return self._backend.name
 
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
     def run(self, job: PregelJob) -> JobResult:
         """Execute ``job`` until global termination and return the result."""
-        workers = self._partition_vertices(job.vertices)
-        num_vertices = sum(len(worker) for worker in workers)
-        if num_vertices == 0:
-            raise InvalidJobError(f"job {job.name!r} has no vertices")
-
-        registry = AggregatorRegistry()
-        for aggregator in job.aggregators:
-            registry.register(aggregator)
-
-        router = MessageRouter(self.partitioner, job.combiner)
-        metrics = JobMetrics(job_name=job.name, num_workers=self.num_workers)
-        aggregate_history: List[Dict[str, Any]] = []
-
-        superstep = 0
-        inboxes: Dict[int, Dict[int, List[Any]]] = {}
-        while True:
-            if superstep >= job.max_supersteps:
-                raise SuperstepLimitExceededError(job.max_supersteps)
-
-            active = sum(worker.active_count() for worker in workers)
-            pending = any(inboxes.get(w, {}) for w in range(self.num_workers))
-            if active == 0 and not pending:
-                break
-
-            step_metrics = self._run_superstep(
-                superstep, job, workers, inboxes, router, registry, num_vertices
-            )
-            metrics.add(step_metrics)
-
-            snapshot = registry.finish_superstep()
-            aggregate_history.append(snapshot)
-
-            inboxes = router.deliver()
-            superstep += 1
-
-            if job.halt_condition is not None and job.halt_condition(snapshot):
-                break
-
-        vertices: Dict[int, Vertex] = {}
-        for worker in workers:
-            vertices.update(worker.vertices)
-        return JobResult(
-            job_name=job.name,
-            vertices=vertices,
-            metrics=metrics,
-            aggregates=aggregate_history,
-        )
-
-    # ------------------------------------------------------------------
-    # internals
-    # ------------------------------------------------------------------
-    def _partition_vertices(self, vertices: Iterable[Vertex]) -> List[Worker]:
-        workers = [Worker(worker_id) for worker_id in range(self.num_workers)]
-        for vertex in vertices:
-            worker_id = self.partitioner.worker_for(vertex.vertex_id)
-            workers[worker_id].add_vertex(vertex)
-        return workers
-
-    def _run_superstep(
-        self,
-        superstep: int,
-        job: PregelJob,
-        workers: List[Worker],
-        inboxes: Dict[int, Dict[int, List[Any]]],
-        router: MessageRouter,
-        registry: AggregatorRegistry,
-        num_vertices: int,
-    ) -> SuperstepMetrics:
-        step = SuperstepMetrics(superstep=superstep)
-        previous_aggregates = registry.previous_values()
-
-        for worker in workers:
-            inbox = inboxes.get(worker.worker_id, {})
-            aggregator_copies = registry.current_copies()
-            outbox, counters = worker.execute_superstep(
-                superstep=superstep,
-                inbox=inbox,
-                aggregator_copies=aggregator_copies,
-                previous_aggregates=previous_aggregates,
-                num_vertices=num_vertices,
-                vertex_factory=job.vertex_factory,
-            )
-            registry.merge_from(aggregator_copies)
-            router.post(outbox)
-
-            step.compute_calls += counters["compute_calls"]
-            step.compute_ops += counters["compute_ops"]
-            step.messages_sent += counters["messages_sent"]
-            step.bytes_sent += counters["bytes_sent"]
-            step.worker_compute_ops.append(counters["compute_ops"])
-            step.worker_messages_sent.append(counters["messages_sent"])
-            step.worker_bytes_sent.append(counters["bytes_sent"])
-            step.worker_messages_received.append(counters["messages_received"])
-            step.worker_bytes_received.append(counters["bytes_received"])
-
-        step.active_vertices = sum(worker.active_count() for worker in workers)
-        return step
+        return self._backend.run(job)
 
 
 def run_single_job(
     job: PregelJob,
     num_workers: int = 4,
+    backend: str = DEFAULT_BACKEND,
 ) -> JobResult:
     """One-shot helper: create an engine, run ``job``, return the result."""
-    return PregelEngine(num_workers=num_workers).run(job)
+    return PregelEngine(num_workers=num_workers, backend=backend).run(job)

@@ -41,13 +41,19 @@ class JobChain:
     """Executes a sequence of Pregel / mini-MapReduce / convert stages.
 
     The chain owns a single :class:`PregelEngine` so that every stage
-    sees the same number of workers, and accumulates metrics so the
-    caller can price the full workflow.
+    sees the same number of workers and runs on the same execution
+    backend, and accumulates metrics so the caller can price the full
+    workflow.  ``backend`` selects the runtime for the Pregel stages
+    (``"serial"`` or ``"multiprocess"``); mini-MapReduce and convert
+    stages model the distributed data movement in-process either way,
+    because their cost is charged through the metrics rather than
+    measured.
     """
 
-    def __init__(self, num_workers: int = 4) -> None:
+    def __init__(self, num_workers: int = 4, backend: str = "serial") -> None:
         self.num_workers = num_workers
-        self.engine = PregelEngine(num_workers=num_workers)
+        self.backend = backend
+        self.engine = PregelEngine(num_workers=num_workers, backend=backend)
         self.pipeline_metrics = PipelineMetrics()
         self._partitioner = HashPartitioner(num_workers)
 

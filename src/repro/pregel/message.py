@@ -2,11 +2,11 @@
 
 Messages sent during superstep *s* are buffered per destination worker
 and delivered at the start of superstep *s+1*.  An optional
-:class:`Combiner` merges messages addressed to the same vertex before
-delivery, which is how real Pregel systems (and the paper's Pregel+)
-reduce network traffic; the engine counts both raw and combined
-message totals so that benchmarks can report the numbers the paper
-reports (raw messages).
+:class:`Combiner` merges messages addressed to the same vertex as they
+are posted (sender-side), which is how real Pregel systems (and the
+paper's Pregel+) reduce network traffic and bound buffer memory; the
+engine counts both raw and combined message totals so that benchmarks
+can report the numbers the paper reports (raw messages).
 """
 
 from __future__ import annotations
@@ -34,6 +34,12 @@ class Combiner:
         return self._combine(left, right)
 
 
+def _combine_add(left: Any, right: Any) -> Any:
+    # Module-level (not a lambda) so the combiner stays picklable for
+    # multiprocess backends under the ``spawn`` start method.
+    return left + right
+
+
 def min_combiner() -> Combiner:
     """Combiner keeping only the smallest message (e.g. for hash-min CC)."""
     return Combiner(min)
@@ -41,7 +47,7 @@ def min_combiner() -> Combiner:
 
 def sum_combiner() -> Combiner:
     """Combiner summing numeric messages."""
-    return Combiner(lambda left, right: left + right)
+    return Combiner(_combine_add)
 
 
 class MessageRouter:
@@ -51,13 +57,28 @@ class MessageRouter:
     system: messages are grouped by destination worker so that the cost
     model can charge each worker for the bytes it sends and receives,
     and so that per-worker skew shows up in simulated execution time.
+
+    When a combiner is configured it is applied *incrementally at post
+    time* (sender-side), the way real Pregel systems combine before
+    messages hit the network: the buffer then holds at most one value
+    per destination vertex, so peak memory is bounded by the number of
+    distinct targets instead of the raw message count.  The raw
+    message/byte counters keep counting every posted message, which is
+    what the paper's tables report.
     """
 
     def __init__(self, partitioner: HashPartitioner, combiner: Optional[Combiner] = None) -> None:
         self._partitioner = partitioner
         self._combiner = combiner
-        # outgoing[worker] is the list of (target_id, message) produced this superstep
+        # Without a combiner: outgoing[worker] is the list of
+        # (target_id, message) produced this superstep.
         self._outgoing: Dict[int, List[Tuple[int, Any]]] = defaultdict(list)
+        # With a combiner: combined[worker][target_id] is the running
+        # combined value (insertion-ordered by first message per target).
+        self._combined: Dict[int, Dict[int, Any]] = defaultdict(dict)
+        # Raw per-worker counts survive combining for the accounting API.
+        self._pending_messages: Dict[int, int] = defaultdict(int)
+        self._pending_bytes: Dict[int, int] = defaultdict(int)
         self.raw_message_count = 0
         self.raw_byte_count = 0
 
@@ -65,43 +86,66 @@ class MessageRouter:
         """Accept a batch of ``(target_id, message)`` pairs from one vertex."""
         for target_id, message in messages:
             worker = self._partitioner.worker_for(target_id)
-            self._outgoing[worker].append((target_id, message))
             self.raw_message_count += 1
-            self.raw_byte_count += _estimate_size(message)
+            size = _estimate_size(message)
+            self.raw_byte_count += size
+            self._pending_messages[worker] += 1
+            self._pending_bytes[worker] += size
+            if self._combiner is None:
+                self._outgoing[worker].append((target_id, message))
+            else:
+                slot = self._combined[worker]
+                if target_id in slot:
+                    slot[target_id] = self._combiner.combine(slot[target_id], message)
+                else:
+                    slot[target_id] = message
 
     def messages_to_worker(self, worker: int) -> int:
         """Number of pending raw messages addressed to ``worker``."""
-        return len(self._outgoing.get(worker, ()))
+        return self._pending_messages.get(worker, 0)
 
     def bytes_to_worker(self, worker: int) -> int:
-        """Pending byte volume addressed to ``worker``."""
-        return sum(_estimate_size(message) for _target, message in self._outgoing.get(worker, ()))
+        """Pending raw byte volume addressed to ``worker``."""
+        return self._pending_bytes.get(worker, 0)
+
+    def buffered_message_count(self) -> int:
+        """Messages actually held in memory right now.
+
+        Equals the raw pending count without a combiner; with one it is
+        bounded by the number of distinct destination vertices.
+        """
+        if self._combiner is None:
+            return sum(len(pending) for pending in self._outgoing.values())
+        return sum(len(slot) for slot in self._combined.values())
 
     def deliver(self) -> Dict[int, Dict[int, List[Any]]]:
         """Group pending messages into per-worker, per-vertex inboxes.
 
         Returns a mapping ``worker -> vertex_id -> [messages]`` and
-        clears the internal buffers.  When a combiner is configured the
-        per-vertex lists are collapsed to a single combined message.
+        clears the internal buffers.  When a combiner is configured each
+        per-vertex list holds the single combined message, folded in
+        post order — the same fold the old deliver-time combining
+        performed, so results are unchanged.
         """
         inboxes: Dict[int, Dict[int, List[Any]]] = {}
-        for worker, pending in self._outgoing.items():
-            per_vertex: Dict[int, List[Any]] = defaultdict(list)
-            for target_id, message in pending:
-                per_vertex[target_id].append(message)
-            if self._combiner is not None:
-                for target_id, messages in per_vertex.items():
-                    combined = messages[0]
-                    for message in messages[1:]:
-                        combined = self._combiner.combine(combined, message)
-                    per_vertex[target_id] = [combined]
-            inboxes[worker] = dict(per_vertex)
+        if self._combiner is None:
+            for worker, pending in self._outgoing.items():
+                per_vertex: Dict[int, List[Any]] = defaultdict(list)
+                for target_id, message in pending:
+                    per_vertex[target_id].append(message)
+                inboxes[worker] = dict(per_vertex)
+        else:
+            for worker, slot in self._combined.items():
+                inboxes[worker] = {target_id: [message] for target_id, message in slot.items()}
         self._outgoing = defaultdict(list)
+        self._combined = defaultdict(dict)
+        self._pending_messages = defaultdict(int)
+        self._pending_bytes = defaultdict(int)
         return inboxes
 
     def has_pending(self) -> bool:
         """True if any message is waiting for delivery."""
-        return any(self._outgoing.values())
+        return any(self._outgoing.values()) or any(self._combined.values())
 
     def reset_counters(self) -> None:
         self.raw_message_count = 0

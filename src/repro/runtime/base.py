@@ -1,0 +1,120 @@
+"""The execution-backend interface behind the Pregel superstep loop.
+
+The engine historically *simulated* a Pregel cluster by looping over
+:class:`~repro.pregel.worker.Worker` objects sequentially.  This module
+abstracts that loop behind :class:`ExecutionBackend` so the same job
+can run on different runtimes:
+
+* :class:`~repro.runtime.serial.SerialBackend` — the original
+  in-process simulation with exact, deterministic counters (used for
+  reproducing the paper's Tables 2-5 and Figure 12);
+* :class:`~repro.runtime.multiprocess.MultiprocessBackend` —
+  shared-nothing worker processes exchanging pickled message batches,
+  for real wall-clock parallelism on multi-core hosts.
+
+Backends register themselves in a name registry so that configuration
+layers (``AssemblyConfig(backend="multiprocess")``, the bench harness,
+the CLI) can select one by name without importing its module directly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Dict, Iterable, List, Type, Union
+
+from ..errors import InvalidJobError, UnknownBackendError
+from ..pregel.partitioner import HashPartitioner
+from ..pregel.vertex import Vertex
+from ..pregel.worker import Worker
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..pregel.engine import JobResult, PregelJob
+
+
+class ExecutionBackend(ABC):
+    """Runs one Pregel job to termination on ``num_workers`` workers.
+
+    A backend owns partitioning (all backends use the same
+    :class:`~repro.pregel.partitioner.HashPartitioner` so that per-worker
+    load and message routing are identical regardless of runtime) and
+    the BSP loop itself.  Implementations must preserve the engine's
+    observable semantics: superstep counts, aggregate histories, the
+    per-superstep metrics, and the final vertex states must not depend
+    on which backend executed the job.
+    """
+
+    #: Registry key; subclasses override and register via :func:`register_backend`.
+    name: str = "abstract"
+
+    def __init__(self, num_workers: int = 4) -> None:
+        if num_workers <= 0:
+            raise InvalidJobError(f"num_workers must be positive, got {num_workers}")
+        self.num_workers = num_workers
+        self.partitioner = HashPartitioner(num_workers)
+
+    @abstractmethod
+    def run(self, job: "PregelJob") -> "JobResult":
+        """Execute ``job`` until global termination and return the result."""
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+    def partition_into_workers(self, vertices: Iterable[Vertex]) -> List[Worker]:
+        """Assign vertices to per-worker partitions by hashed vertex ID."""
+        workers = [Worker(worker_id) for worker_id in range(self.num_workers)]
+        for vertex in vertices:
+            workers[self.partitioner.worker_for(vertex.vertex_id)].add_vertex(vertex)
+        return workers
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(num_workers={self.num_workers})"
+
+
+# ----------------------------------------------------------------------
+# backend registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, Type[ExecutionBackend]] = {}
+
+
+def register_backend(cls: Type[ExecutionBackend]) -> Type[ExecutionBackend]:
+    """Class decorator adding ``cls`` to the name registry."""
+    if not cls.name or cls.name == "abstract":
+        raise ValueError(f"backend class {cls.__name__} must define a name")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def available_backends() -> List[str]:
+    """Names of every registered backend, sorted."""
+    return sorted(_REGISTRY)
+
+
+def ensure_backend(name: str) -> str:
+    """Validate a backend name, raising :class:`UnknownBackendError`.
+
+    Shared by every configuration layer that accepts a backend string
+    (``AssemblyConfig``, the baselines, the CLI) so the error message
+    and the set of accepted names never drift apart.
+    """
+    if name not in _REGISTRY:
+        raise UnknownBackendError(str(name), available_backends())
+    return name
+
+
+def create_backend(
+    backend: Union[str, ExecutionBackend],
+    num_workers: int = 4,
+    **kwargs: object,
+) -> ExecutionBackend:
+    """Instantiate a backend by name (or pass an instance through).
+
+    ``kwargs`` are forwarded to the backend constructor (e.g.
+    ``start_method`` for the multiprocess backend).
+    """
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    try:
+        backend_class = _REGISTRY[backend]
+    except KeyError:
+        raise UnknownBackendError(str(backend), available_backends()) from None
+    return backend_class(num_workers=num_workers, **kwargs)

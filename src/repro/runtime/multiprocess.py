@@ -1,0 +1,457 @@
+"""Multiprocess backend: shared-nothing worker processes.
+
+This backend runs each Pregel worker as a real operating-system
+process, the way the paper's Pregel+ substrate runs one worker per
+cluster slot:
+
+* every worker process owns its hash partition of vertices for the
+  whole job (vertices never migrate);
+* outgoing messages are grouped into per-destination-worker batches,
+  combined sender-side when the job has a combiner (so the bytes that
+  cross the process boundary are the combined ones), pickled, and
+  pushed into the destination worker's data queue;
+* per-worker aggregator partials are shipped to the master at the
+  superstep barrier as plain ``(value, touched)`` state pairs and
+  merged in worker-id order, mirroring how Pregel ships partial
+  aggregates to the master;
+* the master runs the BSP control loop: it collects the per-worker
+  counters, merges aggregates, evaluates the halt condition, and
+  broadcasts either the next superstep command or a stop command.
+
+Determinism: message batches are merged at the receiver in sender-id
+order and combiners are required to be associative and commutative, so
+vertex values, aggregate histories and metrics are identical to the
+:class:`~repro.runtime.serial.SerialBackend` (the parity tests under
+``tests/runtime/`` assert this for the PPA primitives and an
+end-to-end assembly).
+
+The default start method is ``fork`` where available: the job's vertex
+objects, combiner and vertex factory are inherited by the children
+without pickling, so jobs may use lambdas and closures.  Under
+``spawn`` all job state must be picklable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import queue as queue_module
+import time
+import traceback
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import BackendExecutionError, InvalidJobError, SuperstepLimitExceededError
+from ..pregel.aggregator import Aggregator
+from ..pregel.aggregator import AggregatorRegistry
+from ..pregel.engine import JobResult, PregelJob
+from ..pregel.message import Combiner
+from ..pregel.metrics import JobMetrics, SuperstepMetrics
+from ..pregel.partitioner import HashPartitioner
+from ..pregel.vertex import Vertex, VertexFactory
+from ..pregel.worker import Worker
+from .base import ExecutionBackend, register_backend
+
+#: Commands on the master -> worker channel.
+_STEP = "step"
+_STOP = "stop"
+
+#: Tags on the worker -> master control channel.
+_OK = "ok"
+_FAILED = "failed"
+
+#: Seconds between liveness checks while waiting on a queue.
+_POLL_SECONDS = 0.2
+
+#: Give a straggler this long to exit before terminating it.
+_JOIN_SECONDS = 5.0
+
+#: After noticing a dead worker, wait this long for data it may have
+#: flushed into the pipe just before dying, then give up.
+_DEAD_GRACE_SECONDS = 2.0
+
+
+class _WorkerFailure(Exception):
+    """Internal: carries a worker's exception back to the master loop."""
+
+    def __init__(self, worker_id: int, original: BaseException, remote_traceback: str) -> None:
+        super().__init__(f"worker {worker_id} failed: {original!r}")
+        self.worker_id = worker_id
+        self.original = original
+        self.remote_traceback = remote_traceback
+
+
+# ----------------------------------------------------------------------
+# worker-process side
+# ----------------------------------------------------------------------
+def _route_outbox(
+    outbox: List[Tuple[int, Any]],
+    partitioner: HashPartitioner,
+    combiner: Optional[Combiner],
+) -> Dict[int, List[Tuple[int, Any]]]:
+    """Group an outbox into per-destination batches, combining sender-side.
+
+    With a combiner, each destination batch carries at most one message
+    per target vertex — this happens *before* pickling, so combined
+    traffic is what crosses the process boundary, exactly like the
+    sender-side combining of real Pregel systems.
+    """
+    if combiner is None:
+        batches: Dict[int, List[Tuple[int, Any]]] = {}
+        for target_id, message in outbox:
+            batches.setdefault(partitioner.worker_for(target_id), []).append(
+                (target_id, message)
+            )
+        return batches
+    combined: Dict[int, Dict[int, Any]] = {}
+    for target_id, message in outbox:
+        slot = combined.setdefault(partitioner.worker_for(target_id), {})
+        if target_id in slot:
+            slot[target_id] = combiner.combine(slot[target_id], message)
+        else:
+            slot[target_id] = message
+    return {
+        destination: list(slot.items()) for destination, slot in combined.items()
+    }
+
+
+def _merge_batches(
+    batches_by_sender: Dict[int, List[Tuple[int, Any]]],
+    num_workers: int,
+    combiner: Optional[Combiner],
+) -> Dict[int, List[Any]]:
+    """Fold sender batches into a per-vertex inbox, in sender-id order.
+
+    The fixed sender order makes the fold sequence a deterministic
+    function of the job, so results match the serial backend for any
+    associative combine function.
+    """
+    inbox: Dict[int, List[Any]] = {}
+    for sender in range(num_workers):
+        for target_id, message in batches_by_sender.get(sender, ()):
+            if combiner is not None and target_id in inbox:
+                inbox[target_id] = [combiner.combine(inbox[target_id][0], message)]
+            else:
+                inbox.setdefault(target_id, []).append(message)
+    return inbox
+
+
+def _worker_main(
+    worker_id: int,
+    num_workers: int,
+    vertices: List[Vertex],
+    combiner: Optional[Combiner],
+    vertex_factory: Optional[VertexFactory],
+    aggregator_template: Dict[str, Aggregator],
+    num_vertices: int,
+    command_queue,
+    data_queues,
+    control_queue,
+    result_queue,
+) -> None:
+    """Superstep loop of one shared-nothing worker process."""
+    try:
+        worker = Worker(worker_id)
+        for vertex in vertices:
+            worker.add_vertex(vertex)
+        partitioner = HashPartitioner(num_workers)
+        own_queue = data_queues[worker_id]
+        # Batches this worker sent to itself stay local (no pickling).
+        local_batches: Dict[int, List[Tuple[int, Any]]] = {}
+        # Batches received early for a future superstep, keyed by superstep.
+        staged: Dict[int, Dict[int, List[Tuple[int, Any]]]] = {}
+
+        while True:
+            command = command_queue.get()
+            if command[0] == _STOP:
+                if command[1]:  # collect: ship the final partition back
+                    result_queue.put((worker_id, list(worker.vertices.values())))
+                break
+            _, superstep, previous_aggregates = command
+
+            if superstep == 0:
+                inbox: Dict[int, List[Any]] = {}
+            else:
+                expected = set(range(num_workers)) - {worker_id}
+                arrived = staged.setdefault(superstep, {})
+                while set(arrived) != expected:
+                    for_superstep, sender, batch = own_queue.get()
+                    staged.setdefault(for_superstep, {})[sender] = batch
+                    arrived = staged.setdefault(superstep, {})
+                batches = staged.pop(superstep)
+                batches[worker_id] = local_batches.pop(superstep, [])
+                inbox = _merge_batches(batches, num_workers, combiner)
+
+            aggregator_copies = {
+                name: aggregator.fresh_copy()
+                for name, aggregator in aggregator_template.items()
+            }
+            outbox, counters = worker.execute_superstep(
+                superstep=superstep,
+                inbox=inbox,
+                aggregator_copies=aggregator_copies,
+                previous_aggregates=previous_aggregates,
+                num_vertices=num_vertices,
+                vertex_factory=vertex_factory,
+            )
+
+            batches = _route_outbox(outbox, partitioner, combiner)
+            for destination in range(num_workers):
+                batch = batches.get(destination, [])
+                if destination == worker_id:
+                    local_batches[superstep + 1] = batch
+                else:
+                    data_queues[destination].put((superstep + 1, worker_id, batch))
+
+            aggregator_states = {
+                name: copy.dump_state() for name, copy in aggregator_copies.items()
+            }
+            control_queue.put(
+                (_OK, worker_id, counters, aggregator_states, worker.active_count())
+            )
+    except BaseException as exc:  # noqa: BLE001 - must reach the master
+        try:
+            # Full round-trip check: exceptions with multi-argument
+            # constructors can pickle fine but explode on unpickling
+            # (BaseException reduces to cls(str(...))), which would
+            # crash the master's queue reader with an opaque TypeError.
+            pickle.loads(pickle.dumps(exc))
+            shipped: BaseException = exc
+        except Exception:
+            shipped = BackendExecutionError(repr(exc))
+        control_queue.put((_FAILED, worker_id, shipped, traceback.format_exc()))
+    finally:
+        # Undelivered final-superstep batches are intentionally discarded;
+        # don't let their feeder threads block process exit.
+        for data_queue in data_queues:
+            data_queue.cancel_join_thread()
+
+
+# ----------------------------------------------------------------------
+# master side
+# ----------------------------------------------------------------------
+@register_backend
+class MultiprocessBackend(ExecutionBackend):
+    """Real parallel execution across shared-nothing worker processes."""
+
+    name = "multiprocess"
+
+    def __init__(self, num_workers: int = 4, start_method: Optional[str] = None) -> None:
+        super().__init__(num_workers)
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self.start_method = start_method
+        self._context = multiprocessing.get_context(start_method)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def run(self, job: PregelJob) -> JobResult:
+        # Worker processes live for exactly one job: forking at run()
+        # time is what lets children inherit the job's vertices,
+        # combiner and vertex factory without pickling (lambdas and
+        # closures included).  A persistent pool would have to ship
+        # job state through queues instead, restricting jobs to
+        # picklable state — revisit if per-job start-up cost ever
+        # dominates a workload that can accept that restriction.
+        partitions: List[List[Vertex]] = [[] for _ in range(self.num_workers)]
+        for vertex in job.vertices:
+            partitions[self.partitioner.worker_for(vertex.vertex_id)].append(vertex)
+        num_vertices = sum(len(partition) for partition in partitions)
+        if num_vertices == 0:
+            raise InvalidJobError(f"job {job.name!r} has no vertices")
+
+        registry = AggregatorRegistry()
+        for aggregator in job.aggregators:
+            registry.register(aggregator)
+        aggregator_template = {
+            aggregator.name: aggregator.fresh_copy() for aggregator in job.aggregators
+        }
+
+        context = self._context
+        command_queues = [context.Queue() for _ in range(self.num_workers)]
+        data_queues = [context.Queue() for _ in range(self.num_workers)]
+        control_queue = context.Queue()
+        result_queue = context.Queue()
+
+        processes = [
+            context.Process(
+                target=_worker_main,
+                args=(
+                    worker_id,
+                    self.num_workers,
+                    partitions[worker_id],
+                    job.combiner,
+                    job.vertex_factory,
+                    aggregator_template,
+                    num_vertices,
+                    command_queues[worker_id],
+                    data_queues,
+                    control_queue,
+                    result_queue,
+                ),
+                daemon=True,
+                name=f"pregel-worker-{worker_id}",
+            )
+            for worker_id in range(self.num_workers)
+        ]
+        for process in processes:
+            process.start()
+
+        metrics = JobMetrics(job_name=job.name, num_workers=self.num_workers)
+        aggregate_history: List[Dict[str, Any]] = []
+        active = sum(
+            1
+            for partition in partitions
+            for vertex in partition
+            if not vertex.halted
+        )
+        pending = False
+        superstep = 0
+
+        try:
+            while True:
+                if superstep >= job.max_supersteps:
+                    raise SuperstepLimitExceededError(job.max_supersteps)
+                if active == 0 and not pending:
+                    break
+
+                previous_aggregates = registry.previous_values()
+                for command_queue in command_queues:
+                    command_queue.put((_STEP, superstep, previous_aggregates))
+
+                reports = self._collect_control(control_queue, processes)
+                step = SuperstepMetrics(superstep=superstep)
+                active = 0
+                messages_in_flight = 0
+                for worker_id in range(self.num_workers):
+                    counters, aggregator_states, active_count = reports[worker_id]
+                    registry.merge_states(aggregator_states)
+                    step.compute_calls += counters["compute_calls"]
+                    step.compute_ops += counters["compute_ops"]
+                    step.messages_sent += counters["messages_sent"]
+                    step.bytes_sent += counters["bytes_sent"]
+                    step.worker_compute_ops.append(counters["compute_ops"])
+                    step.worker_messages_sent.append(counters["messages_sent"])
+                    step.worker_bytes_sent.append(counters["bytes_sent"])
+                    step.worker_messages_received.append(counters["messages_received"])
+                    step.worker_bytes_received.append(counters["bytes_received"])
+                    active += active_count
+                    messages_in_flight += counters["messages_sent"]
+                step.active_vertices = active
+                metrics.add(step)
+
+                snapshot = registry.finish_superstep()
+                aggregate_history.append(snapshot)
+                pending = messages_in_flight > 0
+                superstep += 1
+
+                if job.halt_condition is not None and job.halt_condition(snapshot):
+                    break
+
+            vertices = self._collect_vertices(command_queues, result_queue, processes)
+        except _WorkerFailure as failure:
+            self._abort(command_queues, [control_queue, result_queue] + data_queues, processes)
+            original = failure.original
+            original.remote_traceback = failure.remote_traceback  # type: ignore[attr-defined]
+            raise original from None
+        except BaseException:
+            self._abort(command_queues, [control_queue, result_queue] + data_queues, processes)
+            raise
+        self._shutdown(command_queues, [control_queue, result_queue] + data_queues, processes)
+        return JobResult(
+            job_name=job.name,
+            vertices=vertices,
+            metrics=metrics,
+            aggregates=aggregate_history,
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _get_checked(self, source_queue, processes, waiting_on):
+        """Blocking get that notices dead workers instead of hanging.
+
+        ``waiting_on`` is the set of worker ids whose data has not been
+        seen yet.  A worker found dead while we still expect data from
+        it gets a short grace period (its queue feeder may have flushed
+        just before exit), after which the backend gives up loudly.
+        """
+        deadline = None
+        while True:
+            try:
+                return source_queue.get(timeout=_POLL_SECONDS)
+            except queue_module.Empty:
+                dead = [w for w in waiting_on if not processes[w].is_alive()]
+                if not dead:
+                    deadline = None
+                    continue
+                now = time.monotonic()
+                if deadline is None:
+                    deadline = now + _DEAD_GRACE_SECONDS
+                elif now > deadline:
+                    exit_codes = {w: processes[w].exitcode for w in dead}
+                    raise BackendExecutionError(
+                        f"worker process(es) {sorted(dead)} exited "
+                        f"(exit codes {exit_codes}) without delivering expected data"
+                    ) from None
+
+    def _collect_control(self, control_queue, processes) -> Dict[int, tuple]:
+        """One barrier: gather every worker's end-of-superstep report."""
+        reports: Dict[int, tuple] = {}
+        while len(reports) < self.num_workers:
+            waiting_on = set(range(self.num_workers)) - set(reports)
+            message = self._get_checked(control_queue, processes, waiting_on)
+            tag, worker_id = message[0], message[1]
+            if tag == _FAILED:
+                raise _WorkerFailure(worker_id, message[2], message[3])
+            reports[worker_id] = message[2:]
+        return reports
+
+    def _collect_vertices(
+        self, command_queues, result_queue, processes
+    ) -> Dict[int, Vertex]:
+        """Stop all workers and reassemble the vertex map in worker order."""
+        for command_queue in command_queues:
+            command_queue.put((_STOP, True))
+        collected: Dict[int, List[Vertex]] = {}
+        while len(collected) < self.num_workers:
+            waiting_on = set(range(self.num_workers)) - set(collected)
+            worker_id, worker_vertices = self._get_checked(
+                result_queue, processes, waiting_on
+            )
+            collected[worker_id] = worker_vertices
+        # Worker-id order matches how the serial backend concatenates
+        # partitions, so downstream iteration order is identical.
+        vertices: Dict[int, Vertex] = {}
+        for worker_id in range(self.num_workers):
+            for vertex in collected[worker_id]:
+                vertices[vertex.vertex_id] = vertex
+        return vertices
+
+    def _abort(self, command_queues, drain_queues, processes) -> None:
+        """Best-effort stop after an error: never raise from here."""
+        for command_queue in command_queues:
+            try:
+                command_queue.put_nowait((_STOP, False))
+            except Exception:
+                pass
+        self._shutdown(command_queues, drain_queues, processes)
+
+    def _shutdown(self, command_queues, drain_queues, processes) -> None:
+        for source_queue in drain_queues:
+            while True:
+                try:
+                    source_queue.get_nowait()
+                except Exception:
+                    break
+        for process in processes:
+            process.join(timeout=_JOIN_SECONDS)
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=_JOIN_SECONDS)
+        for command_queue in command_queues:
+            command_queue.cancel_join_thread()
+        for source_queue in drain_queues:
+            source_queue.cancel_join_thread()

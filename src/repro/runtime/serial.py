@@ -1,0 +1,120 @@
+"""Serial backend: the original in-process Pregel cluster simulation.
+
+Workers execute one after another inside the calling process, exactly
+as :class:`~repro.pregel.engine.PregelEngine` always did.  This keeps
+counter-based reproduction of the paper bit-exact and deterministic:
+the per-worker compute/message/byte breakdowns feed the BSP cost model
+that regenerates Tables 2-5 and Figure 12, so this backend remains the
+default for every benchmark that reports simulated cluster numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..errors import InvalidJobError, SuperstepLimitExceededError
+from ..pregel.aggregator import AggregatorRegistry
+from ..pregel.engine import JobResult, PregelJob
+from ..pregel.message import MessageRouter
+from ..pregel.metrics import JobMetrics, SuperstepMetrics
+from ..pregel.worker import Worker
+from .base import ExecutionBackend, register_backend
+
+
+@register_backend
+class SerialBackend(ExecutionBackend):
+    """Sequential in-process execution with exact simulated-cluster counters."""
+
+    name = "serial"
+
+    def run(self, job: PregelJob) -> JobResult:
+        workers = self.partition_into_workers(job.vertices)
+        num_vertices = sum(len(worker) for worker in workers)
+        if num_vertices == 0:
+            raise InvalidJobError(f"job {job.name!r} has no vertices")
+
+        registry = AggregatorRegistry()
+        for aggregator in job.aggregators:
+            registry.register(aggregator)
+
+        router = MessageRouter(self.partitioner, job.combiner)
+        metrics = JobMetrics(job_name=job.name, num_workers=self.num_workers)
+        aggregate_history: List[Dict[str, Any]] = []
+
+        superstep = 0
+        inboxes: Dict[int, Dict[int, List[Any]]] = {}
+        while True:
+            if superstep >= job.max_supersteps:
+                raise SuperstepLimitExceededError(job.max_supersteps)
+
+            active = sum(worker.active_count() for worker in workers)
+            pending = any(inboxes.get(w, {}) for w in range(self.num_workers))
+            if active == 0 and not pending:
+                break
+
+            step_metrics = self._run_superstep(
+                superstep, job, workers, inboxes, router, registry, num_vertices
+            )
+            metrics.add(step_metrics)
+
+            snapshot = registry.finish_superstep()
+            aggregate_history.append(snapshot)
+
+            inboxes = router.deliver()
+            superstep += 1
+
+            if job.halt_condition is not None and job.halt_condition(snapshot):
+                break
+
+        vertices = {}
+        for worker in workers:
+            vertices.update(worker.vertices)
+        return JobResult(
+            job_name=job.name,
+            vertices=vertices,
+            metrics=metrics,
+            aggregates=aggregate_history,
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _run_superstep(
+        self,
+        superstep: int,
+        job: PregelJob,
+        workers: List[Worker],
+        inboxes: Dict[int, Dict[int, List[Any]]],
+        router: MessageRouter,
+        registry: AggregatorRegistry,
+        num_vertices: int,
+    ) -> SuperstepMetrics:
+        step = SuperstepMetrics(superstep=superstep)
+        previous_aggregates = registry.previous_values()
+
+        for worker in workers:
+            inbox = inboxes.get(worker.worker_id, {})
+            aggregator_copies = registry.current_copies()
+            outbox, counters = worker.execute_superstep(
+                superstep=superstep,
+                inbox=inbox,
+                aggregator_copies=aggregator_copies,
+                previous_aggregates=previous_aggregates,
+                num_vertices=num_vertices,
+                vertex_factory=job.vertex_factory,
+            )
+            registry.merge_from(aggregator_copies)
+            router.post(outbox)
+
+            step.compute_calls += counters["compute_calls"]
+            step.compute_ops += counters["compute_ops"]
+            step.messages_sent += counters["messages_sent"]
+            step.bytes_sent += counters["bytes_sent"]
+            step.worker_compute_ops.append(counters["compute_ops"])
+            step.worker_messages_sent.append(counters["messages_sent"])
+            step.worker_bytes_sent.append(counters["bytes_sent"])
+            step.worker_messages_received.append(counters["messages_received"])
+            step.worker_bytes_received.append(counters["bytes_received"])
+
+        step.active_vertices = sum(worker.active_count() for worker in workers)
+        return step

@@ -191,7 +191,7 @@ def test_metrics_capture_messages_and_supersteps():
 def test_vertices_distributed_across_workers():
     engine = PregelEngine(num_workers=4)
     vertices = [CountdownVertex(i, value=1) for i in range(1000)]
-    workers = engine._partition_vertices(vertices)
+    workers = engine.backend.partition_into_workers(vertices)
     sizes = [len(worker) for worker in workers]
     assert sum(sizes) == 1000
     assert min(sizes) > 100  # roughly balanced

@@ -103,3 +103,54 @@ def test_router_reset_counters():
     router.reset_counters()
     assert router.raw_message_count == 0
     assert router.raw_byte_count == 0
+
+
+def test_router_combines_incrementally_at_post_time():
+    """With a combiner the buffer stays bounded by distinct targets."""
+    router = MessageRouter(HashPartitioner(4), combiner=min_combiner())
+    for value in range(1000):
+        router.post([(7, value), (8, value + 1)])
+    # 2000 raw messages posted, but only one combined value per target
+    # is buffered — this is what keeps superstep memory bounded.
+    assert router.raw_message_count == 2000
+    assert router.buffered_message_count() == 2
+    inboxes = router.deliver()
+    delivered = {
+        target: messages
+        for per_vertex in inboxes.values()
+        for target, messages in per_vertex.items()
+    }
+    assert delivered == {7: [0], 8: [1]}
+
+
+def test_router_raw_per_worker_counters_survive_combining():
+    partitioner = HashPartitioner(4)
+    router = MessageRouter(partitioner, combiner=min_combiner())
+    router.post([(7, 5), (7, 3), (7, 9)])
+    worker = partitioner.worker_for(7)
+    assert router.messages_to_worker(worker) == 3
+    assert router.bytes_to_worker(worker) == 24  # three 8-byte ints
+    router.deliver()
+    assert router.messages_to_worker(worker) == 0
+    assert router.bytes_to_worker(worker) == 0
+
+
+def test_router_post_time_combining_matches_deliver_time_fold():
+    """Same fold order as the old deliver-time combining: post order."""
+    seen = []
+
+    def record_first(left, right):
+        seen.append((left, right))
+        return min(left, right)
+
+    router = MessageRouter(HashPartitioner(1), combiner=Combiner(record_first))
+    router.post([(1, 5)])
+    router.post([(1, 3), (1, 9)])
+    assert router.deliver() == {0: {1: [3]}}
+    assert seen == [(5, 3), (3, 9)]
+
+
+def test_router_buffered_count_without_combiner_is_raw():
+    router = MessageRouter(HashPartitioner(2))
+    router.post([(1, "a"), (1, "b"), (2, "c")])
+    assert router.buffered_message_count() == 3

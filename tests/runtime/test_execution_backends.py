@@ -1,0 +1,163 @@
+"""Tests for the execution-backend interface, registry and plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.assembler import AssemblyConfig
+from repro.errors import (
+    InvalidJobError,
+    PipelineConfigError,
+    SuperstepLimitExceededError,
+    UnknownBackendError,
+    VertexNotFoundError,
+)
+from repro.pregel import PregelEngine, PregelJob, Vertex, run_single_job
+from repro.pregel.job import JobChain
+from repro.runtime import (
+    ExecutionBackend,
+    MultiprocessBackend,
+    SerialBackend,
+    available_backends,
+    create_backend,
+)
+
+
+class CountdownVertex(Vertex):
+    """Stays active for ``value`` supersteps (module-level: picklable)."""
+
+    def compute(self, messages, ctx):
+        self.value -= 1
+        if self.value <= 0:
+            self.vote_to_halt()
+
+
+class ForeverVertex(Vertex):
+    def compute(self, messages, ctx):
+        ctx.send(self.vertex_id, 1)
+
+
+class BadSenderVertex(Vertex):
+    def compute(self, messages, ctx):
+        ctx.send(999, "hello")
+        self.vote_to_halt()
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+def test_registry_lists_both_builtin_backends():
+    names = available_backends()
+    assert "serial" in names
+    assert "multiprocess" in names
+
+
+def test_create_backend_by_name():
+    backend = create_backend("serial", num_workers=3)
+    assert isinstance(backend, SerialBackend)
+    assert backend.num_workers == 3
+
+
+def test_create_backend_passes_instances_through():
+    backend = SerialBackend(num_workers=2)
+    assert create_backend(backend) is backend
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(UnknownBackendError) as excinfo:
+        create_backend("hadoop")
+    assert "serial" in str(excinfo.value)
+
+
+def test_backend_rejects_non_positive_workers():
+    with pytest.raises(InvalidJobError):
+        SerialBackend(num_workers=0)
+    with pytest.raises(InvalidJobError):
+        MultiprocessBackend(num_workers=-1)
+
+
+# ----------------------------------------------------------------------
+# engine delegation
+# ----------------------------------------------------------------------
+def test_engine_defaults_to_serial_backend():
+    engine = PregelEngine(num_workers=2)
+    assert engine.backend_name == "serial"
+    assert isinstance(engine.backend, ExecutionBackend)
+
+
+def test_engine_accepts_backend_name_and_instance():
+    assert PregelEngine(2, backend="multiprocess").backend_name == "multiprocess"
+    backend = SerialBackend(num_workers=5)
+    engine = PregelEngine(2, backend=backend)
+    assert engine.backend is backend
+    # An instance's worker count wins over the engine argument.
+    assert engine.num_workers == 5
+
+
+def test_engine_rejects_unknown_backend():
+    with pytest.raises(UnknownBackendError):
+        PregelEngine(2, backend="bogus")
+
+
+def test_run_single_job_accepts_backend():
+    result = run_single_job(
+        PregelJob(name="countdown", vertices=[CountdownVertex(1, value=2)]),
+        num_workers=1,
+        backend="serial",
+    )
+    assert result.num_supersteps == 2
+
+
+# ----------------------------------------------------------------------
+# multiprocess backend semantics
+# ----------------------------------------------------------------------
+def test_multiprocess_runs_simple_job():
+    vertices = [CountdownVertex(i, value=3) for i in range(10)]
+    result = PregelEngine(2, backend="multiprocess").run(
+        PregelJob(name="countdown", vertices=vertices)
+    )
+    assert result.num_supersteps == 3
+    assert all(vertex.value == 0 for vertex in result.vertices.values())
+
+
+def test_multiprocess_empty_job_rejected():
+    with pytest.raises(InvalidJobError):
+        MultiprocessBackend(num_workers=2).run(PregelJob(name="empty", vertices=[]))
+
+
+def test_multiprocess_superstep_limit_enforced():
+    job = PregelJob(name="forever", vertices=[ForeverVertex(1)], max_supersteps=4)
+    with pytest.raises(SuperstepLimitExceededError):
+        MultiprocessBackend(num_workers=2).run(job)
+
+
+def test_multiprocess_propagates_worker_exceptions():
+    job = PregelJob(name="bad", vertices=[BadSenderVertex(1)])
+    with pytest.raises(VertexNotFoundError):
+        MultiprocessBackend(num_workers=2).run(job)
+
+
+# ----------------------------------------------------------------------
+# configuration plumbing
+# ----------------------------------------------------------------------
+def test_job_chain_plumbs_backend():
+    chain = JobChain(num_workers=2, backend="multiprocess")
+    assert chain.backend == "multiprocess"
+    assert chain.engine.backend_name == "multiprocess"
+
+
+def test_assembly_config_accepts_and_validates_backend():
+    config = AssemblyConfig(k=15, backend="multiprocess")
+    assert config.backend == "multiprocess"
+    assert config.with_backend("serial").backend == "serial"
+    with pytest.raises(PipelineConfigError):
+        AssemblyConfig(k=15, backend="spark")
+
+
+def test_baselines_accept_and_validate_backend():
+    from repro.baselines import AbyssLikeAssembler
+
+    assembler = AbyssLikeAssembler(k=15, num_workers=2, backend="multiprocess")
+    assert assembler.backend == "multiprocess"
+    with pytest.raises(UnknownBackendError):
+        AbyssLikeAssembler(k=15, num_workers=2, backend="spark")

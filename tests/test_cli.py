@@ -1,0 +1,80 @@
+"""Tests for the ``repro-assemble`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_an_input_source(capsys):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+    assert "required" in capsys.readouterr().err
+
+
+def test_parser_rejects_unknown_backend(capsys):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--simulate", "1000", "--backend", "spark"])
+    assert "invalid choice" in capsys.readouterr().err
+
+
+def test_cli_rejects_even_k(capsys):
+    with pytest.raises(SystemExit):
+        main(["--simulate", "1000", "-k", "16"])
+    assert "odd" in capsys.readouterr().err
+
+
+def test_cli_assembles_simulated_reads(capsys):
+    assert main(["--simulate", "1500", "-k", "15", "--workers", "2"]) == 0
+    output = capsys.readouterr().out
+    assert "assembling" in output
+    assert "contigs=" in output
+    assert "n50=" in output
+    assert "[dbg-construction]" in output
+
+
+def test_cli_quiet_mode_prints_single_line(capsys):
+    assert main(["--simulate", "1500", "-k", "15", "--quiet"]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert len(lines) == 1
+    assert lines[0].startswith("contigs=")
+
+
+def test_cli_multiprocess_backend(capsys):
+    assert (
+        main(
+            [
+                "--simulate",
+                "1500",
+                "-k",
+                "15",
+                "--workers",
+                "2",
+                "--backend",
+                "multiprocess",
+                "--quiet",
+            ]
+        )
+        == 0
+    )
+    assert capsys.readouterr().out.startswith("contigs=")
+
+
+def test_cli_writes_fasta(tmp_path, capsys):
+    output = tmp_path / "contigs.fa"
+    assert main(["--simulate", "1500", "-k", "15", "--output", str(output)]) == 0
+    text = output.read_text()
+    assert text.startswith(">contig_0")
+    assert str(output) in capsys.readouterr().out
+
+
+def test_cli_missing_fastq_reports_error(tmp_path, capsys):
+    missing = tmp_path / "nope.fastq"
+    assert main(["--fastq", str(missing)]) == 1
+    assert "failed to load reads" in capsys.readouterr().err
+
+
+def test_cli_dataset_profile(capsys):
+    assert main(["--dataset", "hc2", "--scale", "0.02", "--quiet"]) == 0
+    assert capsys.readouterr().out.startswith("contigs=")
