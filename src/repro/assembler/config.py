@@ -56,6 +56,12 @@ class AssemblyConfig:
         reproduced from) or ``"multiprocess"`` (shared-nothing worker
         processes for wall-clock parallelism).  Both produce identical
         contigs and metrics.
+    use_vectorized:
+        Run the NumPy batch kernels for the hot paths (DBG-construction
+        phases and the columnar message plane).  Default on; contigs,
+        aggregate histories and metrics are bit-identical either way,
+        and the flag silently falls back to the scalar reference path
+        when NumPy is unavailable.
     """
 
     k: int = 21
@@ -66,6 +72,7 @@ class AssemblyConfig:
     error_correction_rounds: int = 1
     num_workers: int = 4
     backend: str = "serial"
+    use_vectorized: bool = True
 
     def __post_init__(self) -> None:
         if not 1 <= self.k <= MAX_K:
@@ -124,3 +131,7 @@ class AssemblyConfig:
     def with_backend(self, backend: str) -> "AssemblyConfig":
         """Copy of this config with a different execution backend."""
         return replace(self, backend=backend)
+
+    def with_vectorized(self, use_vectorized: bool) -> "AssemblyConfig":
+        """Copy of this config toggling the NumPy batch kernels."""
+        return replace(self, use_vectorized=use_vectorized)

@@ -31,10 +31,12 @@ from typing import Dict, Iterable, List, Tuple
 from ..dbg.bitmap import AdjacencyBitmap
 from ..dbg.graph import DeBruijnGraph
 from ..dbg.kmer_vertex import KmerVertexData
+from ..dna import vectorized
 from ..dna.encoding import canonical_encoded
 from ..dna.io_fastq import Read
 from ..dna.kmer import extract_kplus1mers, validate_k
 from ..pregel.job import JobChain
+from ..pregel.metrics import JobMetrics, SuperstepMetrics
 from .config import AssemblyConfig
 
 
@@ -116,9 +118,18 @@ def build_dbg(
     config: AssemblyConfig,
     chain: JobChain,
 ) -> ConstructionResult:
-    """Run operation ① over ``reads`` and return the de Bruijn graph."""
+    """Run operation ① over ``reads`` and return the de Bruijn graph.
+
+    With ``config.use_vectorized`` (and NumPy present) the two
+    mini-MapReduce phases run as NumPy batch kernels; contigs, graph
+    contents and metrics are bit-identical to the scalar path either
+    way (asserted by ``tests/dna/test_vectorized_parity.py``).
+    """
     validate_k(config.k)
     reads = list(reads)
+
+    if config.use_vectorized and vectorized.numpy_available():
+        return _build_dbg_vectorized(reads, config, chain)
 
     phase1 = chain.run_mapreduce(
         name="dbg-construction/phase1-count-kplus1mers",
@@ -147,4 +158,207 @@ def build_dbg(
         distinct_kplus1mers=distinct,
         surviving_kplus1mers=len(surviving),
         filtered_kplus1mers=distinct - len(surviving),
+    )
+
+
+# ----------------------------------------------------------------------
+# vectorized path
+# ----------------------------------------------------------------------
+# The kernels below reproduce the two mini-MapReduce phases as NumPy
+# batch operations.  Per-read map UDF calls become one batched window
+# extraction; per-key dict accumulation becomes an ``np.unique``
+# segment-reduce.  The shuffle/compute counters the cost model consumes
+# are recomputed from array lengths with the exact formulas
+# :class:`~repro.pregel.mapreduce.MiniMapReduce` charges, so the
+# resulting :class:`~repro.pregel.metrics.JobMetrics` compare equal to
+# the scalar path's field by field.
+
+#: _estimate_size of the phase-(ii) map values: a 4-byte tuple header,
+#: the 2-char polarity string, "out"/"in", and two 8-byte ints.
+_PHASE2_OUT_BYTES = 4 + 2 + 3 + 8 + 8
+_PHASE2_IN_BYTES = 4 + 2 + 2 + 8 + 8
+
+
+def _worker_sums(np, workers, num_workers, weights=None):
+    """Exact per-worker integer sums (bincount; float weights are exact
+    here because every count stays far below 2**53)."""
+    if weights is None:
+        return np.bincount(workers, minlength=num_workers).astype(np.int64)
+    summed = np.bincount(workers, weights=weights.astype(np.float64), minlength=num_workers)
+    return summed.astype(np.int64)
+
+
+def _mapreduce_metrics(
+    np,
+    name: str,
+    num_workers: int,
+    map_ops,
+    shuffle_bytes,
+    total_pairs: int,
+    reduce_ops,
+) -> JobMetrics:
+    """Assemble a JobMetrics identical to MiniMapReduce's accounting."""
+    metrics = JobMetrics(job_name=name, num_workers=num_workers)
+
+    map_step = SuperstepMetrics(superstep=0)
+    map_step.compute_ops = int(map_ops.sum())
+    map_step.worker_compute_ops = [int(ops) for ops in map_ops]
+    map_step.worker_bytes_sent = [int(size) for size in shuffle_bytes]
+    map_step.worker_bytes_received = [int(size) for size in shuffle_bytes]
+    map_step.bytes_sent = int(shuffle_bytes.sum())
+    map_step.messages_sent = total_pairs
+    metrics.add(map_step)
+
+    reduce_step = SuperstepMetrics(superstep=1)
+    reduce_step.compute_ops = int(reduce_ops.sum())
+    reduce_step.worker_compute_ops = [int(ops) for ops in reduce_ops]
+    reduce_step.worker_bytes_sent = [0] * num_workers
+    reduce_step.worker_bytes_received = [0] * num_workers
+    metrics.add(reduce_step)
+
+    metrics.loading_ops = map_step.compute_ops + reduce_step.compute_ops
+    metrics.loading_bytes_shuffled = map_step.bytes_sent
+    return metrics
+
+
+def _build_dbg_vectorized(
+    reads: List[Read],
+    config: AssemblyConfig,
+    chain: JobChain,
+) -> ConstructionResult:
+    """Operation ① with both phases as batch kernels."""
+    import numpy as np
+
+    k = config.k
+    num_workers = chain.num_workers
+    partitioner = chain.partitioner
+
+    # ---- phase (i): count canonical (k+1)-mers ------------------------
+    sequences = [read.sequence for read in reads]
+    observed, per_read = vectorized.extract_window_ids(sequences, k + 1)
+    canonical, _ = vectorized.canonical_ids(observed, k + 1)
+    total_pairs = int(observed.size)
+
+    sources = np.arange(len(sequences), dtype=np.int64) % num_workers
+    map_ops = _worker_sums(np, sources, num_workers) + _worker_sums(
+        np, sources, num_workers, weights=per_read
+    )
+    destinations = partitioner.worker_for_array(canonical)
+    shuffle_bytes = 8 * _worker_sums(np, destinations, num_workers)
+
+    unique_edges, edge_counts = np.unique(canonical, return_counts=True)
+    unique_destinations = partitioner.worker_for_array(unique_edges)
+    survives = edge_counts > config.coverage_threshold
+    reduce_ops = _worker_sums(
+        np,
+        unique_destinations,
+        num_workers,
+        weights=1 + edge_counts + survives,
+    )
+
+    # Outputs ordered like the scalar reduce: by destination worker,
+    # then ascending key (np.unique already sorted the keys).
+    surviving_order = np.argsort(unique_destinations[survives], kind="stable")
+    surviving_edges = unique_edges[survives][surviving_order]
+    surviving_coverage = edge_counts[survives][surviving_order]
+
+    chain.add_metrics(
+        _mapreduce_metrics(
+            np,
+            "dbg-construction/phase1-count-kplus1mers",
+            num_workers,
+            map_ops,
+            shuffle_bytes,
+            total_pairs,
+            reduce_ops,
+        )
+    )
+    distinct = int(unique_edges.size)
+    surviving_count = int(surviving_edges.size)
+
+    # ---- phase (ii): build k-mer vertices -----------------------------
+    fields = vectorized.edge_vertex_fields(surviving_edges, k)
+    sources2 = np.arange(surviving_count, dtype=np.int64) % num_workers
+    map_ops2 = 3 * _worker_sums(np, sources2, num_workers)
+    prefix_destinations = partitioner.worker_for_array(fields["prefix_id"])
+    suffix_destinations = partitioner.worker_for_array(fields["suffix_id"])
+    shuffle_bytes2 = _PHASE2_OUT_BYTES * _worker_sums(
+        np, prefix_destinations, num_workers
+    ) + _PHASE2_IN_BYTES * _worker_sums(np, suffix_destinations, num_workers)
+
+    # One shuffle pair per edge endpoint: the bitmap slot is
+    # class_index * 8 + (4 for out-neighbours) + base, exactly
+    # bit_position() with class_index = 2 * prefix_rc + suffix_rc.
+    class_index = 2 * fields["prefix_rc"].astype(np.int64) + fields["suffix_rc"].astype(
+        np.int64
+    )
+    out_positions = class_index * 8 + 4 + fields["appended_base"]
+    in_positions = class_index * 8 + fields["prepended_base"]
+    pair_keys = np.concatenate((fields["prefix_id"], fields["suffix_id"]))
+    pair_positions = np.concatenate((out_positions, in_positions))
+    pair_coverage = np.concatenate((surviving_coverage, surviving_coverage)).astype(
+        np.int64
+    )
+
+    # Segment-reduce coverage per (k-mer, bitmap slot).
+    order = np.lexsort((pair_positions, pair_keys))
+    sorted_keys = pair_keys[order]
+    sorted_positions = pair_positions[order]
+    sorted_coverage = pair_coverage[order]
+    if sorted_keys.size:
+        slot_starts = np.flatnonzero(
+            np.concatenate(
+                (
+                    [True],
+                    (sorted_keys[1:] != sorted_keys[:-1])
+                    | (sorted_positions[1:] != sorted_positions[:-1]),
+                )
+            )
+        )
+        slot_keys = sorted_keys[slot_starts]
+        slot_positions = sorted_positions[slot_starts]
+        slot_coverage = np.add.reduceat(sorted_coverage, slot_starts)
+    else:
+        slot_keys = sorted_keys
+        slot_positions = sorted_positions
+        slot_coverage = sorted_coverage
+
+    unique_kmers, pair_counts = np.unique(pair_keys, return_counts=True)
+    kmer_destinations = partitioner.worker_for_array(unique_kmers)
+    # Scalar reduce charges 1 + len(values) + 1 per group (one vertex out).
+    reduce_ops2 = _worker_sums(np, kmer_destinations, num_workers, weights=2 + pair_counts)
+
+    chain.add_metrics(
+        _mapreduce_metrics(
+            np,
+            "dbg-construction/phase2-build-vertices",
+            num_workers,
+            map_ops2,
+            shuffle_bytes2,
+            2 * surviving_count,
+            reduce_ops2,
+        )
+    )
+
+    # Expand each k-mer's slots into a vertex, in the scalar output
+    # order (destination worker, then ascending k-mer ID).
+    key_starts = np.searchsorted(slot_keys, unique_kmers, side="left")
+    key_ends = np.searchsorted(slot_keys, unique_kmers, side="right")
+    graph = DeBruijnGraph(k)
+    positions_list = slot_positions.tolist()
+    coverage_list = slot_coverage.tolist()
+    for index in np.argsort(kmer_destinations, kind="stable").tolist():
+        start, end = int(key_starts[index]), int(key_ends[index])
+        bitmap = AdjacencyBitmap.from_positions(
+            positions_list[start:end], coverage_list[start:end]
+        )
+        vertex = KmerVertexData.from_bitmap(int(unique_kmers[index]), k, bitmap)
+        graph.kmers[vertex.kmer_id] = vertex
+
+    return ConstructionResult(
+        graph=graph,
+        total_kplus1mers=total_pairs,
+        distinct_kplus1mers=distinct,
+        surviving_kplus1mers=surviving_count,
+        filtered_kplus1mers=distinct - surviving_count,
     )

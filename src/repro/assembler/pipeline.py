@@ -34,7 +34,11 @@ class PPAAssembler:
     def assemble(self, reads: Iterable[Read]) -> AssemblyResult:
         """Assemble ``reads`` into contigs using workflow ①②③④⑤(⑥②③)*."""
         config = self.config
-        job_chain = JobChain(num_workers=config.num_workers, backend=config.backend)
+        job_chain = JobChain(
+            num_workers=config.num_workers,
+            backend=config.backend,
+            columnar_messages=config.use_vectorized,
+        )
         allocator = ContigIdAllocator()
 
         result = AssemblyResult(

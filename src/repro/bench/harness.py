@@ -14,10 +14,14 @@ the full scaled profiles described in DESIGN.md.
 
 from __future__ import annotations
 
+import hashlib
 import os
+import pickle
+import tempfile
 import time
 from dataclasses import dataclass
 from functools import lru_cache
+from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from ..assembler import AssemblyConfig, PPAAssembler
@@ -88,15 +92,107 @@ class PreparedDataset:
         return self.profile.name
 
 
+#: Bump when the cached payload layout changes; stale entries are
+#: simply regenerated.
+_DATASET_CACHE_VERSION = 1
+
+
+def dataset_cache_dir() -> Optional[Path]:
+    """Directory for on-disk dataset caching, or None when disabled.
+
+    ``REPRO_BENCH_CACHE_DIR`` overrides the location; setting it to
+    ``0``/``off``/``none`` disables disk caching entirely (the in-memory
+    LRU still applies).
+    """
+    raw = os.environ.get("REPRO_BENCH_CACHE_DIR")
+    if raw is not None:
+        if raw.strip().lower() in ("", "0", "off", "none"):
+            return None
+        return Path(raw)
+    base = os.environ.get("XDG_CACHE_HOME")
+    root = Path(base) if base else Path.home() / ".cache"
+    return root / "ppa-assembler-repro" / "datasets"
+
+
+def _dataset_cache_path(profile: DatasetProfile) -> Optional[Path]:
+    directory = dataset_cache_dir()
+    if directory is None:
+        return None
+    # The frozen profile's repr covers every generation input (name,
+    # genome length after scaling, read length, coverage, error rate,
+    # repeat fraction, seed), so any change invalidates the key.
+    digest = hashlib.sha256(
+        repr((_DATASET_CACHE_VERSION, profile)).encode("utf-8")
+    ).hexdigest()[:16]
+    return directory / f"{profile.name}-{digest}.pkl"
+
+
+def _load_dataset_cache(profile: DatasetProfile):
+    """Return ``(reference, reads)`` from disk, or None on any miss."""
+    path = _dataset_cache_path(profile)
+    if path is None:
+        return None
+    try:
+        with open(path, "rb") as handle:
+            stored_profile, reference, reads = pickle.load(handle)
+    except (
+        OSError,
+        pickle.UnpicklingError,
+        EOFError,
+        ValueError,
+        AttributeError,
+        ImportError,  # stale entry pickled against a moved/renamed class
+    ):
+        return None
+    if stored_profile != profile:  # hash collision or stale format
+        return None
+    return reference, reads
+
+
+def _store_dataset_cache(profile: DatasetProfile, reference, reads) -> None:
+    """Best-effort atomic write; caching must never break a benchmark."""
+    path = _dataset_cache_path(profile)
+    if path is None:
+        return
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        descriptor, temp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                pickle.dump((profile, reference, reads), handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        pass
+
+
 @lru_cache(maxsize=8)
 def _prepare_cached(name: str, scale: float) -> PreparedDataset:
     profile = get_profile(name, scale=scale)
-    reference, reads = profile.generate()
+    cached = _load_dataset_cache(profile)
+    if cached is not None:
+        reference, reads = cached
+    else:
+        # Read simulation dominates benchmark start-up at larger
+        # scales, so materialised datasets are cached on disk keyed by
+        # every generation parameter (profile + scale + seed).
+        reference, reads = profile.generate()
+        _store_dataset_cache(profile, reference, reads)
     return PreparedDataset(profile=profile, reference=reference, reads=reads)
 
 
 def prepare_dataset(name: str, scale: Optional[float] = None) -> PreparedDataset:
-    """Materialise one of the Table I profiles (cached per scale)."""
+    """Materialise one of the Table I profiles (cached per scale).
+
+    Caching is two-level: an in-memory LRU for the current process and
+    a pickle cache on disk (see :func:`dataset_cache_dir`) so repeated
+    benchmark runs skip read re-simulation entirely.
+    """
     return _prepare_cached(name, bench_scale() if scale is None else scale)
 
 

@@ -86,6 +86,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=4, help="number of Pregel workers (default 4)"
     )
     parser.add_argument(
+        "--no-vectorized",
+        action="store_true",
+        help="disable the NumPy batch kernels and run the scalar "
+        "reference path (results are bit-identical, just slower)",
+    )
+    parser.add_argument(
         "--min-contig",
         type=int,
         default=0,
@@ -125,6 +131,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             labeling_method=args.labeling,
             num_workers=args.workers,
             backend=args.backend,
+            use_vectorized=not args.no_vectorized,
         )
     except ReproError as exc:
         parser.error(str(exc))

@@ -119,6 +119,22 @@ class AdjacencyBitmap:
         clone._coverage = dict(self._coverage)
         return clone
 
+    @classmethod
+    def from_positions(cls, positions, coverages) -> "AdjacencyBitmap":
+        """Build a bitmap from parallel bit-position / coverage sequences.
+
+        ``positions`` must be distinct (pre-aggregated) bit indices;
+        used by the vectorized construction path, whose segment-reduce
+        already summed coverage per position.
+        """
+        bitmap = cls()
+        bits = 0
+        for position, coverage in zip(positions, coverages):
+            bits |= 1 << position
+            bitmap._coverage[position] = coverage
+        bitmap.bits = bits
+        return bitmap
+
 
 # ----------------------------------------------------------------------
 # neighbour reconstruction

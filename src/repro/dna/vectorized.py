@@ -1,0 +1,217 @@
+"""NumPy batch kernels for the k-mer pipeline.
+
+The scalar encoders in :mod:`repro.dna.encoding` process one base per
+Python bytecode loop iteration; at benchmark scale the DBG-construction
+phase spends almost all of its time there.  This module provides the
+same operations as array kernels over whole *batches* of reads: bases
+are mapped to the paper's 2-bit code with a 256-entry lookup table,
+(k+1)-mer windows are packed into ``uint64`` lanes with k shift-or
+passes, and reverse complementation is the classic 2-bit-group reversal
+bit-twiddle — no per-base Python loops anywhere.
+
+Every kernel is bit-identical to its scalar counterpart (the property
+tests in ``tests/dna/test_vectorized_parity.py`` assert this on random
+reads), so callers may switch between the two freely; the scalar
+implementations remain the reference oracle.
+
+NumPy is an optional dependency: importing this module never raises,
+and callers gate on :func:`numpy_available` (e.g.
+``AssemblyConfig.use_vectorized`` silently falls back to the scalar
+path when NumPy is missing).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import InvalidKmerError
+
+try:  # pragma: no cover - exercised implicitly by every import
+    import numpy as np
+except Exception:  # pragma: no cover - containers without numpy
+    np = None  # type: ignore[assignment]
+
+#: Largest window that fits a 64-bit lane.  Construction canonicalises
+#: (k+1)-mers, so with MAX_K = 31 windows go up to 32 bases.
+MAX_WINDOW = 32
+
+#: Code assigned to ``N`` (and the read separator) in the base LUT:
+#: any code >= 4 breaks a sliding window, mirroring the scalar path's
+#: split-on-N semantics.
+_BREAK_CODE = 4
+
+#: LUT slot for characters that are invalid even as separators.
+_INVALID_CODE = 255
+
+
+def numpy_available() -> bool:
+    """True when the NumPy-backed kernels can run in this interpreter."""
+    return np is not None
+
+
+def _require_numpy() -> None:
+    if np is None:
+        raise RuntimeError(
+            "NumPy is required for the vectorized k-mer kernels; "
+            "install numpy or use the scalar path"
+        )
+
+
+def _base_lut():
+    """256-entry ASCII -> 2-bit-code table (cached on first use)."""
+    lut = getattr(_base_lut, "_cache", None)
+    if lut is None:
+        lut = np.full(256, _INVALID_CODE, dtype=np.uint8)
+        for base, bits in (("A", 0), ("C", 1), ("G", 2), ("T", 3)):
+            lut[ord(base)] = bits
+        lut[ord("N")] = _BREAK_CODE
+        _base_lut._cache = lut
+    return lut
+
+
+def encode_batch(sequences: Sequence[str]):
+    """Encode a batch of reads into one contiguous code array.
+
+    Reads are joined with an ``N`` separator (which breaks sliding
+    windows exactly like a real undetermined base, so windows never
+    span reads).  Returns ``(codes, starts, lengths)`` where ``codes``
+    is the uint8 code array of the joined text, ``starts[i]`` is the
+    offset of read ``i`` inside it, and ``lengths[i]`` its length.
+
+    Raises :class:`~repro.errors.InvalidKmerError` on any character
+    outside ``ACGTN``, matching the scalar encoders.
+    """
+    _require_numpy()
+    joined = "N".join(sequences)
+    try:
+        raw = np.frombuffer(joined.encode("ascii"), dtype=np.uint8)
+    except UnicodeEncodeError as exc:
+        raise InvalidKmerError(f"invalid non-ASCII base in read batch: {exc}") from None
+    codes = _base_lut()[raw]
+    if codes.size and codes.max() == _INVALID_CODE:
+        bad = joined[int(np.argmax(codes == _INVALID_CODE))]
+        raise InvalidKmerError(f"invalid base {bad!r} in read batch")
+    lengths = np.fromiter(
+        (len(sequence) for sequence in sequences), dtype=np.int64, count=len(sequences)
+    )
+    starts = np.zeros(len(sequences) + 1, dtype=np.int64)
+    if len(sequences):
+        np.cumsum(lengths + 1, out=starts[1:])
+    return codes, starts[:-1], lengths
+
+
+def sliding_window_ids(codes, window: int):
+    """Packed IDs of every length-``window`` window of a code array.
+
+    Returns ``(ids, valid)``: ``ids[i]`` packs the 2-bit codes of
+    ``codes[i : i + window]`` (garbage where the window contains a
+    break/N — always check ``valid``), and ``valid[i]`` is True when
+    the window contains only A/C/G/T codes.
+    """
+    _require_numpy()
+    if not 1 <= window <= MAX_WINDOW:
+        raise InvalidKmerError(f"window must be in [1, {MAX_WINDOW}], got {window}")
+    num_windows = codes.size - window + 1
+    if num_windows <= 0:
+        return np.zeros(0, dtype=np.uint64), np.zeros(0, dtype=bool)
+    lanes = (codes & np.uint8(3)).astype(np.uint64)
+    ids = np.zeros(num_windows, dtype=np.uint64)
+    for offset in range(window):
+        ids = (ids << np.uint64(2)) | lanes[offset : offset + num_windows]
+    breaks = np.zeros(codes.size + 1, dtype=np.int64)
+    np.cumsum(codes >= _BREAK_CODE, out=breaks[1:])
+    valid = (breaks[window:] - breaks[:-window]) == 0
+    return ids, valid
+
+
+def extract_window_ids(sequences: Sequence[str], window: int):
+    """Observed packed window IDs of every read, plus per-read counts.
+
+    Mirrors the scalar pipeline ``split_on_ambiguous`` +
+    :func:`~repro.dna.encoding.iter_encoded_kmers` exactly: windows
+    containing ``N`` are dropped, fragments shorter than ``window``
+    contribute nothing, and the IDs are emitted in read order, then
+    position order.  Returns ``(ids, counts)`` with
+    ``counts[i] == number of windows emitted by read i``.
+    """
+    _require_numpy()
+    codes, starts, lengths = encode_batch(sequences)
+    ids, valid = sliding_window_ids(codes, window)
+    num_windows = ids.size
+    emitted = ids[valid]
+    prefix = np.zeros(num_windows + 1, dtype=np.int64)
+    if num_windows:
+        np.cumsum(valid, out=prefix[1:])
+    low = np.minimum(starts, num_windows)
+    high = np.minimum(starts + lengths, num_windows)
+    counts = prefix[high] - prefix[low]
+    return emitted, counts
+
+
+def reverse_complement_ids(ids, k: int):
+    """Vectorized :func:`~repro.dna.encoding.reverse_complement_encoded`.
+
+    Complementation is a bitwise NOT under the paper's base code; the
+    reversal swaps 2-bit groups with five mask-and-shift rounds over
+    the full 64-bit lane, then right-aligns the result.
+    """
+    _require_numpy()
+    if not 1 <= k <= MAX_WINDOW:
+        raise InvalidKmerError(f"k must be in [1, {MAX_WINDOW}], got {k}")
+    ids = ids.astype(np.uint64, copy=False)
+    payload_mask = np.uint64(((1 << (2 * k)) - 1) & 0xFFFFFFFFFFFFFFFF)
+    x = (~ids) & payload_mask
+    pairs = np.uint64(0x3333333333333333)
+    x = ((x >> np.uint64(2)) & pairs) | ((x & pairs) << np.uint64(2))
+    nibbles = np.uint64(0x0F0F0F0F0F0F0F0F)
+    x = ((x >> np.uint64(4)) & nibbles) | ((x & nibbles) << np.uint64(4))
+    bytes_ = np.uint64(0x00FF00FF00FF00FF)
+    x = ((x >> np.uint64(8)) & bytes_) | ((x & bytes_) << np.uint64(8))
+    shorts = np.uint64(0x0000FFFF0000FFFF)
+    x = ((x >> np.uint64(16)) & shorts) | ((x & shorts) << np.uint64(16))
+    x = (x >> np.uint64(32)) | (x << np.uint64(32))
+    return x >> np.uint64(64 - 2 * k)
+
+
+def canonical_ids(ids, k: int):
+    """Vectorized :func:`~repro.dna.encoding.canonical_encoded`.
+
+    Returns ``(canonical, was_reverse_complemented)``; the boolean
+    array carries the H/L polarity information of each observation.
+    """
+    _require_numpy()
+    rc = reverse_complement_ids(ids, k)
+    was_rc = rc < ids
+    return np.where(was_rc, rc, ids), was_rc
+
+
+def extract_canonical_window_ids(sequences: Sequence[str], window: int):
+    """Canonical window IDs per read batch: ``(canonical_ids, counts)``."""
+    observed, counts = extract_window_ids(sequences, window)
+    canonical, _ = canonical_ids(observed, window)
+    return canonical, counts
+
+
+def edge_vertex_fields(edge_ids, k: int):
+    """Decompose packed (k+1)-mer edges into phase-(ii) vertex fields.
+
+    For each edge this computes everything the scalar phase-(ii) map
+    UDF derives per record: the canonical prefix/suffix k-mer IDs,
+    their reverse-complement flags (the polarity labels), and the
+    appended/prepended bases.  Returns a dict of parallel arrays.
+    """
+    _require_numpy()
+    edge_ids = edge_ids.astype(np.uint64, copy=False)
+    kmer_mask = np.uint64((1 << (2 * k)) - 1)
+    prefix_observed = edge_ids >> np.uint64(2)
+    suffix_observed = edge_ids & kmer_mask
+    prefix_id, prefix_rc = canonical_ids(prefix_observed, k)
+    suffix_id, suffix_rc = canonical_ids(suffix_observed, k)
+    return {
+        "prefix_id": prefix_id,
+        "suffix_id": suffix_id,
+        "prefix_rc": prefix_rc,
+        "suffix_rc": suffix_rc,
+        "appended_base": (edge_ids & np.uint64(3)).astype(np.int64),
+        "prepended_base": ((edge_ids >> np.uint64(2 * k)) & np.uint64(3)).astype(np.int64),
+    }

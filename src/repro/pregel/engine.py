@@ -120,6 +120,7 @@ class PregelEngine:
         self,
         num_workers: int = 4,
         backend: Union[str, "ExecutionBackend"] = DEFAULT_BACKEND,
+        columnar_messages: Optional[bool] = None,
     ) -> None:
         if num_workers <= 0:
             raise InvalidJobError(f"num_workers must be positive, got {num_workers}")
@@ -128,6 +129,11 @@ class PregelEngine:
         from ..runtime import create_backend
 
         self._backend = create_backend(backend, num_workers=num_workers)
+        if columnar_messages is not None:
+            # None keeps the backend's own setting (columnar by default);
+            # an explicit flag — e.g. AssemblyConfig.use_vectorized —
+            # overrides it for every job this engine runs.
+            self._backend.columnar_messages = bool(columnar_messages)
         self.num_workers = self._backend.num_workers
         self.partitioner = self._backend.partitioner
 

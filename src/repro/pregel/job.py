@@ -50,12 +50,26 @@ class JobChain:
     measured.
     """
 
-    def __init__(self, num_workers: int = 4, backend: str = "serial") -> None:
+    def __init__(
+        self,
+        num_workers: int = 4,
+        backend: str = "serial",
+        columnar_messages: Optional[bool] = None,
+    ) -> None:
         self.num_workers = num_workers
         self.backend = backend
-        self.engine = PregelEngine(num_workers=num_workers, backend=backend)
+        self.engine = PregelEngine(
+            num_workers=num_workers,
+            backend=backend,
+            columnar_messages=columnar_messages,
+        )
         self.pipeline_metrics = PipelineMetrics()
         self._partitioner = HashPartitioner(num_workers)
+
+    @property
+    def partitioner(self) -> HashPartitioner:
+        """The shuffle partitioner every stage of this chain uses."""
+        return self._partitioner
 
     # ------------------------------------------------------------------
     # stages
@@ -126,6 +140,16 @@ class JobChain:
     # ------------------------------------------------------------------
     # reporting
     # ------------------------------------------------------------------
+    def add_metrics(self, metrics: JobMetrics) -> None:
+        """Record a stage executed outside the chain's own runners.
+
+        Used by batch-kernel stages (e.g. the vectorized DBG
+        construction) that compute a whole mini-MapReduce round as
+        array operations but still charge the cost model the exact
+        per-worker counters the scalar runner would have produced.
+        """
+        self.pipeline_metrics.add(metrics)
+
     def metrics(self) -> PipelineMetrics:
         return self.pipeline_metrics
 

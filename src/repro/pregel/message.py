@@ -7,6 +7,29 @@ are posted (sender-side), which is how real Pregel systems (and the
 paper's Pregel+) reduce network traffic and bound buffer memory; the
 engine counts both raw and combined message totals so that benchmarks
 can report the numbers the paper reports (raw messages).
+
+Columnar batch path
+-------------------
+Jobs whose messages are plain integers (the common case: vertex IDs
+and counts) can skip per-message Python work entirely.  When a posted
+batch qualifies, the router stores it as two parallel ``uint64``
+arrays, routes it with a vectorized hash, combines duplicates with a
+segment-reduce, and materialises the per-vertex inboxes only at
+delivery — reproducing the scalar path's results *bit for bit*:
+
+* raw message/byte counters are computed from array lengths (8 bytes
+  per int, exactly what ``_estimate_size`` charges);
+* inbox keys appear in first-occurrence post order, matching the
+  scalar dict-insertion order;
+* only ``min``/``sum`` combiners are vectorized, for which integer
+  reassociation is exact (a ``sum`` whose total could wrap 64 bits
+  falls back to Python arithmetic);
+* delivered targets and values are converted back to Python ints.
+
+Batches that do not qualify (non-int payloads, custom combiners, tiny
+batches) flow through the original scalar path unchanged, and a job
+that starts columnar but later posts a non-qualifying batch is demoted
+mid-superstep with its buffered arrays replayed in post order.
 """
 
 from __future__ import annotations
@@ -17,6 +40,19 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from .partitioner import HashPartitioner
 from .vertex import _estimate_size
 
+try:  # pragma: no cover - exercised implicitly by every import
+    import numpy as np
+except Exception:  # pragma: no cover - containers without numpy
+    np = None  # type: ignore[assignment]
+
+#: Batches smaller than this stay on the scalar path: array conversion
+#: has fixed overhead, and tiny batches are the realm of unit tests
+#: that assert on scalar internals.
+COLUMNAR_MIN_BATCH = 64
+
+#: Combiner kinds with an exact vectorized segment-reduce.
+_VECTOR_KINDS = ("min", "sum")
+
 
 class Combiner:
     """Merges messages destined for the same vertex.
@@ -25,10 +61,15 @@ class Combiner:
     optimisation only: algorithms must produce the same result with or
     without it (property-based tests in ``tests/pregel`` check this for
     the PPA primitives).
+
+    ``kind`` optionally names a vectorizable reduction (``"min"`` or
+    ``"sum"``); combiners without a kind always combine through the
+    Python callable.
     """
 
-    def __init__(self, combine: Callable[[Any, Any], Any]) -> None:
+    def __init__(self, combine: Callable[[Any, Any], Any], kind: Optional[str] = None) -> None:
         self._combine = combine
+        self.kind = kind
 
     def combine(self, left: Any, right: Any) -> Any:
         return self._combine(left, right)
@@ -42,12 +83,103 @@ def _combine_add(left: Any, right: Any) -> Any:
 
 def min_combiner() -> Combiner:
     """Combiner keeping only the smallest message (e.g. for hash-min CC)."""
-    return Combiner(min)
+    return Combiner(min, kind="min")
 
 
 def sum_combiner() -> Combiner:
     """Combiner summing numeric messages."""
-    return Combiner(_combine_add)
+    return Combiner(_combine_add, kind="sum")
+
+
+# ----------------------------------------------------------------------
+# columnar helpers (shared with the multiprocess backend)
+# ----------------------------------------------------------------------
+def combiner_vectorizable(combiner: Optional[Combiner]) -> bool:
+    """True when a job's combining step has an exact array reduction."""
+    return combiner is None or getattr(combiner, "kind", None) in _VECTOR_KINDS
+
+
+def columns_from_pairs(pairs):
+    """Convert ``[(target, message), ...]`` to two uint64 arrays.
+
+    Returns ``None`` when any element is not a plain ``int`` (bools and
+    floats would silently coerce and corrupt byte accounting / values)
+    or does not fit an unsigned 64-bit lane.
+    """
+    if np is None:
+        return None
+    for target, message in pairs:
+        # The negative check matters on NumPy < 2.0, where np.array
+        # silently wraps negative Python ints into the uint64 lane
+        # instead of raising OverflowError.
+        if (
+            type(target) is not int
+            or type(message) is not int
+            or target < 0
+            or message < 0
+        ):
+            return None
+    try:
+        table = np.array(pairs, dtype=np.uint64)
+    except (OverflowError, TypeError, ValueError):
+        return None
+    if table.ndim != 2 or table.shape[1] != 2:  # pragma: no cover - defensive
+        return None
+    return np.ascontiguousarray(table[:, 0]), np.ascontiguousarray(table[:, 1])
+
+
+def combine_columns(targets, values, kind: str):
+    """Segment-reduce duplicate targets; first-occurrence order.
+
+    Returns ``(unique_targets, combined_values)`` ordered by each
+    target's first appearance — the order the scalar combining dict
+    would hold them in.  Returns ``None`` when a ``sum`` could exceed
+    the uint64 lane (the caller then folds in Python, where ints do
+    not wrap).
+    """
+    if targets.size <= 1:
+        return targets, values
+    if kind == "sum" and values.size and int(values.max()) >= (1 << 63) // values.size:
+        return None
+    sort_index = np.argsort(targets, kind="stable")
+    sorted_targets = targets[sort_index]
+    sorted_values = values[sort_index]
+    run_starts = np.flatnonzero(
+        np.concatenate(([True], sorted_targets[1:] != sorted_targets[:-1]))
+    )
+    if kind == "min":
+        reduced = np.minimum.reduceat(sorted_values, run_starts)
+    else:
+        reduced = np.add.reduceat(sorted_values, run_starts)
+    # The stable sort keeps each run in posting order, so the run head's
+    # original index is the target's first occurrence.
+    first_seen = sort_index[run_starts]
+    order = np.argsort(first_seen, kind="stable")
+    return sorted_targets[run_starts][order], reduced[order]
+
+
+def group_columns(targets, values):
+    """Group values per target, preserving scalar-path ordering.
+
+    Yields ``(target, [values...])`` with targets in first-occurrence
+    order and each value list in posting order — exactly the structure
+    the scalar per-vertex grouping dict produces.  Everything yielded
+    is plain Python ints.
+    """
+    sort_index = np.argsort(targets, kind="stable")
+    sorted_targets = targets[sort_index]
+    sorted_values = values[sort_index].tolist()
+    run_starts = np.flatnonzero(
+        np.concatenate(([True], sorted_targets[1:] != sorted_targets[:-1]))
+    )
+    run_ends = np.concatenate((run_starts[1:], [sorted_targets.size]))
+    first_seen = sort_index[run_starts]
+    order = np.argsort(first_seen, kind="stable")
+    keys = sorted_targets[run_starts].tolist()
+    starts = run_starts.tolist()
+    ends = run_ends.tolist()
+    for run in order.tolist():
+        yield keys[run], sorted_values[starts[run] : ends[run]]
 
 
 class MessageRouter:
@@ -65,17 +197,33 @@ class MessageRouter:
     distinct targets instead of the raw message count.  The raw
     message/byte counters keep counting every posted message, which is
     what the paper's tables report.
+
+    ``columnar=True`` (the default) enables the array batch path for
+    qualifying integer-message jobs; see the module docstring.  The
+    results are bit-identical either way.
     """
 
-    def __init__(self, partitioner: HashPartitioner, combiner: Optional[Combiner] = None) -> None:
+    def __init__(
+        self,
+        partitioner: HashPartitioner,
+        combiner: Optional[Combiner] = None,
+        columnar: bool = True,
+    ) -> None:
         self._partitioner = partitioner
         self._combiner = combiner
+        self._columnar = bool(columnar) and np is not None
         # Without a combiner: outgoing[worker] is the list of
         # (target_id, message) produced this superstep.
         self._outgoing: Dict[int, List[Tuple[int, Any]]] = defaultdict(list)
         # With a combiner: combined[worker][target_id] is the running
         # combined value (insertion-ordered by first message per target).
         self._combined: Dict[int, Dict[int, Any]] = defaultdict(dict)
+        # Columnar segments in post order: (targets, values) uint64
+        # arrays, already combined per batch when a combiner is set.
+        self._segments: List[Tuple[Any, Any]] = []
+        # Per-superstep columnar decision: None until the first post,
+        # then "cols" or "py"; deliver() resets it.
+        self._mode: Optional[str] = None
         # Raw per-worker counts survive combining for the accounting API.
         self._pending_messages: Dict[int, int] = defaultdict(int)
         self._pending_bytes: Dict[int, int] = defaultdict(int)
@@ -83,7 +231,37 @@ class MessageRouter:
         self.raw_byte_count = 0
 
     def post(self, messages: List[Tuple[int, Any]]) -> None:
-        """Accept a batch of ``(target_id, message)`` pairs from one vertex."""
+        """Accept a batch of ``(target_id, message)`` pairs from one vertex
+        or worker outbox."""
+        if not messages:
+            return
+        if self._columnar and self._mode != "py":
+            if self._mode is None:
+                # The first non-empty batch decides the superstep's mode.
+                # A small or non-qualifying first batch pins the whole
+                # superstep to the scalar path: mixing scalar and
+                # columnar stores would lose the global first-occurrence
+                # inbox ordering that bit-for-bit parity requires, and
+                # per-worker outboxes are posted whole, so a qualifying
+                # job's first batch is essentially never small.
+                if (
+                    len(messages) >= COLUMNAR_MIN_BATCH
+                    and combiner_vectorizable(self._combiner)
+                    and self._post_columnar(messages)
+                ):
+                    self._mode = "cols"
+                    return
+                self._mode = "py"
+            else:  # already columnar this superstep
+                if self._post_columnar(messages):
+                    return
+                self._demote()
+        self._post_scalar(messages)
+
+    # ------------------------------------------------------------------
+    # scalar path (reference implementation)
+    # ------------------------------------------------------------------
+    def _post_scalar(self, messages: List[Tuple[int, Any]]) -> None:
         for target_id, message in messages:
             worker = self._partitioner.worker_for(target_id)
             self.raw_message_count += 1
@@ -100,6 +278,92 @@ class MessageRouter:
                 else:
                     slot[target_id] = message
 
+    # ------------------------------------------------------------------
+    # columnar path
+    # ------------------------------------------------------------------
+    def _post_columnar(self, messages: List[Tuple[int, Any]]) -> bool:
+        columns = columns_from_pairs(messages)
+        if columns is None:
+            return False
+        targets, values = columns
+        if self._combiner is not None:
+            combined = combine_columns(targets, values, self._combiner.kind)
+            if combined is None:
+                return False
+            stored_targets, stored_values = combined
+        else:
+            stored_targets, stored_values = targets, values
+        # Raw accounting always charges the *posted* messages.
+        raw_count = int(targets.size)
+        destinations = self._partitioner.worker_for_array(targets)
+        pending = np.bincount(destinations, minlength=self._partitioner.num_workers)
+        self.raw_message_count += raw_count
+        self.raw_byte_count += 8 * raw_count
+        for worker in np.flatnonzero(pending).tolist():
+            count = int(pending[worker])
+            self._pending_messages[worker] += count
+            self._pending_bytes[worker] += 8 * count
+        self._segments.append((stored_targets, stored_values))
+        return True
+
+    def _demote(self) -> None:
+        """Replay buffered columnar segments through the scalar stores.
+
+        Raw counters were already charged at post time, so the replay
+        only rebuilds the scalar buffers, in the original post order.
+        """
+        segments, self._segments = self._segments, []
+        self._mode = "py"
+        for targets, values in segments:
+            pairs = list(zip(targets.tolist(), values.tolist()))
+            if self._combiner is None:
+                for target_id, message in pairs:
+                    worker = self._partitioner.worker_for(target_id)
+                    self._outgoing[worker].append((target_id, message))
+            else:
+                for target_id, message in pairs:
+                    worker = self._partitioner.worker_for(target_id)
+                    slot = self._combined[worker]
+                    if target_id in slot:
+                        slot[target_id] = self._combiner.combine(slot[target_id], message)
+                    else:
+                        slot[target_id] = message
+
+    def _deliver_columnar(self) -> Dict[int, Dict[int, List[Any]]]:
+        targets = np.concatenate([segment[0] for segment in self._segments])
+        values = np.concatenate([segment[1] for segment in self._segments])
+        destinations = self._partitioner.worker_for_array(targets)
+        inboxes: Dict[int, Dict[int, List[Any]]] = {}
+        for worker in np.unique(destinations).tolist():
+            selector = destinations == worker
+            worker_targets = targets[selector]
+            worker_values = values[selector]
+            if self._combiner is None:
+                inboxes[worker] = {
+                    target: messages
+                    for target, messages in group_columns(worker_targets, worker_values)
+                }
+                continue
+            combined = combine_columns(worker_targets, worker_values, self._combiner.kind)
+            if combined is None:
+                # A sum could wrap the uint64 lane: fold exactly in Python.
+                slot: Dict[int, Any] = {}
+                for target, message in zip(worker_targets.tolist(), worker_values.tolist()):
+                    if target in slot:
+                        slot[target] = self._combiner.combine(slot[target], message)
+                    else:
+                        slot[target] = message
+                inboxes[worker] = {target: [message] for target, message in slot.items()}
+            else:
+                inboxes[worker] = {
+                    target: [message]
+                    for target, message in zip(combined[0].tolist(), combined[1].tolist())
+                }
+        return inboxes
+
+    # ------------------------------------------------------------------
+    # accounting API
+    # ------------------------------------------------------------------
     def messages_to_worker(self, worker: int) -> int:
         """Number of pending raw messages addressed to ``worker``."""
         return self._pending_messages.get(worker, 0)
@@ -112,11 +376,13 @@ class MessageRouter:
         """Messages actually held in memory right now.
 
         Equals the raw pending count without a combiner; with one it is
-        bounded by the number of distinct destination vertices.
+        bounded by the number of distinct destination vertices (per
+        posted batch on the columnar path).
         """
+        buffered = sum(int(segment[0].size) for segment in self._segments)
         if self._combiner is None:
-            return sum(len(pending) for pending in self._outgoing.values())
-        return sum(len(slot) for slot in self._combined.values())
+            return buffered + sum(len(pending) for pending in self._outgoing.values())
+        return buffered + sum(len(slot) for slot in self._combined.values())
 
     def deliver(self) -> Dict[int, Dict[int, List[Any]]]:
         """Group pending messages into per-worker, per-vertex inboxes.
@@ -127,25 +393,34 @@ class MessageRouter:
         post order — the same fold the old deliver-time combining
         performed, so results are unchanged.
         """
-        inboxes: Dict[int, Dict[int, List[Any]]] = {}
-        if self._combiner is None:
+        if self._segments:
+            inboxes = self._deliver_columnar()
+        elif self._combiner is None:
+            inboxes = {}
             for worker, pending in self._outgoing.items():
                 per_vertex: Dict[int, List[Any]] = defaultdict(list)
                 for target_id, message in pending:
                     per_vertex[target_id].append(message)
                 inboxes[worker] = dict(per_vertex)
         else:
+            inboxes = {}
             for worker, slot in self._combined.items():
                 inboxes[worker] = {target_id: [message] for target_id, message in slot.items()}
         self._outgoing = defaultdict(list)
         self._combined = defaultdict(dict)
+        self._segments = []
+        self._mode = None
         self._pending_messages = defaultdict(int)
         self._pending_bytes = defaultdict(int)
         return inboxes
 
     def has_pending(self) -> bool:
         """True if any message is waiting for delivery."""
-        return any(self._outgoing.values()) or any(self._combined.values())
+        return (
+            any(self._outgoing.values())
+            or any(self._combined.values())
+            or any(int(segment[0].size) for segment in self._segments)
+        )
 
     def reset_counters(self) -> None:
         self.raw_message_count = 0

@@ -38,5 +38,18 @@ class HashPartitioner:
             return mixed % self.num_workers
         return hash(key) % self.num_workers
 
+    def worker_for_array(self, keys):
+        """Vectorized :meth:`worker_for` over a ``uint64`` NumPy array.
+
+        Bit-identical to the scalar method for integer keys: the uint64
+        multiply wraps modulo 2**64 exactly like the masked Python
+        multiply.  Returns an ``int64`` array of worker indices.
+        """
+        import numpy as np
+
+        mixed = keys.astype(np.uint64, copy=False) * np.uint64(self._GOLDEN)
+        mixed = mixed ^ (mixed >> np.uint64(29))
+        return (mixed % np.uint64(self.num_workers)).astype(np.int64)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"HashPartitioner(num_workers={self.num_workers})"

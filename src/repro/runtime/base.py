@@ -46,10 +46,16 @@ class ExecutionBackend(ABC):
     #: Registry key; subclasses override and register via :func:`register_backend`.
     name: str = "abstract"
 
-    def __init__(self, num_workers: int = 4) -> None:
+    #: Whether qualifying integer-message jobs use the columnar batch
+    #: path of :mod:`repro.pregel.message` (bit-identical results; the
+    #: flag exists so parity tests can pin the scalar reference path).
+    columnar_messages: bool = True
+
+    def __init__(self, num_workers: int = 4, columnar_messages: bool = True) -> None:
         if num_workers <= 0:
             raise InvalidJobError(f"num_workers must be positive, got {num_workers}")
         self.num_workers = num_workers
+        self.columnar_messages = bool(columnar_messages)
         self.partitioner = HashPartitioner(num_workers)
 
     @abstractmethod

@@ -44,12 +44,26 @@ from ..errors import BackendExecutionError, InvalidJobError, SuperstepLimitExcee
 from ..pregel.aggregator import Aggregator
 from ..pregel.aggregator import AggregatorRegistry
 from ..pregel.engine import JobResult, PregelJob
-from ..pregel.message import Combiner
+from ..pregel.message import (
+    COLUMNAR_MIN_BATCH,
+    Combiner,
+    columns_from_pairs,
+    combine_columns,
+    combiner_vectorizable,
+)
 from ..pregel.metrics import JobMetrics, SuperstepMetrics
 from ..pregel.partitioner import HashPartitioner
 from ..pregel.vertex import Vertex, VertexFactory
 from ..pregel.worker import Worker
 from .base import ExecutionBackend, register_backend
+
+try:  # pragma: no cover - exercised implicitly by every import
+    import numpy as np
+except Exception:  # pragma: no cover - containers without numpy
+    np = None  # type: ignore[assignment]
+
+#: Marker tag for columnar message batches on the data queues.
+_COLS = "cols"
 
 #: Commands on the master -> worker channel.
 _STEP = "step"
@@ -87,14 +101,37 @@ def _route_outbox(
     outbox: List[Tuple[int, Any]],
     partitioner: HashPartitioner,
     combiner: Optional[Combiner],
-) -> Dict[int, List[Tuple[int, Any]]]:
+    columnar: bool = True,
+) -> Dict[int, Any]:
     """Group an outbox into per-destination batches, combining sender-side.
 
     With a combiner, each destination batch carries at most one message
     per target vertex — this happens *before* pickling, so combined
     traffic is what crosses the process boundary, exactly like the
     sender-side combining of real Pregel systems.
+
+    Qualifying integer outboxes are shipped as columnar batches
+    ``("cols", targets, values)`` — two ndarrays pickle orders of
+    magnitude faster than millions of tuples — preserving the scalar
+    batches' first-occurrence ordering so receivers fold identically.
     """
+    if columnar and np is not None and len(outbox) >= COLUMNAR_MIN_BATCH and combiner_vectorizable(combiner):
+        columns = columns_from_pairs(outbox)
+        if columns is not None:
+            targets, values = columns
+            if combiner is not None:
+                combined = combine_columns(targets, values, combiner.kind)
+                if combined is None:
+                    columns = None  # sum could wrap: fall through to scalar
+                else:
+                    targets, values = combined
+            if columns is not None:
+                destinations = partitioner.worker_for_array(targets)
+                batches: Dict[int, Any] = {}
+                for destination in np.unique(destinations).tolist():
+                    selector = destinations == destination
+                    batches[destination] = (_COLS, targets[selector], values[selector])
+                return batches
     if combiner is None:
         batches: Dict[int, List[Tuple[int, Any]]] = {}
         for target_id, message in outbox:
@@ -114,8 +151,20 @@ def _route_outbox(
     }
 
 
+def _batch_pairs(batch):
+    """Iterate a data-queue batch as ``(target, message)`` pairs.
+
+    Accepts both the scalar tuple-list format and the columnar
+    ``("cols", targets, values)`` format; columnar values come back as
+    plain Python ints, so folding is identical either way.
+    """
+    if isinstance(batch, tuple) and len(batch) == 3 and batch[0] == _COLS:
+        return zip(batch[1].tolist(), batch[2].tolist())
+    return iter(batch)
+
+
 def _merge_batches(
-    batches_by_sender: Dict[int, List[Tuple[int, Any]]],
+    batches_by_sender: Dict[int, Any],
     num_workers: int,
     combiner: Optional[Combiner],
 ) -> Dict[int, List[Any]]:
@@ -127,7 +176,7 @@ def _merge_batches(
     """
     inbox: Dict[int, List[Any]] = {}
     for sender in range(num_workers):
-        for target_id, message in batches_by_sender.get(sender, ()):
+        for target_id, message in _batch_pairs(batches_by_sender.get(sender, ())):
             if combiner is not None and target_id in inbox:
                 inbox[target_id] = [combiner.combine(inbox[target_id][0], message)]
             else:
@@ -143,6 +192,7 @@ def _worker_main(
     vertex_factory: Optional[VertexFactory],
     aggregator_template: Dict[str, Aggregator],
     num_vertices: int,
+    columnar: bool,
     command_queue,
     data_queues,
     control_queue,
@@ -194,7 +244,7 @@ def _worker_main(
                 vertex_factory=vertex_factory,
             )
 
-            batches = _route_outbox(outbox, partitioner, combiner)
+            batches = _route_outbox(outbox, partitioner, combiner, columnar)
             for destination in range(num_workers):
                 batch = batches.get(destination, [])
                 if destination == worker_id:
@@ -235,8 +285,13 @@ class MultiprocessBackend(ExecutionBackend):
 
     name = "multiprocess"
 
-    def __init__(self, num_workers: int = 4, start_method: Optional[str] = None) -> None:
-        super().__init__(num_workers)
+    def __init__(
+        self,
+        num_workers: int = 4,
+        start_method: Optional[str] = None,
+        columnar_messages: bool = True,
+    ) -> None:
+        super().__init__(num_workers, columnar_messages=columnar_messages)
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
@@ -285,6 +340,7 @@ class MultiprocessBackend(ExecutionBackend):
                     job.vertex_factory,
                     aggregator_template,
                     num_vertices,
+                    self.columnar_messages,
                     command_queues[worker_id],
                     data_queues,
                     control_queue,

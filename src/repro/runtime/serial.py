@@ -37,7 +37,7 @@ class SerialBackend(ExecutionBackend):
         for aggregator in job.aggregators:
             registry.register(aggregator)
 
-        router = MessageRouter(self.partitioner, job.combiner)
+        router = MessageRouter(self.partitioner, job.combiner, columnar=self.columnar_messages)
         metrics = JobMetrics(job_name=job.name, num_workers=self.num_workers)
         aggregate_history: List[Dict[str, Any]] = []
 

@@ -47,6 +47,43 @@ def test_prepare_dataset_caching_returns_same_object():
     assert first.name == "hc2"
 
 
+def test_dataset_disk_cache_roundtrip(monkeypatch, tmp_path):
+    from repro.bench import harness
+    from repro.dna.datasets import get_profile
+
+    monkeypatch.setenv("REPRO_BENCH_CACHE_DIR", str(tmp_path))
+    profile = get_profile("hc2", scale=0.05)
+
+    assert harness._load_dataset_cache(profile) is None
+    reference, reads = profile.generate()
+    harness._store_dataset_cache(profile, reference, reads)
+    assert harness._dataset_cache_path(profile).exists()
+
+    cached = harness._load_dataset_cache(profile)
+    assert cached is not None
+    cached_reference, cached_reads = cached
+    assert cached_reference == reference
+    assert cached_reads == reads
+
+    # A different scale (hence genome length) must miss, not collide.
+    # (0.05 clamps to the 2 kb genome floor, so pick one above it.)
+    other = get_profile("hc2", scale=0.2)
+    assert harness._load_dataset_cache(other) is None
+
+    # Corrupt payloads regenerate instead of crashing.
+    harness._dataset_cache_path(profile).write_bytes(b"not a pickle")
+    assert harness._load_dataset_cache(profile) is None
+
+
+def test_dataset_disk_cache_can_be_disabled(monkeypatch):
+    from repro.bench import harness
+    from repro.dna.datasets import get_profile
+
+    monkeypatch.setenv("REPRO_BENCH_CACHE_DIR", "off")
+    assert harness.dataset_cache_dir() is None
+    assert harness._dataset_cache_path(get_profile("hc2", scale=0.05)) is None
+
+
 def test_ppa_config_factory():
     config = ppa_config(num_workers=32, labeling_method="sv")
     assert config.num_workers == 32
