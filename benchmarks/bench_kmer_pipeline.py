@@ -20,7 +20,7 @@ from pathlib import Path
 
 from repro.assembler import AssemblyConfig
 from repro.assembler.construction import build_dbg
-from repro.bench import BENCH_K, bench_scale, format_table, prepare_dataset
+from repro.bench import BENCH_K, bench_report, bench_scale, format_table, prepare_dataset
 from repro.dna import vectorized
 from repro.dna.encoding import canonical_encoded, iter_encoded_kmers
 from repro.dna.sequence import split_on_ambiguous
@@ -123,12 +123,13 @@ def test_kmer_pipeline_speedup(benchmark):
         _bench_stages, args=(sequences, dataset.reads), rounds=1, iterations=1
     )
 
-    report = {
-        "dataset": DATASET,
-        "scale": scale,
-        "k": BENCH_K,
-        "reads": len(sequences),
-        "stages": {
+    report = bench_report(
+        benchmark="kmer_pipeline",
+        dataset=DATASET,
+        scale=scale,
+        k=BENCH_K,
+        reads=len(sequences),
+        stages={
             name: {
                 "scalar_seconds": round(scalar_seconds, 6),
                 "vectorized_seconds": round(vector_seconds, 6),
@@ -136,7 +137,7 @@ def test_kmer_pipeline_speedup(benchmark):
             }
             for name, (scalar_seconds, vector_seconds) in stages.items()
         },
-    }
+    )
     report["headline_speedup"] = report["stages"]["dbg-construction"]["speedup"]
     output = _output_path()
     output.write_text(json.dumps(report, indent=2) + "\n")

@@ -1,0 +1,118 @@
+"""Scaffolding benchmark: contig vs scaffold contiguity on paired-end data.
+
+Assembles a paired-end simulation of the HC-2 profile (the reference is
+published, so NG50 is computable), runs the scaffolding stage, and
+records how much contiguity the stage recovers — the contig-vs-scaffold
+N50/NG50 comparison every scaffolder paper leads with.  Writes
+``BENCH_scaffolding.json`` (shared envelope, see
+:mod:`repro.bench.schema`) so CI can track the trajectory.
+
+The dataset is deliberately *fragmented*: the profile's repeat fraction
+breaks the assembly into dozens of contigs, and the insert size is
+chosen well above the repeat length so read pairs can bridge the
+breaks.
+
+Output location: the repository root by default, overridable with
+``REPRO_BENCH_OUTPUT_DIR``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.bench import (
+    BENCH_K,
+    bench_report,
+    bench_scale,
+    format_table,
+    prepare_paired_dataset,
+    run_ppa_scaffolded,
+    scaffold_metrics,
+)
+
+DATASET = "hc2"
+NUM_WORKERS = 4
+INSERT_SIZE_MEAN = 600.0
+INSERT_SIZE_STD = 60.0
+
+
+def _output_path() -> Path:
+    override = os.environ.get("REPRO_BENCH_OUTPUT_DIR")
+    root = Path(override) if override else Path(__file__).resolve().parents[1]
+    return root / "BENCH_scaffolding.json"
+
+
+def test_scaffolding_contiguity(benchmark):
+    scale = bench_scale()
+    dataset = prepare_paired_dataset(
+        DATASET,
+        insert_size_mean=INSERT_SIZE_MEAN,
+        insert_size_std=INSERT_SIZE_STD,
+    )
+
+    result = benchmark.pedantic(
+        lambda: run_ppa_scaffolded(dataset, num_workers=NUM_WORKERS),
+        rounds=1,
+        iterations=1,
+    )
+    scaffolding = result.scaffolding
+    assert scaffolding is not None
+
+    contig_lengths = [len(sequence) for sequence in result.contigs]
+    scaffold_lengths = [len(sequence) for sequence in result.scaffolds]
+    metrics = scaffold_metrics(
+        contig_lengths,
+        scaffold_lengths,
+        reference_length=dataset.profile.genome_length,
+    )
+
+    report = bench_report(
+        benchmark="scaffolding",
+        dataset=DATASET,
+        scale=scale,
+        k=BENCH_K,
+        pairs=scaffolding.num_pairs,
+        pairs_mapped=scaffolding.num_pairs_mapped,
+        links_selected=scaffolding.num_links_selected,
+        links_used=scaffolding.num_links_used,
+        insert_size_configured=INSERT_SIZE_MEAN,
+        insert_size_estimated=round(scaffolding.insert_size, 1),
+        **metrics,
+    )
+    output = _output_path()
+    output.write_text(json.dumps(report, indent=2) + "\n")
+
+    print()
+    print(
+        f"Scaffolding: contigs vs scaffolds ({DATASET}, scale {scale}, "
+        f"k={BENCH_K}, insert {INSERT_SIZE_MEAN:.0f}±{INSERT_SIZE_STD:.0f})"
+    )
+    print(
+        format_table(
+            ["metric", "contigs", "scaffolds"],
+            [
+                ["count", metrics["num_contigs"], metrics["num_scaffolds"]],
+                ["total bp", metrics["contig_total_bp"], metrics["scaffold_total_bp"]],
+                ["N50", metrics["contig_n50"], metrics["scaffold_n50"]],
+                ["NG50", metrics["contig_ng50"], metrics["scaffold_ng50"]],
+                ["largest", metrics["largest_contig"], metrics["largest_scaffold"]],
+            ],
+        )
+    )
+    print(
+        f"pairs mapped: {scaffolding.num_pairs_mapped}/{scaffolding.num_pairs}, "
+        f"links used: {scaffolding.num_links_used}, "
+        f"estimated insert: {scaffolding.insert_size:.0f}"
+    )
+    print(f"wrote {output}")
+
+    # The acceptance property of the stage: joining whole contigs can
+    # only improve contiguity.  (Strict N50 improvement depends on
+    # *which* contigs join, so the seed-pinned tests under
+    # tests/scaffold/ assert it; here every link must at least reduce
+    # the scaffold count regardless of scale.)
+    assert metrics["scaffold_n50"] >= metrics["contig_n50"]
+    if scaffolding.num_links_selected > 0:
+        assert metrics["num_scaffolds"] < metrics["num_contigs"]

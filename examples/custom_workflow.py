@@ -15,9 +15,13 @@ a custom pipeline by hand instead of using :class:`PPAAssembler`:
 Run with::
 
     python examples/custom_workflow.py
+
+``REPRO_EXAMPLE_SCALE`` shrinks the dataset (used by the CI smoke run).
 """
 
 from __future__ import annotations
+
+import os
 
 from repro.assembler import (
     AssemblyConfig,
@@ -34,9 +38,16 @@ from repro.pregel.job import JobChain
 from repro.quality import contig_statistics
 
 
+EXAMPLE_SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "1.0"))
+
+
 def main() -> None:
     genome, reads = simulate_dataset(
-        genome_length=15_000, read_length=100, coverage=25, error_rate=0.008, seed=5
+        genome_length=max(2_000, int(15_000 * EXAMPLE_SCALE)),
+        read_length=100,
+        coverage=25,
+        error_rate=0.008,
+        seed=5,
     )
     print(f"genome {len(genome):,} bp, {len(reads):,} reads")
 

@@ -8,10 +8,13 @@ assembler are written to FASTA files next to it.
 Run with::
 
     python examples/quality_report.py [output_directory]
+
+``REPRO_EXAMPLE_SCALE`` shrinks the dataset (used by the CI smoke run).
 """
 
 from __future__ import annotations
 
+import os
 import sys
 import tempfile
 from pathlib import Path
@@ -30,6 +33,7 @@ from repro.quality import compare_assemblies
 
 MIN_CONTIG = 100
 K = 21
+EXAMPLE_SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "1.0"))
 
 
 def main() -> None:
@@ -37,7 +41,7 @@ def main() -> None:
     output_dir.mkdir(parents=True, exist_ok=True)
 
     # HC-2 is the profile with a reference, which Table IV needs.
-    profile = get_profile("hc2", scale=0.5)
+    profile = get_profile("hc2", scale=0.5 * EXAMPLE_SCALE)
     reference, reads = profile.generate_with_reference()
 
     # FASTQ round trip: write the simulated reads, then parse them back,

@@ -12,13 +12,20 @@ The script walks through the shortest useful path through the library:
 2. run the full PPA-assembler workflow (①②③④⑤⑥②③ of Figure 10),
 3. print per-stage statistics and the headline contig metrics,
 4. check the contigs against the known reference.
+
+``REPRO_EXAMPLE_SCALE`` shrinks the dataset (CI smoke-tests every
+example at a tiny scale so the documented entry points cannot rot).
 """
 
 from __future__ import annotations
 
+import os
+
 from repro import AssemblyConfig, PPAAssembler
 from repro.dna import reverse_complement, simulate_dataset
 from repro.quality import evaluate_assembly
+
+EXAMPLE_SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "1.0"))
 
 
 def main() -> None:
@@ -27,7 +34,7 @@ def main() -> None:
     #    0.5% substitution errors, a few repeated segments.
     # ------------------------------------------------------------------
     genome, reads = simulate_dataset(
-        genome_length=20_000,
+        genome_length=max(2_000, int(20_000 * EXAMPLE_SCALE)),
         read_length=100,
         coverage=20,
         error_rate=0.005,

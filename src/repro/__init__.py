@@ -5,14 +5,18 @@ Pregel" (ICDE 2018).  The package is organised by subsystem:
 
 * :mod:`repro.pregel` — the Pregel+ substrate (BSP engine, aggregators,
   combiners, mini-MapReduce, in-memory job chaining, cost model);
+* :mod:`repro.runtime` — pluggable execution backends for the
+  superstep loop (serial simulation | real multiprocess workers);
 * :mod:`repro.ppa` — the Practical Pregel Algorithms used as building
   blocks (list ranking, simplified/original S-V, Hash-Min);
-* :mod:`repro.dna` — sequences, k-mer encoding, FASTQ IO, read
-  simulation and the Table I dataset profiles;
+* :mod:`repro.dna` — sequences, k-mer encoding, FASTQ IO, single- and
+  paired-end read simulation and the Table I dataset profiles;
 * :mod:`repro.dbg` — de Bruijn graph data structures (vertex IDs,
   adjacency bitmaps, polarity, k-mer/contig vertices);
 * :mod:`repro.assembler` — the five assembly operations and the
   workflow driver (the paper's contribution);
+* :mod:`repro.scaffold` — paired-end scaffolding: the PPA toolkit run
+  on the contig-link graph, ordering contigs into gap-padded scaffolds;
 * :mod:`repro.baselines` — ABySS/Ray/SWAP/Spaler-style comparison
   assemblers;
 * :mod:`repro.quality` — QUAST-style quality assessment;
@@ -28,15 +32,22 @@ Quickstart::
     print(result.num_contigs(), result.largest_contig())
 """
 
-from .assembler import AssemblyConfig, AssemblyResult, PPAAssembler, assemble_reads
+from .assembler import (
+    AssemblyConfig,
+    AssemblyResult,
+    PPAAssembler,
+    assemble_paired_reads,
+    assemble_reads,
+)
 from .errors import ReproError
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AssemblyConfig",
     "AssemblyResult",
     "PPAAssembler",
+    "assemble_paired_reads",
     "assemble_reads",
     "ReproError",
     "__version__",

@@ -19,7 +19,7 @@ from .config import (
 from .construction import ConstructionResult, build_dbg
 from .labeling import LabelingResult, label_contigs
 from .merging import MergingResult, merge_contigs
-from .pipeline import PPAAssembler, assemble_reads
+from .pipeline import PPAAssembler, assemble_paired_reads, assemble_reads
 from .pruning import PruningResult, prune_low_coverage_contigs
 from .results import AssemblyResult, StageSummary
 from .tips import TipRemovalResult, remove_tips
@@ -41,6 +41,7 @@ __all__ = [
     "MergingResult",
     "merge_contigs",
     "PPAAssembler",
+    "assemble_paired_reads",
     "assemble_reads",
     "PruningResult",
     "prune_low_coverage_contigs",

@@ -12,6 +12,7 @@ of simulated workers.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional
 
 from ..dna.encoding import MAX_K
 from ..errors import PipelineConfigError, UnknownBackendError
@@ -62,6 +63,19 @@ class AssemblyConfig:
         aggregate histories and metrics are bit-identical either way,
         and the flag silently falls back to the scalar reference path
         when NumPy is unavailable.
+    scaffold:
+        Run the paired-end scaffolding stage (:mod:`repro.scaffold`)
+        after the final contig merge.  Off by default — it only has
+        evidence to work with when the assembler is fed read *pairs*
+        (:meth:`~repro.assembler.pipeline.PPAAssembler.assemble_paired`).
+    scaffold_min_links:
+        Minimum number of read pairs that must support a contig link
+        before scaffolding trusts it (2 by default; 1 admits chimeric
+        single-pair joins).
+    scaffold_insert_size:
+        The paired-end library's insert size.  ``None`` (default) lets
+        the stage estimate it from pairs whose mates map to the same
+        contig, which is what real scaffolders do.
     """
 
     k: int = 21
@@ -73,6 +87,9 @@ class AssemblyConfig:
     num_workers: int = 4
     backend: str = "serial"
     use_vectorized: bool = True
+    scaffold: bool = False
+    scaffold_min_links: int = 2
+    scaffold_insert_size: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not 1 <= self.k <= MAX_K:
@@ -106,6 +123,14 @@ class AssemblyConfig:
             )
         if self.num_workers < 1:
             raise PipelineConfigError(f"num_workers must be positive, got {self.num_workers}")
+        if self.scaffold_min_links < 1:
+            raise PipelineConfigError(
+                f"scaffold_min_links must be at least 1, got {self.scaffold_min_links}"
+            )
+        if self.scaffold_insert_size is not None and self.scaffold_insert_size <= 0:
+            raise PipelineConfigError(
+                f"scaffold_insert_size must be positive, got {self.scaffold_insert_size}"
+            )
         try:
             ensure_backend(self.backend)
         except UnknownBackendError as exc:
@@ -135,3 +160,21 @@ class AssemblyConfig:
     def with_vectorized(self, use_vectorized: bool) -> "AssemblyConfig":
         """Copy of this config toggling the NumPy batch kernels."""
         return replace(self, use_vectorized=use_vectorized)
+
+    def with_scaffolding(
+        self,
+        scaffold: bool = True,
+        min_links: Optional[int] = None,
+        insert_size: Optional[float] = None,
+    ) -> "AssemblyConfig":
+        """Copy of this config with the scaffolding stage toggled/tuned."""
+        return replace(
+            self,
+            scaffold=scaffold,
+            scaffold_min_links=(
+                self.scaffold_min_links if min_links is None else min_links
+            ),
+            scaffold_insert_size=(
+                self.scaffold_insert_size if insert_size is None else insert_size
+            ),
+        )

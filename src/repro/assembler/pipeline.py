@@ -14,8 +14,9 @@ from __future__ import annotations
 from typing import Iterable, List, Optional
 
 from ..dbg.ids import ContigIdAllocator
-from ..dna.io_fastq import Read
+from ..dna.io_fastq import Read, ReadPair, reads_from_pairs
 from ..pregel.job import JobChain
+from ..scaffold.scaffolder import scaffold_contigs
 from .bubble import filter_bubbles
 from .config import AssemblyConfig
 from .construction import build_dbg
@@ -31,8 +32,17 @@ class PPAAssembler:
     def __init__(self, config: Optional[AssemblyConfig] = None) -> None:
         self.config = config or AssemblyConfig()
 
-    def assemble(self, reads: Iterable[Read]) -> AssemblyResult:
-        """Assemble ``reads`` into contigs using workflow ①②③④⑤(⑥②③)*."""
+    def assemble(
+        self,
+        reads: Iterable[Read],
+        pairs: Optional[List[ReadPair]] = None,
+    ) -> AssemblyResult:
+        """Assemble ``reads`` into contigs using workflow ①②③④⑤(⑥②③)*.
+
+        When ``config.scaffold`` is set and ``pairs`` carries the reads'
+        pairing (normally supplied via :meth:`assemble_paired`), the
+        paired-end scaffolding stage runs after the final merge.
+        """
         config = self.config
         job_chain = JobChain(
             num_workers=config.num_workers,
@@ -109,7 +119,39 @@ class PPAAssembler:
                 cycles=remerging.cycles_merged,
             )
 
+        # ── optional paired-end scaffolding (post-merge) ────────────────
+        if config.scaffold and pairs:
+            scaffolding = scaffold_contigs(
+                result.contigs,
+                pairs,
+                job_chain,
+                seed_k=config.k,
+                min_links=config.scaffold_min_links,
+                insert_size=config.scaffold_insert_size,
+            )
+            result.scaffolding = scaffolding
+            result.add_stage(
+                "scaffolding",
+                contigs=len(scaffolding.contigs),
+                scaffolds=len(scaffolding.scaffolds),
+                joined=scaffolding.num_joined(),
+                links_used=scaffolding.num_links_used,
+                pairs_mapped=scaffolding.num_pairs_mapped,
+                insert_size=round(scaffolding.insert_size, 1),
+            )
+
         return result
+
+    def assemble_paired(self, pairs: Iterable[ReadPair]) -> AssemblyResult:
+        """Assemble a paired-end library.
+
+        Both mates feed the de Bruijn graph exactly as unpaired reads
+        would (the paper's workflow is pairing-agnostic); the pairing
+        itself is kept aside and consumed by the scaffolding stage when
+        ``config.scaffold`` is enabled.
+        """
+        pair_list = list(pairs)
+        return self.assemble(reads_from_pairs(pair_list), pairs=pair_list)
 
 
 def assemble_reads(
@@ -118,3 +160,11 @@ def assemble_reads(
 ) -> AssemblyResult:
     """One-call convenience wrapper around :class:`PPAAssembler`."""
     return PPAAssembler(config).assemble(reads)
+
+
+def assemble_paired_reads(
+    pairs: Iterable[ReadPair],
+    config: Optional[AssemblyConfig] = None,
+) -> AssemblyResult:
+    """One-call convenience wrapper for paired-end libraries."""
+    return PPAAssembler(config).assemble_paired(pairs)

@@ -9,6 +9,7 @@ from ..dbg.graph import DeBruijnGraph
 from ..dna.io_fastq import FastaRecord, write_fasta
 from ..pregel.cost_model import ClusterProfile, CostModel
 from ..pregel.metrics import JobMetrics, PipelineMetrics
+from ..scaffold.scaffolder import ScaffoldingResult
 from .config import AssemblyConfig
 
 
@@ -29,6 +30,7 @@ class AssemblyResult:
     metrics: PipelineMetrics
     stages: List[StageSummary] = field(default_factory=list)
     labeling_metrics: Dict[str, List[JobMetrics]] = field(default_factory=dict)
+    scaffolding: Optional[ScaffoldingResult] = None
 
     # ------------------------------------------------------------------
     # contig access
@@ -59,6 +61,28 @@ class AssemblyResult:
             for index, sequence in enumerate(self.contigs)
         ]
         return write_fasta(records, path)
+
+    # ------------------------------------------------------------------
+    # scaffold access (populated when config.scaffold ran on read pairs)
+    # ------------------------------------------------------------------
+    @property
+    def scaffolds(self) -> List[str]:
+        """All scaffold sequences, longest first (empty if the stage didn't run)."""
+        if self.scaffolding is None:
+            return []
+        return self.scaffolding.sequences
+
+    def scaffolds_longer_than(self, min_length: int) -> List[str]:
+        return [sequence for sequence in self.scaffolds if len(sequence) >= min_length]
+
+    def write_scaffold_fasta(self, path) -> int:
+        """Write the scaffolds to a FASTA file; returns the record count."""
+        if self.scaffolding is None:
+            raise ValueError(
+                "no scaffolds to write: the scaffolding stage did not run "
+                "(enable AssemblyConfig.scaffold and assemble read pairs)"
+            )
+        return self.scaffolding.write_fasta(path)
 
     # ------------------------------------------------------------------
     # cost model hooks

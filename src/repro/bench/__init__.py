@@ -5,31 +5,41 @@ from .harness import (
     BENCH_MIN_CONTIG,
     FIGURE12_WORKERS,
     PreparedDataset,
+    PreparedPairedDataset,
     all_assembler_contigs,
     bench_cluster_profile,
     bench_scale,
     ppa_config,
     prepare_dataset,
+    prepare_paired_dataset,
     run_baselines,
     run_ppa,
+    run_ppa_scaffolded,
     run_ppa_timed,
 )
 from .reporting import format_comparison, format_scaling_series, format_table
+from .schema import BENCH_SCHEMA_VERSION, bench_report, scaffold_metrics
 
 __all__ = [
     "BENCH_K",
     "BENCH_MIN_CONTIG",
     "FIGURE12_WORKERS",
     "PreparedDataset",
+    "PreparedPairedDataset",
     "all_assembler_contigs",
     "bench_cluster_profile",
     "bench_scale",
     "ppa_config",
     "prepare_dataset",
+    "prepare_paired_dataset",
     "run_baselines",
     "run_ppa",
+    "run_ppa_scaffolded",
     "run_ppa_timed",
     "format_comparison",
     "format_scaling_series",
     "format_table",
+    "BENCH_SCHEMA_VERSION",
+    "bench_report",
+    "scaffold_metrics",
 ]

@@ -33,7 +33,7 @@ from ..baselines import (
     SwapLikeAssembler,
 )
 from ..dna.datasets import DatasetProfile, get_profile
-from ..dna.io_fastq import Read
+from ..dna.io_fastq import Read, ReadPair, reads_from_pairs
 from ..pregel.cost_model import ClusterProfile
 
 #: k-mer size used by every benchmark (the paper uses 31; the scaled
@@ -241,6 +241,56 @@ def run_ppa_timed(
     started = time.perf_counter()
     result = run_ppa(dataset, num_workers, labeling_method, backend)
     return result, time.perf_counter() - started
+
+
+@dataclass
+class PreparedPairedDataset:
+    """A materialised paired-end dataset ready for scaffolding runs."""
+
+    profile: DatasetProfile
+    reference: Optional[str]
+    pairs: List[ReadPair]
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+    @property
+    def reads(self) -> List[Read]:
+        """Both mates flattened, the way the DBG stages consume them."""
+        return reads_from_pairs(self.pairs)
+
+
+def prepare_paired_dataset(
+    name: str,
+    scale: Optional[float] = None,
+    insert_size_mean: float = 500.0,
+    insert_size_std: float = 50.0,
+) -> PreparedPairedDataset:
+    """Materialise a Table I profile as a paired-end library.
+
+    Unlike :func:`prepare_dataset` this is not disk-cached: paired
+    generation is only used by the scaffolding benchmark, which runs at
+    small scales.
+    """
+    profile = get_profile(name, scale=bench_scale() if scale is None else scale)
+    reference, pairs = profile.generate_paired(
+        insert_size_mean=insert_size_mean, insert_size_std=insert_size_std
+    )
+    return PreparedPairedDataset(profile=profile, reference=reference, pairs=pairs)
+
+
+def run_ppa_scaffolded(
+    dataset: PreparedPairedDataset,
+    num_workers: int = 16,
+    backend: str = "serial",
+    min_links: int = 2,
+) -> AssemblyResult:
+    """Run PPA-assembler plus the scaffolding stage over read pairs."""
+    config = ppa_config(num_workers=num_workers, backend=backend).with_scaffolding(
+        min_links=min_links
+    )
+    return PPAAssembler(config).assemble_paired(dataset.pairs)
 
 
 def run_baselines(

@@ -1,0 +1,73 @@
+"""The JSON schema shared by the ``BENCH_*.json`` artifacts.
+
+Benchmarks that CI tracks over time (``bench_kmer_pipeline.py``,
+``bench_scaffolding.py``) write their results as JSON files in the
+repository root.  This module pins the common envelope so downstream
+tooling can consume every artifact the same way:
+
+* ``schema_version`` — bumped whenever a field changes meaning;
+* ``benchmark`` — which script produced the file;
+* ``dataset`` / ``scale`` / ``k`` — what was measured;
+* benchmark-specific payload fields next to the envelope.
+
+For scaffolding runs, :func:`scaffold_metrics` standardises the
+contig-vs-scaffold contiguity fields (N50/NG50 and friends) so any
+future benchmark reporting scaffolds emits the same keys.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..quality.stats import n50_value, ng50_value
+
+#: Version of the shared ``BENCH_*.json`` envelope.  History:
+#: 1 — implicit (PR 2's ``BENCH_kmer_pipeline.json``, no version field);
+#: 2 — envelope formalised, scaffold metrics fields added.
+BENCH_SCHEMA_VERSION = 2
+
+
+def bench_report(
+    benchmark: str,
+    dataset: str,
+    scale: float,
+    k: int,
+    **payload: object,
+) -> Dict[str, object]:
+    """Assemble a ``BENCH_*.json`` document with the shared envelope."""
+    report: Dict[str, object] = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "benchmark": benchmark,
+        "dataset": dataset,
+        "scale": scale,
+        "k": k,
+    }
+    report.update(payload)
+    return report
+
+
+def scaffold_metrics(
+    contig_lengths: List[int],
+    scaffold_lengths: List[int],
+    reference_length: Optional[int] = None,
+) -> Dict[str, object]:
+    """The standard contig-vs-scaffold contiguity fields.
+
+    ``*_ng50`` fields are only present when the reference length is
+    known (reference-free datasets mirror Table V and omit them).
+    """
+    metrics: Dict[str, object] = {
+        "num_contigs": len(contig_lengths),
+        "num_scaffolds": len(scaffold_lengths),
+        "contig_total_bp": sum(contig_lengths),
+        "scaffold_total_bp": sum(scaffold_lengths),
+        "contig_n50": n50_value(contig_lengths),
+        "scaffold_n50": n50_value(scaffold_lengths),
+        "largest_contig": max(contig_lengths, default=0),
+        "largest_scaffold": max(scaffold_lengths, default=0),
+    }
+    if reference_length is not None:
+        metrics["reference_length"] = reference_length
+        metrics["contig_ng50"] = ng50_value(contig_lengths, reference_length)
+        metrics["scaffold_ng50"] = ng50_value(scaffold_lengths, reference_length)
+    return metrics

@@ -1,18 +1,25 @@
 """``repro-assemble``: command-line front end for the PPA-assembler.
 
-Three input modes, mirroring how the library is exercised elsewhere:
+Four input modes, mirroring how the library is exercised elsewhere:
 
 * ``--dataset NAME`` materialises one of the paper's Table I dataset
   profiles (scaled via ``--scale``);
 * ``--fastq PATH`` assembles reads from a FASTQ file;
+* ``--fastq-pair R1 R2`` assembles a paired-end library from two
+  parallel FASTQ files (the ``_1.fastq`` / ``_2.fastq`` convention);
 * ``--simulate LENGTH`` generates a random genome of the given length
   and simulates reads from it (quickstart mode, no input files needed).
+
+``--scaffold`` runs the paired-end scaffolding stage after assembly;
+it needs pairing information, so it combines with ``--fastq-pair`` or
+with the simulating modes (which then draw read *pairs* using the
+``--insert-size``/``--insert-std`` model).
 
 The assembly runs on the execution backend chosen with ``--backend``
 (serial simulation by default, ``multiprocess`` for real parallelism)
 and prints a compact report: per-stage summaries, contig statistics and
 wall-clock / simulated-cluster seconds.  ``--output`` additionally
-writes the contigs as FASTA.
+writes the contigs as FASTA, ``--scaffold-output`` the scaffolds.
 """
 
 from __future__ import annotations
@@ -25,8 +32,8 @@ from typing import List, Optional
 from .assembler import AssemblyConfig, PPAAssembler
 from .assembler.config import LABELING_LIST_RANKING, LABELING_SIMPLIFIED_SV
 from .dna.datasets import get_profile
-from .dna.io_fastq import parse_fastq
-from .dna.simulator import simulate_dataset
+from .dna.io_fastq import parse_fastq, parse_paired_fastq, reads_from_pairs
+from .dna.simulator import simulate_dataset, simulate_paired_dataset
 from .errors import ReproError
 from .quality.stats import n50_value
 from .runtime import available_backends
@@ -47,6 +54,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--fastq",
         metavar="PATH",
         help="assemble reads from a FASTQ file",
+    )
+    source.add_argument(
+        "--fastq-pair",
+        nargs=2,
+        metavar=("R1", "R2"),
+        help="assemble a paired-end library from two parallel FASTQ files",
     )
     source.add_argument(
         "--simulate",
@@ -92,6 +105,38 @@ def build_parser() -> argparse.ArgumentParser:
         "reference path (results are bit-identical, just slower)",
     )
     parser.add_argument(
+        "--scaffold",
+        action="store_true",
+        help="run paired-end scaffolding after assembly (needs --fastq-pair, "
+        "or a simulating mode which then draws read pairs)",
+    )
+    parser.add_argument(
+        "--insert-size",
+        type=float,
+        default=None,
+        help="paired-end insert size mean: sizes simulated pairs "
+        "(default 500) and overrides the scaffolder's own estimate "
+        "(default: estimate from same-contig pairs)",
+    )
+    parser.add_argument(
+        "--insert-std",
+        type=float,
+        default=50.0,
+        help="paired-end insert size standard deviation for simulated "
+        "pairs (default 50)",
+    )
+    parser.add_argument(
+        "--min-links",
+        type=int,
+        default=2,
+        help="read pairs required to support a scaffold link (default 2)",
+    )
+    parser.add_argument(
+        "--scaffold-output",
+        metavar="FASTA",
+        help="write the scaffolds to this FASTA file (implies --scaffold)",
+    )
+    parser.add_argument(
         "--min-contig",
         type=int,
         default=0,
@@ -108,21 +153,49 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _load_reads(args: argparse.Namespace):
+def _load_input(args: argparse.Namespace):
+    """Materialise the input: ``(reads, pairs or None, description)``."""
+    simulate_paired = args.scaffold or args.scaffold_output
+    insert_mean = args.insert_size if args.insert_size is not None else 500.0
     if args.dataset is not None:
         profile = get_profile(args.dataset, scale=args.scale)
+        source = f"dataset {profile.name} (scale {args.scale})"
+        if simulate_paired:
+            _reference, pairs = profile.generate_paired(
+                insert_size_mean=insert_mean, insert_size_std=args.insert_std
+            )
+            return reads_from_pairs(pairs), pairs, source
         _reference, reads = profile.generate()
-        return reads, f"dataset {profile.name} (scale {args.scale})"
+        return reads, None, source
     if args.fastq is not None:
-        reads = list(parse_fastq(args.fastq))
-        return reads, f"fastq {args.fastq}"
+        return list(parse_fastq(args.fastq)), None, f"fastq {args.fastq}"
+    if args.fastq_pair is not None:
+        path1, path2 = args.fastq_pair
+        pairs = list(parse_paired_fastq(path1, path2))
+        return reads_from_pairs(pairs), pairs, f"fastq pair {path1} + {path2}"
+    source = f"simulated genome of {args.simulate} bp (seed {args.seed})"
+    if simulate_paired:
+        _genome, pairs = simulate_paired_dataset(
+            genome_length=args.simulate,
+            insert_size_mean=insert_mean,
+            insert_size_std=args.insert_std,
+            seed=args.seed,
+        )
+        return reads_from_pairs(pairs), pairs, source
     _genome, reads = simulate_dataset(genome_length=args.simulate, seed=args.seed)
-    return reads, f"simulated genome of {args.simulate} bp (seed {args.seed})"
+    return reads, None, source
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    scaffold = bool(args.scaffold or args.scaffold_output)
+    if scaffold and args.fastq is not None:
+        parser.error(
+            "--scaffold needs pairing information: use --fastq-pair (or a "
+            "simulating mode, which then draws read pairs)"
+        )
 
     try:
         config = AssemblyConfig(
@@ -132,12 +205,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             num_workers=args.workers,
             backend=args.backend,
             use_vectorized=not args.no_vectorized,
+            scaffold=scaffold,
+            scaffold_min_links=args.min_links,
+            scaffold_insert_size=args.insert_size,
         )
     except ReproError as exc:
         parser.error(str(exc))
 
     try:
-        reads, source = _load_reads(args)
+        reads, pairs, source = _load_input(args)
     except (OSError, ValueError, ReproError) as exc:
         print(f"repro-assemble: failed to load reads: {exc}", file=sys.stderr)
         return 1
@@ -151,11 +227,17 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     started = time.perf_counter()
     try:
-        result = PPAAssembler(config).assemble(reads)
+        result = PPAAssembler(config).assemble(reads, pairs=pairs)
     except ReproError as exc:
         print(f"repro-assemble: assembly failed: {exc}", file=sys.stderr)
         return 1
     wall_seconds = time.perf_counter() - started
+
+    if scaffold and result.scaffolding is None:
+        print(
+            "repro-assemble: scaffolding skipped: the input contained no read pairs",
+            file=sys.stderr,
+        )
 
     if not args.quiet:
         for stage in result.stages:
@@ -164,10 +246,20 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     contigs = result.contigs_longer_than(args.min_contig)
     lengths = [len(contig) for contig in contigs]
-    print(
+    summary = (
         f"contigs={len(contigs)} total_bp={sum(lengths)} "
-        f"largest={max(lengths, default=0)} n50={n50_value(lengths)} "
-        f"wall_seconds={wall_seconds:.2f} "
+        f"largest={max(lengths, default=0)} n50={n50_value(lengths)}"
+    )
+    if result.scaffolding is not None:
+        scaffold_lengths = [
+            len(sequence) for sequence in result.scaffolds_longer_than(args.min_contig)
+        ]
+        summary += (
+            f" scaffolds={len(scaffold_lengths)}"
+            f" scaffold_n50={n50_value(scaffold_lengths)}"
+        )
+    print(
+        f"{summary} wall_seconds={wall_seconds:.2f} "
         f"simulated_seconds={result.estimated_seconds():.2f}"
     )
 
@@ -175,6 +267,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         written = result.write_fasta(args.output)
         if not args.quiet:
             print(f"wrote {written} contigs to {args.output}")
+    if args.scaffold_output and result.scaffolding is not None:
+        written = result.write_scaffold_fasta(args.scaffold_output)
+        if not args.quiet:
+            print(f"wrote {written} scaffolds to {args.scaffold_output}")
     return 0
 
 

@@ -33,6 +33,25 @@ class Read:
 
 
 @dataclass(frozen=True)
+class ReadPair:
+    """One paired-end read: the two mates of a sequenced fragment.
+
+    ``read1`` is the fragment's 5' mate (sequenced forward), ``read2``
+    the 3' mate (sequenced as the reverse complement of the fragment's
+    far end), so the two mates point *towards each other* — the
+    standard Illumina FR ("innie") orientation that scaffolding relies
+    on.
+    """
+
+    read1: Read
+    read2: Read
+
+    def __iter__(self) -> Iterator[Read]:
+        yield self.read1
+        yield self.read2
+
+
+@dataclass(frozen=True)
 class FastaRecord:
     """One FASTA record (used for references and assembled contigs)."""
 
@@ -120,6 +139,78 @@ def write_fastq(reads: Iterable[Read], target: PathOrHandle) -> int:
             handle.close()
 
 
+def _mate_base_name(name: str) -> str:
+    """Strip a trailing ``/1`` / ``/2`` mate suffix from a read name."""
+    if len(name) >= 2 and name[-2] == "/" and name[-1] in "12":
+        return name[:-2]
+    return name
+
+
+def parse_paired_fastq(
+    source1: PathOrHandle,
+    source2: PathOrHandle,
+    validate: bool = True,
+) -> Iterator[ReadPair]:
+    """Yield :class:`ReadPair` records from two parallel FASTQ files.
+
+    The two files must hold the mates in the same order (the universal
+    ``_1.fastq`` / ``_2.fastq`` convention).  Mate names may carry the
+    ``/1`` and ``/2`` suffixes; when both do, the base names must agree
+    record by record.  A length mismatch between the files is an error
+    — truncated pair files silently corrupt scaffolding evidence.
+    """
+    iterator1 = parse_fastq(source1, validate=validate)
+    iterator2 = parse_fastq(source2, validate=validate)
+    index = 0
+    while True:
+        read1 = next(iterator1, None)
+        read2 = next(iterator2, None)
+        if read1 is None and read2 is None:
+            return
+        if read1 is None or read2 is None:
+            longer = "second" if read1 is None else "first"
+            raise FastqFormatError(
+                f"paired FASTQ files are out of sync: the {longer} file has "
+                f"more records (pair {index} has no mate)"
+            )
+        base1 = _mate_base_name(read1.name)
+        base2 = _mate_base_name(read2.name)
+        if base1 != base2:
+            raise FastqFormatError(
+                f"mate names disagree at pair {index}: {read1.name!r} vs {read2.name!r}"
+            )
+        yield ReadPair(read1=read1, read2=read2)
+        index += 1
+
+
+def write_paired_fastq(
+    pairs: Iterable[ReadPair],
+    target1: PathOrHandle,
+    target2: PathOrHandle,
+) -> int:
+    """Write mates to two parallel FASTQ files; returns the pair count.
+
+    Mate names are written exactly as stored; simulators already attach
+    the ``/1`` / ``/2`` suffixes.
+    """
+    handle1, owns1 = _open_for_writing(target1)
+    try:
+        handle2, owns2 = _open_for_writing(target2)
+        try:
+            count = 0
+            for pair in pairs:
+                write_fastq([pair.read1], handle1)
+                write_fastq([pair.read2], handle2)
+                count += 1
+            return count
+        finally:
+            if owns2:
+                handle2.close()
+    finally:
+        if owns1:
+            handle1.close()
+
+
 # ----------------------------------------------------------------------
 # FASTA
 # ----------------------------------------------------------------------
@@ -178,3 +269,12 @@ def reads_from_strings(sequences: Iterable[str], prefix: str = "read") -> List[R
         Read(name=f"{prefix}-{index}", sequence=sequence.upper())
         for index, sequence in enumerate(sequences)
     ]
+
+
+def reads_from_pairs(pairs: Iterable[ReadPair]) -> List[Read]:
+    """Flatten read pairs into the mate list the DBG stages consume.
+
+    Mates stay adjacent in pair order — the layout every consumer
+    (pipeline, CLI, bench harness) relies on.
+    """
+    return [read for pair in pairs for read in pair]

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from .alphabet import NUCLEOTIDES
-from .io_fastq import Read
+from .io_fastq import Read, ReadPair
 from .sequence import reverse_complement
 
 _COMPLEMENTARY_ERROR_CHOICES = {
@@ -36,6 +36,28 @@ _COMPLEMENTARY_ERROR_CHOICES = {
     "G": "ACT",
     "T": "ACG",
 }
+
+
+def _apply_sequencing_errors(
+    fragment: str,
+    rng: random.Random,
+    error_rate: float,
+    ambiguous_rate: float,
+) -> Tuple[str, int]:
+    """Introduce substitution errors and occasional ``N`` bases."""
+    if error_rate == 0.0 and ambiguous_rate == 0.0:
+        return fragment, 0
+    bases = list(fragment)
+    errors = 0
+    for position, base in enumerate(bases):
+        roll = rng.random()
+        if roll < error_rate:
+            bases[position] = rng.choice(_COMPLEMENTARY_ERROR_CHOICES[base])
+            errors += 1
+        elif roll < error_rate + ambiguous_rate:
+            bases[position] = "N"
+            errors += 1
+    return "".join(bases), errors
 
 
 def generate_genome(
@@ -156,21 +178,10 @@ class ReadSimulator:
         return reads
 
     def _apply_errors(self, fragment: str, rng: random.Random) -> Tuple[str, int]:
-        """Introduce substitution errors and occasional ``N`` bases."""
         config = self.config
-        if config.error_rate == 0.0 and config.ambiguous_rate == 0.0:
-            return fragment, 0
-        bases = list(fragment)
-        errors = 0
-        for position, base in enumerate(bases):
-            roll = rng.random()
-            if roll < config.error_rate:
-                bases[position] = rng.choice(_COMPLEMENTARY_ERROR_CHOICES[base])
-                errors += 1
-            elif roll < config.error_rate + config.ambiguous_rate:
-                bases[position] = "N"
-                errors += 1
-        return "".join(bases), errors
+        return _apply_sequencing_errors(
+            fragment, rng, config.error_rate, config.ambiguous_rate
+        )
 
 
 def simulate_dataset(
@@ -191,6 +202,160 @@ def simulate_dataset(
         ReadSimulationConfig(
             read_length=read_length,
             coverage=coverage,
+            error_rate=error_rate,
+            seed=seed + 1,
+        )
+    )
+    return genome, simulator.simulate(genome)
+
+
+# ----------------------------------------------------------------------
+# paired-end simulation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PairedReadSimulationConfig:
+    """Parameters of one simulated paired-end sequencing run.
+
+    The fragment (insert) length is drawn from a normal distribution
+    with mean ``insert_size_mean`` and standard deviation
+    ``insert_size_std`` — the same model ART and wgsim use — and the
+    two mates are read from the fragment's ends in FR orientation:
+    mate 1 forward from the 5' end, mate 2 reverse-complemented from
+    the 3' end.  ``coverage`` counts *base* coverage over both mates
+    together, so the pair count is ``coverage * G / (2 * read_length)``.
+    """
+
+    read_length: int = 100
+    coverage: float = 30.0
+    insert_size_mean: float = 500.0
+    insert_size_std: float = 50.0
+    error_rate: float = 0.01
+    ambiguous_rate: float = 0.0005
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.read_length <= 0:
+            raise ValueError(f"read_length must be positive, got {self.read_length}")
+        if self.coverage <= 0:
+            raise ValueError(f"coverage must be positive, got {self.coverage}")
+        if self.insert_size_mean < 2 * self.read_length:
+            raise ValueError(
+                f"insert_size_mean must be at least twice the read length "
+                f"({2 * self.read_length}), got {self.insert_size_mean}"
+            )
+        if self.insert_size_std < 0:
+            raise ValueError(
+                f"insert_size_std must be non-negative, got {self.insert_size_std}"
+            )
+        if not 0.0 <= self.error_rate < 1.0:
+            raise ValueError(f"error_rate must be in [0, 1), got {self.error_rate}")
+        if not 0.0 <= self.ambiguous_rate < 1.0:
+            raise ValueError(f"ambiguous_rate must be in [0, 1), got {self.ambiguous_rate}")
+
+
+class PairedReadSimulator:
+    """Draws error-bearing read pairs from a reference genome.
+
+    Mate names follow the ``name/1`` / ``name/2`` convention, with the
+    shared base name recording the fragment's start position, insert
+    size and source strand (``prefix-index:start:insert:strand``) so
+    tests can verify placements.
+    """
+
+    def __init__(self, config: PairedReadSimulationConfig) -> None:
+        self.config = config
+
+    def number_of_pairs(self, genome_length: int) -> int:
+        """Pairs needed to reach the target base coverage on ``genome_length``."""
+        return max(
+            1,
+            int(round(self.config.coverage * genome_length / (2 * self.config.read_length))),
+        )
+
+    def _draw_insert(self, rng: random.Random, genome_length: int) -> int:
+        config = self.config
+        ceiling = min(genome_length, int(config.insert_size_mean + 4 * config.insert_size_std))
+        floor = 2 * config.read_length
+        if ceiling < floor:
+            raise ValueError(
+                f"genome length {genome_length} cannot hold an insert of "
+                f"{floor} bp (two {config.read_length} bp mates)"
+            )
+        insert = int(round(rng.gauss(config.insert_size_mean, config.insert_size_std)))
+        return max(floor, min(ceiling, insert))
+
+    def simulate(self, genome: str, name_prefix: str = "pair") -> List[ReadPair]:
+        """Generate the full simulated pair set for ``genome``."""
+        config = self.config
+        if len(genome) < 2 * config.read_length:
+            raise ValueError(
+                f"genome length {len(genome)} is shorter than one insert "
+                f"(two {config.read_length} bp mates)"
+            )
+        rng = random.Random(config.seed)
+        total_pairs = self.number_of_pairs(len(genome))
+        pairs: List[ReadPair] = []
+        for index in range(total_pairs):
+            insert = self._draw_insert(rng, len(genome))
+            start = rng.randint(0, len(genome) - insert)
+            fragment = genome[start : start + insert]
+            # Sampling the fragment from the reverse strand swaps which
+            # physical end each mate comes from, exactly as on a real
+            # flow cell.
+            from_reverse_strand = rng.random() < 0.5
+            if from_reverse_strand:
+                fragment = reverse_complement(fragment)
+            mate1 = fragment[: config.read_length]
+            mate2 = reverse_complement(fragment[-config.read_length :])
+            sequence1, _ = self._apply_errors(mate1, rng)
+            sequence2, _ = self._apply_errors(mate2, rng)
+            strand = "-" if from_reverse_strand else "+"
+            base = f"{name_prefix}-{index}:{start}:{insert}:{strand}"
+            pairs.append(
+                ReadPair(
+                    read1=Read(name=f"{base}/1", sequence=sequence1, quality="I" * len(sequence1)),
+                    read2=Read(name=f"{base}/2", sequence=sequence2, quality="I" * len(sequence2)),
+                )
+            )
+        return pairs
+
+    def _apply_errors(self, fragment: str, rng: random.Random) -> Tuple[str, int]:
+        config = self.config
+        return _apply_sequencing_errors(
+            fragment, rng, config.error_rate, config.ambiguous_rate
+        )
+
+
+def simulate_paired_dataset(
+    genome_length: int,
+    read_length: int = 100,
+    coverage: float = 30.0,
+    insert_size_mean: float = 500.0,
+    insert_size_std: float = 50.0,
+    error_rate: float = 0.01,
+    repeat_fraction: float = 0.05,
+    repeat_length: int = 200,
+    seed: int = 0,
+) -> Tuple[str, List[ReadPair]]:
+    """One-call helper: generate a genome and paired-end reads from it.
+
+    Scaffolding needs a *fragmented* assembly to have anything to join,
+    so ``repeat_fraction``/``repeat_length`` matter here: repeats longer
+    than k break contigs, and inserts longer than the repeats are what
+    lets read pairs bridge those breaks.
+    """
+    genome = generate_genome(
+        length=genome_length,
+        repeat_fraction=repeat_fraction,
+        repeat_length=repeat_length,
+        seed=seed,
+    )
+    simulator = PairedReadSimulator(
+        PairedReadSimulationConfig(
+            read_length=read_length,
+            coverage=coverage,
+            insert_size_mean=insert_size_mean,
+            insert_size_std=insert_size_std,
             error_rate=error_rate,
             seed=seed + 1,
         )

@@ -12,6 +12,8 @@ from .stats import (
     contig_statistics,
     l50_value,
     n50_value,
+    ng50_value,
+    ngx_value,
     nx_value,
 )
 
@@ -26,5 +28,7 @@ __all__ = [
     "contig_statistics",
     "l50_value",
     "n50_value",
+    "ng50_value",
+    "ngx_value",
     "nx_value",
 ]

@@ -88,6 +88,35 @@ def nx_value(lengths: Sequence[int], fraction: float) -> int:
     return ordered[-1]
 
 
+def ngx_value(lengths: Sequence[int], reference_length: int, fraction: float = 0.5) -> int:
+    """Generalised NGx: like Nx but relative to the *reference* length.
+
+    N50 rewards assemblies that simply emit fewer bases; NG50 fixes the
+    denominator at the known genome size, so contig and scaffold sets
+    over the same genome are directly comparable — the reason QUAST
+    reports it alongside N50 and the scaffolding benchmark uses it.
+    Returns 0 when the assembly does not even reach ``fraction`` of the
+    reference.
+    """
+    if reference_length <= 0:
+        raise ValueError(f"reference_length must be positive, got {reference_length}")
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    ordered = sorted(lengths, reverse=True)
+    target = reference_length * fraction
+    accumulated = 0
+    for length in ordered:
+        accumulated += length
+        if accumulated >= target:
+            return length
+    return 0
+
+
+def ng50_value(lengths: Sequence[int], reference_length: int) -> int:
+    """NG50: length of the contig reaching half the *reference* length."""
+    return ngx_value(lengths, reference_length, 0.5)
+
+
 def contig_statistics(
     contigs: Iterable[str],
     min_contig_length: int = 500,

@@ -1,0 +1,179 @@
+"""From mapped read pairs to a filtered contig-link graph.
+
+A read pair whose mates map to two *different* contigs is evidence that
+those contigs are adjacent.  Because the two mates of an FR library
+point towards each other, each mate also tells us *which end* of its
+contig faces the gap: a forward-mapped mate points right (the fragment
+continues past the contig's 3' tail), a reverse-mapped mate points left
+(past the 5' head).  The pair therefore links one specific end of
+contig A to one specific end of contig B, and the portion of the
+fragment that hangs off both contigs estimates the gap:
+
+``gap = insert_size - (bases of the fragment inside A) - (inside B)``.
+
+Individual pairs are noisy (chimeric fragments, mismapped seeds), so
+observations are bundled per ``(end of A, end of B)`` key and a bundle
+only becomes a link when enough pairs support it.  Finally,
+:func:`select_links` keeps at most one link per contig end (greedy by
+support), which makes the contig-link graph a disjoint union of simple
+paths and cycles — the shape the ordering PPA run expects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import median
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .mapping import ReadMapping
+
+#: A contig's 5' (left) end.
+END_HEAD = 0
+#: A contig's 3' (right) end.
+END_TAIL = 1
+
+#: ``(contig index, end)`` — one attachment point of a link.
+EndId = Tuple[int, int]
+
+
+def exit_evidence(mapping: ReadMapping, read_length: int, contig_length: int) -> Tuple[int, int]:
+    """Which end of the contig the mate's fragment exits, and how much
+    of the fragment lies inside the contig up to that end.
+
+    A forward mate points right: the fragment occupies the contig from
+    the mate's start to the tail.  A reverse mate points left: the
+    fragment occupies from the head to the mate's (rc-aligned) end.
+    The inside lengths of the two mates plus the gap add up to the
+    insert size, which is what makes the gap estimable.
+    """
+    if mapping.forward:
+        return END_TAIL, contig_length - mapping.start
+    return END_HEAD, mapping.start + read_length
+
+
+@dataclass(frozen=True)
+class PairLinkObservation:
+    """One cross-contig pair, normalised so ``contig_a < contig_b``."""
+
+    contig_a: int
+    end_a: int
+    contig_b: int
+    end_b: int
+    gap: float
+
+    @property
+    def key(self) -> Tuple[int, int, int, int]:
+        return (self.contig_a, self.end_a, self.contig_b, self.end_b)
+
+
+@dataclass(frozen=True)
+class LinkBundle:
+    """All observations between one pair of contig ends."""
+
+    contig_a: int
+    end_a: int
+    contig_b: int
+    end_b: int
+    count: int
+    mean_gap: float
+
+    @property
+    def ends(self) -> Tuple[EndId, EndId]:
+        return ((self.contig_a, self.end_a), (self.contig_b, self.end_b))
+
+
+def observe_pair(
+    mapping1: ReadMapping,
+    mapping2: ReadMapping,
+    read_length1: int,
+    read_length2: int,
+    contig_lengths: List[int],
+    insert_size: float,
+) -> Optional[PairLinkObservation]:
+    """Turn one mapped pair into a link observation.
+
+    Returns None for same-contig pairs (those estimate the insert size
+    instead, see :func:`estimate_insert_size`) and for observations
+    whose implied gap is wildly negative (more than a read length of
+    overlap means at least one mate is mismapped).
+    """
+    if mapping1.contig == mapping2.contig:
+        return None
+    end1, inside1 = exit_evidence(mapping1, read_length1, contig_lengths[mapping1.contig])
+    end2, inside2 = exit_evidence(mapping2, read_length2, contig_lengths[mapping2.contig])
+    gap = insert_size - inside1 - inside2
+    if gap < -max(read_length1, read_length2):
+        return None
+    if mapping1.contig < mapping2.contig:
+        return PairLinkObservation(
+            contig_a=mapping1.contig, end_a=end1,
+            contig_b=mapping2.contig, end_b=end2, gap=gap,
+        )
+    return PairLinkObservation(
+        contig_a=mapping2.contig, end_a=end2,
+        contig_b=mapping1.contig, end_b=end1, gap=gap,
+    )
+
+
+def observed_insert_size(
+    mapping1: ReadMapping,
+    mapping2: ReadMapping,
+    read_length1: int,
+    read_length2: int,
+) -> Optional[float]:
+    """Insert size implied by a *same-contig* pair, or None if improper.
+
+    Proper FR pairs map to the same contig in opposite orientations
+    with the forward mate to the left; the distance from the forward
+    mate's start to the reverse mate's end is the fragment length.
+    """
+    if mapping1.contig != mapping2.contig or mapping1.forward == mapping2.forward:
+        return None
+    if mapping1.forward:
+        forward, reverse = mapping1, mapping2
+        reverse_length = read_length2
+    else:
+        forward, reverse = mapping2, mapping1
+        reverse_length = read_length1
+    insert = (reverse.start + reverse_length) - forward.start
+    if insert <= 0:
+        return None
+    return float(insert)
+
+
+def estimate_insert_size(observed: Iterable[float]) -> Optional[float]:
+    """Median of the same-contig insert observations (robust to outliers)."""
+    values = list(observed)
+    if not values:
+        return None
+    return float(median(values))
+
+
+def select_links(bundles: Iterable[LinkBundle], min_support: int) -> List[LinkBundle]:
+    """Filter bundles to a set usable as scaffold joins.
+
+    Bundles below ``min_support`` pairs are noise and dropped.  The
+    survivors are taken greedily in order of support (count descending,
+    key ascending as the tie-break), each one claiming its two contig
+    ends; a bundle whose end is already claimed loses to the stronger
+    evidence and is discarded.  The result touches every contig end at
+    most once, so the link graph decomposes into simple paths/cycles.
+    """
+    if min_support < 1:
+        raise ValueError(f"min_support must be at least 1, got {min_support}")
+    supported = [bundle for bundle in bundles if bundle.count >= min_support]
+    supported.sort(key=lambda bundle: (-bundle.count, bundle.ends))
+    claimed: Dict[EndId, LinkBundle] = {}
+    selected: List[LinkBundle] = []
+    for bundle in supported:
+        end_a, end_b = bundle.ends
+        if end_a in claimed or end_b in claimed:
+            continue
+        if bundle.contig_a == bundle.contig_b:
+            # A contig linking to itself is a circular sequence, not a
+            # scaffold join.
+            continue
+        claimed[end_a] = bundle
+        claimed[end_b] = bundle
+        selected.append(bundle)
+    return selected

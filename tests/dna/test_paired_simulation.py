@@ -1,0 +1,142 @@
+"""Paired-end simulation and paired-FASTQ IO."""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.dna import (
+    PairedReadSimulationConfig,
+    PairedReadSimulator,
+    generate_genome,
+    get_profile,
+    parse_paired_fastq,
+    simulate_paired_dataset,
+    write_paired_fastq,
+)
+from repro.dna.sequence import reverse_complement
+from repro.errors import FastqFormatError
+
+
+@pytest.fixture(scope="module")
+def clean_pairs():
+    """Error-free pairs whose names encode the true placement."""
+    genome = generate_genome(8_000, repeat_fraction=0.0, seed=13)
+    simulator = PairedReadSimulator(
+        PairedReadSimulationConfig(
+            read_length=100,
+            coverage=30.0,
+            insert_size_mean=500.0,
+            insert_size_std=50.0,
+            error_rate=0.0,
+            ambiguous_rate=0.0,
+            seed=14,
+        )
+    )
+    return genome, simulator.simulate(genome)
+
+
+def _placement(pair):
+    """Decode (start, insert, strand) from the simulator's mate names."""
+    base = pair.read1.name.rsplit("/", 1)[0]
+    _prefix, start, insert, strand = base.rsplit(":", 3)
+    return int(start), int(insert), strand
+
+
+def test_pair_orientation_is_fr(clean_pairs):
+    """Mate 1 reads the fragment 5' end forward, mate 2 the 3' end reversed."""
+    genome, pairs = clean_pairs
+    assert pairs
+    for pair in pairs:
+        start, insert, strand = _placement(pair)
+        fragment = genome[start : start + insert]
+        if strand == "-":
+            fragment = reverse_complement(fragment)
+        assert pair.read1.sequence == fragment[:100]
+        assert pair.read2.sequence == reverse_complement(fragment[-100:])
+
+
+def test_mates_point_towards_each_other(clean_pairs):
+    """In genome coordinates the rc of one mate flanks the other (innie)."""
+    genome, pairs = clean_pairs
+    for pair in pairs[:200]:
+        start, insert, strand = _placement(pair)
+        left, right = genome[start : start + 100], genome[start + insert - 100 : start + insert]
+        if strand == "+":
+            assert pair.read1.sequence == left
+            assert reverse_complement(pair.read2.sequence) == right
+        else:
+            assert reverse_complement(pair.read1.sequence) == right
+            assert pair.read2.sequence == left
+
+
+def test_insert_size_distribution(clean_pairs):
+    _genome, pairs = clean_pairs
+    inserts = [_placement(pair)[1] for pair in pairs]
+    mean = statistics.mean(inserts)
+    std = statistics.stdev(inserts)
+    assert abs(mean - 500.0) < 25.0
+    assert 25.0 < std < 75.0
+    # The truncation floor: no insert may be shorter than both mates.
+    assert min(inserts) >= 200
+
+
+def test_pair_count_tracks_coverage(clean_pairs):
+    genome, pairs = clean_pairs
+    # coverage 30 over 8 kbp with 2 x 100 bp mates -> 1200 pairs.
+    assert len(pairs) == round(30.0 * len(genome) / 200)
+
+
+def test_paired_fastq_round_trip(tmp_path, clean_pairs):
+    _genome, pairs = clean_pairs
+    path1, path2 = tmp_path / "reads_1.fastq", tmp_path / "reads_2.fastq"
+    written = write_paired_fastq(pairs, path1, path2)
+    assert written == len(pairs)
+    assert list(parse_paired_fastq(path1, path2)) == pairs
+
+
+def test_paired_fastq_rejects_desynchronised_files(tmp_path, clean_pairs):
+    _genome, pairs = clean_pairs
+    path1, path2 = tmp_path / "reads_1.fastq", tmp_path / "reads_2.fastq"
+    write_paired_fastq(pairs[:10], path1, path2)
+    truncated = tmp_path / "short_2.fastq"
+    with open(path2) as source, open(truncated, "w") as target:
+        target.writelines(source.readlines()[:-4])
+    with pytest.raises(FastqFormatError, match="out of sync"):
+        list(parse_paired_fastq(path1, truncated))
+
+
+def test_paired_fastq_rejects_mismatched_names(tmp_path, clean_pairs):
+    _genome, pairs = clean_pairs
+    path1, path2 = tmp_path / "reads_1.fastq", tmp_path / "reads_2.fastq"
+    write_paired_fastq(pairs[:3], path1, path2)
+    other_2 = tmp_path / "other_2.fastq"
+    write_paired_fastq(pairs[3:6], tmp_path / "other_1.fastq", other_2)
+    with pytest.raises(FastqFormatError, match="mate names disagree"):
+        list(parse_paired_fastq(path1, other_2))
+
+
+def test_config_rejects_too_small_insert():
+    with pytest.raises(ValueError, match="insert_size_mean"):
+        PairedReadSimulationConfig(read_length=100, insert_size_mean=150.0)
+
+
+def test_simulate_paired_dataset_one_call():
+    genome, pairs = simulate_paired_dataset(4_000, coverage=10, seed=2)
+    assert len(genome) == 4_000
+    assert pairs
+    assert all(len(pair.read1) == 100 and len(pair.read2) == 100 for pair in pairs)
+
+
+def test_dataset_profile_generates_pairs():
+    hc2 = get_profile("hc2", scale=0.1)
+    reference, pairs = hc2.generate_paired(insert_size_mean=400.0)
+    assert reference is not None
+    assert pairs
+    assert pairs[0].read1.name.endswith("/1")
+    assert pairs[0].read2.name.endswith("/2")
+    hc14 = get_profile("hc14", scale=0.05)
+    reference, pairs = hc14.generate_paired(insert_size_mean=400.0)
+    assert reference is None  # no published reference, as in Table I
+    assert pairs

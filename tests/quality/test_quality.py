@@ -15,6 +15,8 @@ from repro.quality import (
     evaluate_assembly,
     l50_value,
     n50_value,
+    ng50_value,
+    ngx_value,
     nx_value,
 )
 
@@ -42,6 +44,28 @@ def test_nx_value():
     assert nx_value(lengths, 0.9) == 20
     with pytest.raises(ValueError):
         nx_value(lengths, 0.0)
+
+
+def test_ng50_uses_the_reference_length():
+    lengths = [50, 30, 20]
+    # Assembly covers the whole 100 bp reference: NG50 == N50.
+    assert ng50_value(lengths, 100) == n50_value(lengths)
+    # Against a 200 bp reference the 100 assembled bp reach the half
+    # point exactly at the last contig.
+    assert ng50_value(lengths, 200) == 20
+    # Assembly shorter than half the reference: NG50 undefined -> 0.
+    assert ng50_value(lengths, 300) == 0
+    assert ngx_value(lengths, 100, 0.9) == 20
+    with pytest.raises(ValueError):
+        ng50_value(lengths, 0)
+    with pytest.raises(ValueError):
+        ngx_value(lengths, 100, 1.5)
+
+
+def test_ng50_rewards_scaffolding_not_padding():
+    contig_lengths = [40, 40, 20]
+    scaffold_lengths = [82, 20]  # the two 40s joined across a 2 bp gap
+    assert ng50_value(scaffold_lengths, 100) > ng50_value(contig_lengths, 100)
 
 
 @given(st.lists(st.integers(min_value=1, max_value=10_000), min_size=1, max_size=50))

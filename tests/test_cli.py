@@ -78,3 +78,62 @@ def test_cli_missing_fastq_reports_error(tmp_path, capsys):
 def test_cli_dataset_profile(capsys):
     assert main(["--dataset", "hc2", "--scale", "0.02", "--quiet"]) == 0
     assert capsys.readouterr().out.startswith("contigs=")
+
+
+def test_cli_scaffold_requires_pairing(tmp_path, capsys):
+    with pytest.raises(SystemExit):
+        main(["--fastq", str(tmp_path / "reads.fastq"), "--scaffold"])
+    assert "pairing" in capsys.readouterr().err
+
+
+def test_cli_scaffolds_simulated_pairs(tmp_path, capsys):
+    scaffolds = tmp_path / "scaffolds.fa"
+    assert (
+        main(
+            [
+                "--simulate",
+                "6000",
+                "-k",
+                "17",
+                "--scaffold",
+                "--insert-size",
+                "400",
+                "--workers",
+                "2",
+                "--scaffold-output",
+                str(scaffolds),
+            ]
+        )
+        == 0
+    )
+    output = capsys.readouterr().out
+    assert "[scaffolding]" in output
+    assert "scaffold_n50=" in output
+    assert scaffolds.read_text().startswith(">scaffold_0")
+
+
+def test_cli_assembles_fastq_pair(tmp_path, capsys):
+    from repro.dna import simulate_paired_dataset, write_paired_fastq
+
+    _genome, pairs = simulate_paired_dataset(
+        4_000, coverage=15, insert_size_mean=300.0, insert_size_std=25.0, seed=6
+    )
+    path1, path2 = tmp_path / "r_1.fastq", tmp_path / "r_2.fastq"
+    write_paired_fastq(pairs, path1, path2)
+    assert (
+        main(
+            [
+                "--fastq-pair",
+                str(path1),
+                str(path2),
+                "-k",
+                "17",
+                "--scaffold",
+                "--workers",
+                "2",
+                "--quiet",
+            ]
+        )
+        == 0
+    )
+    assert "scaffolds=" in capsys.readouterr().out

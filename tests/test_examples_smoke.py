@@ -1,0 +1,72 @@
+"""Smoke tests: every documented example script must import and run.
+
+The examples are the library's front door (the README and docs link to
+them), so each one is executed here at a tiny scale via the
+``REPRO_EXAMPLE_SCALE`` knob the scripts honour.  The goal is rot
+protection — the scripts must run to completion against the current
+API — not output validation.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+
+#: Every script under examples/ must be listed here (or the listing
+#: test fails), so new examples cannot dodge the smoke run.
+EXAMPLES = [
+    "quickstart.py",
+    "custom_workflow.py",
+    "quality_report.py",
+    "scaling_study.py",
+    "scaffolding_demo.py",
+]
+
+
+def _run_example(name: str, argv: list, monkeypatch) -> None:
+    monkeypatch.setenv("REPRO_EXAMPLE_SCALE", "0.1")
+    monkeypatch.setattr(sys, "argv", [name] + argv)
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+
+
+def test_every_example_is_smoke_tested():
+    on_disk = sorted(script.name for script in EXAMPLES_DIR.glob("*.py"))
+    assert on_disk == sorted(EXAMPLES)
+
+
+def test_quickstart_runs(monkeypatch, capsys):
+    _run_example("quickstart.py", [], monkeypatch)
+    assert "contig statistics:" in capsys.readouterr().out
+
+
+def test_custom_workflow_runs(monkeypatch, capsys):
+    _run_example("custom_workflow.py", [], monkeypatch)
+    assert "simulated cluster time" in capsys.readouterr().out
+
+
+def test_quality_report_runs(monkeypatch, capsys, tmp_path):
+    _run_example("quality_report.py", [str(tmp_path)], monkeypatch)
+    output = capsys.readouterr().out
+    assert "Quality comparison" in output
+    assert (tmp_path / "hc2_reads.fastq").exists()
+
+
+def test_scaling_study_runs(monkeypatch, capsys):
+    _run_example("scaling_study.py", ["hc2", "0.05"], monkeypatch)
+    assert "Estimated execution time" in capsys.readouterr().out
+
+
+def test_scaffolding_demo_runs(monkeypatch, capsys):
+    _run_example("scaffolding_demo.py", [], monkeypatch)
+    output = capsys.readouterr().out
+    assert "scaffolding stage:" in output
+    assert "contiguity:" in output
