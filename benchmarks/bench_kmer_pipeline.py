@@ -24,7 +24,7 @@ from repro.bench import BENCH_K, bench_report, bench_scale, format_table, prepar
 from repro.dna import vectorized
 from repro.dna.encoding import canonical_encoded, iter_encoded_kmers
 from repro.dna.sequence import split_on_ambiguous
-from repro.pregel.job import JobChain
+from repro.workflow import StageExecutor
 
 DATASET = "hc2"
 NUM_WORKERS = 4
@@ -85,7 +85,7 @@ def _bench_stages(sequences, reads):
     stages["preaggregate-counts"] = (scalar_seconds, vector_seconds)
 
     def run_construction(use_vectorized):
-        chain = JobChain(num_workers=NUM_WORKERS, columnar_messages=use_vectorized)
+        chain = StageExecutor(num_workers=NUM_WORKERS, columnar_messages=use_vectorized)
         config = AssemblyConfig(k=BENCH_K, use_vectorized=use_vectorized)
         return build_dbg(reads, config, chain), chain
 

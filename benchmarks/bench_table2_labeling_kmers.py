@@ -15,7 +15,7 @@ import pytest
 from repro.assembler import build_dbg, label_contigs
 from repro.bench import BENCH_K, bench_cluster_profile, format_table, ppa_config, prepare_dataset
 from repro.pregel.cost_model import CostModel
-from repro.pregel.job import JobChain
+from repro.workflow import StageExecutor
 
 _DATASET_SCALES = {"hc2": 0.25, "hcx": 0.25, "hc14": 0.2, "bi": 0.12}
 _WORKERS = 16
@@ -24,7 +24,7 @@ _WORKERS = 16
 def _measure_labeling(dataset_name: str, scale: float, method: str):
     dataset = prepare_dataset(dataset_name, scale=scale)
     config = ppa_config(num_workers=_WORKERS, labeling_method=method)
-    chain = JobChain(num_workers=_WORKERS)
+    chain = StageExecutor(num_workers=_WORKERS)
     graph = build_dbg(dataset.reads, config, chain).graph
     labeling = label_contigs(graph, config, chain, include_contigs=False)
     model = CostModel(bench_cluster_profile())

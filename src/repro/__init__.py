@@ -5,6 +5,9 @@ Pregel" (ICDE 2018).  The package is organised by subsystem:
 
 * :mod:`repro.pregel` — the Pregel+ substrate (BSP engine, aggregators,
   combiners, mini-MapReduce, in-memory job chaining, cost model);
+* :mod:`repro.workflow` — declarative workflow graphs: typed stage
+  descriptors composed into named DAGs, executed on any backend with
+  metering, lifecycle hooks and checkpoint/resume;
 * :mod:`repro.runtime` — pluggable execution backends for the
   superstep loop (serial simulation | real multiprocess workers);
 * :mod:`repro.ppa` — the Practical Pregel Algorithms used as building
@@ -38,10 +41,12 @@ from .assembler import (
     PPAAssembler,
     assemble_paired_reads,
     assemble_reads,
+    build_assembly_workflow,
 )
 from .errors import ReproError
+from .workflow import Workflow, WorkflowHooks, WorkflowRunner
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AssemblyConfig",
@@ -49,6 +54,10 @@ __all__ = [
     "PPAAssembler",
     "assemble_paired_reads",
     "assemble_reads",
+    "build_assembly_workflow",
     "ReproError",
+    "Workflow",
+    "WorkflowHooks",
+    "WorkflowRunner",
     "__version__",
 ]

@@ -4,7 +4,7 @@ The five operations of Figure 10 (DBG construction, contig labeling,
 contig merging, bubble filtering, tip removing) plus the workflow
 driver that chains them the way the paper's experiments do
 (①②③④⑤⑥②③).  Each operation takes a
-:class:`~repro.pregel.job.JobChain` so its Pregel / mini-MapReduce cost
+:class:`~repro.workflow.executor.StageExecutor` (or a workflow context) so its Pregel / mini-MapReduce cost
 is recorded for the Figure 12 cost model, and users can compose the
 operations into their own strategies.
 """
@@ -19,7 +19,12 @@ from .config import (
 from .construction import ConstructionResult, build_dbg
 from .labeling import LabelingResult, label_contigs
 from .merging import MergingResult, merge_contigs
-from .pipeline import PPAAssembler, assemble_paired_reads, assemble_reads
+from .pipeline import (
+    PPAAssembler,
+    assemble_paired_reads,
+    assemble_reads,
+    build_assembly_workflow,
+)
 from .pruning import PruningResult, prune_low_coverage_contigs
 from .results import AssemblyResult, StageSummary
 from .tips import TipRemovalResult, remove_tips
@@ -43,6 +48,7 @@ __all__ = [
     "PPAAssembler",
     "assemble_paired_reads",
     "assemble_reads",
+    "build_assembly_workflow",
     "PruningResult",
     "prune_low_coverage_contigs",
     "AssemblyResult",

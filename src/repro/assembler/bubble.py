@@ -26,7 +26,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from ..dbg.contig_vertex import ContigVertexData
 from ..dbg.graph import DeBruijnGraph
 from ..dna.sequence import edit_distance, reverse_complement
-from ..pregel.job import JobChain
+from ..workflow.executor import StageExecutor
 from .config import AssemblyConfig
 
 
@@ -76,7 +76,7 @@ def _prunable(
 def filter_bubbles(
     graph: DeBruijnGraph,
     config: AssemblyConfig,
-    job_chain: JobChain,
+    job_chain: StageExecutor,
 ) -> BubbleResult:
     """Run operation ④ and remove pruned contigs from ``graph``."""
 

@@ -14,7 +14,7 @@ describes:
   for its suffix; the reduce side merges the partial 32-bit adjacency
   bitmaps (Figure 8) into complete k-mer vertices.
 
-Both phases run through :class:`~repro.pregel.job.JobChain`, so the
+Both phases run through :class:`~repro.workflow.executor.StageExecutor`, so the
 shuffle volume and per-worker load feed the Figure 12 cost model.
 
 (k+1)-mers are canonicalised before counting so that the same physical
@@ -35,7 +35,7 @@ from ..dna import vectorized
 from ..dna.encoding import canonical_encoded
 from ..dna.io_fastq import Read
 from ..dna.kmer import extract_kplus1mers, validate_k
-from ..pregel.job import JobChain
+from ..workflow.executor import StageExecutor
 from ..pregel.metrics import JobMetrics, SuperstepMetrics
 from .config import AssemblyConfig
 
@@ -116,7 +116,7 @@ def _phase2_reduce_factory(k: int):
 def build_dbg(
     reads: Iterable[Read],
     config: AssemblyConfig,
-    chain: JobChain,
+    chain: StageExecutor,
 ) -> ConstructionResult:
     """Run operation ① over ``reads`` and return the de Bruijn graph.
 
@@ -224,7 +224,7 @@ def _mapreduce_metrics(
 def _build_dbg_vectorized(
     reads: List[Read],
     config: AssemblyConfig,
-    chain: JobChain,
+    chain: StageExecutor,
 ) -> ConstructionResult:
     """Operation ① with both phases as batch kernels."""
     import numpy as np

@@ -42,7 +42,7 @@ from ..pregel import (
     Vertex,
     sum_aggregator,
 )
-from ..pregel.job import JobChain
+from ..workflow.executor import StageExecutor
 from ..ppa.sv import GraphInput, components_from_result, run_simplified_sv
 from .chain import ChainGraph, build_chain_graph
 from .config import (
@@ -122,7 +122,7 @@ class _EndRecognitionVertex(Vertex):
 def _run_end_recognition(
     graph: DeBruijnGraph,
     chain: ChainGraph,
-    job_chain: JobChain,
+    job_chain: StageExecutor,
 ) -> Dict[int, Tuple[int, int]]:
     """Run the recognition job; returns the initial ID pair per chain node."""
     vertices: List[Vertex] = []
@@ -275,7 +275,7 @@ class _RoundLimit:
 
 def _run_bidirectional_list_ranking(
     pairs: Dict[int, Tuple[int, int]],
-    job_chain: JobChain,
+    job_chain: StageExecutor,
 ) -> Tuple[Dict[int, int], List[int]]:
     """Run LR; returns (labels for finished nodes, node IDs still unfinished)."""
     vertices = [
@@ -333,7 +333,7 @@ def _chain_graph_input(chain: ChainGraph, restrict_to: Optional[set] = None) -> 
 
 def _run_sv_labeling(
     chain: ChainGraph,
-    job_chain: JobChain,
+    job_chain: StageExecutor,
     restrict_to: Optional[set] = None,
     job_suffix: str = "",
 ) -> Dict[int, int]:
@@ -353,7 +353,7 @@ def _run_sv_labeling(
 def label_contigs(
     graph: DeBruijnGraph,
     config: AssemblyConfig,
-    job_chain: JobChain,
+    job_chain: StageExecutor,
     include_contigs: bool = False,
 ) -> LabelingResult:
     """Run operation ② and return per-node contig labels.

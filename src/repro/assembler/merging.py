@@ -32,7 +32,7 @@ from ..dbg.polarity import PORT_IN, PORT_OUT, other_port
 from ..dna.encoding import NULL_ID
 from ..dna.sequence import reverse_complement
 from ..errors import GraphFormatError
-from ..pregel.job import JobChain
+from ..workflow.executor import StageExecutor
 from ..pregel.partitioner import HashPartitioner
 from .chain import ChainGraph, ChainLink, ChainNode, KIND_CONTIG
 from .config import AssemblyConfig
@@ -139,8 +139,11 @@ def _stitch_group(
         if start_node is not None:
             break
 
-    is_cycle = start_node is None
-    if is_cycle:
+    # No external entry anywhere means the group is a pure cycle; the
+    # distinction matters again when the walk revisits a node below.
+    pure_cycle = start_node is None
+    is_cycle = pure_cycle
+    if pure_cycle:
         start_node = min(group_nodes, key=lambda item: item.node_id)
         start_entry_port = PORT_IN
 
@@ -157,8 +160,15 @@ def _stitch_group(
 
     while True:
         if current.node_id in visited:
-            # Returned to an already stitched vertex: the group is a cycle.
-            is_cycle = True
+            # Returned to an already stitched vertex.  For a pure cycle
+            # this closes the loop; a walk that *started* at an external
+            # boundary can only get here through a self-loop (a hairpin
+            # whose far port links back to itself), which terminates the
+            # contig like a dead end — it must stay a path so the start
+            # boundary is still rewired, otherwise the bordering
+            # ambiguous k-mer keeps a dangling edge into the merged
+            # (and deleted) node.
+            is_cycle = pure_cycle
             break
         visited.add(current.node_id)
         member_nodes.append(current.node_id)
@@ -230,7 +240,7 @@ def merge_contigs(
     graph: DeBruijnGraph,
     labeling: LabelingResult,
     config: AssemblyConfig,
-    job_chain: JobChain,
+    job_chain: StageExecutor,
     allocator: Optional[ContigIdAllocator] = None,
 ) -> MergingResult:
     """Run operation ③: group by label, stitch, and rewire the graph."""

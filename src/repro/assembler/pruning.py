@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional, Tuple
 
 from ..dbg.graph import DeBruijnGraph
-from ..pregel.job import JobChain
+from ..workflow.executor import StageExecutor
 from .config import AssemblyConfig
 
 
@@ -43,7 +43,7 @@ class PruningResult:
 def prune_low_coverage_contigs(
     graph: DeBruijnGraph,
     config: AssemblyConfig,
-    job_chain: JobChain,
+    job_chain: StageExecutor,
     absolute_threshold: Optional[int] = None,
     relative_threshold: Optional[float] = 0.1,
     protect_length: int = 1_000,

@@ -40,7 +40,7 @@ from ..dbg.kmer_vertex import (
     KmerAdjacency,
     KmerVertexData,
 )
-from ..pregel.job import JobChain
+from ..workflow.executor import StageExecutor
 from ..pregel.metrics import JobMetrics, SuperstepMetrics
 from ..pregel.partitioner import HashPartitioner
 from .config import AssemblyConfig
@@ -242,7 +242,7 @@ def _remove_dangling_contig_tips(graph: DeBruijnGraph, threshold: int) -> int:
 def remove_tips(
     graph: DeBruijnGraph,
     config: AssemblyConfig,
-    job_chain: JobChain,
+    job_chain: StageExecutor,
 ) -> TipRemovalResult:
     """Run operation ⑤ until no new dead-end vertex appears."""
     partitioner = HashPartitioner(config.num_workers)

@@ -218,10 +218,20 @@ def run_ppa(
     num_workers: int = 16,
     labeling_method: str = "list_ranking",
     backend: str = "serial",
+    checkpoint_dir=None,
+    resume: bool = False,
 ) -> AssemblyResult:
-    """Run PPA-assembler over a prepared dataset."""
+    """Run PPA-assembler over a prepared dataset.
+
+    The assembly executes as the declared workflow
+    (:func:`repro.assembler.pipeline.build_assembly_workflow`), so the
+    returned result's :class:`~repro.pregel.metrics.PipelineMetrics`
+    prices the whole workflow for the cost model exactly as before.
+    ``checkpoint_dir``/``resume`` let long benchmark runs at large
+    scales survive interruption (checkpoints are per-stage pickles).
+    """
     return PPAAssembler(ppa_config(num_workers, labeling_method, backend)).assemble(
-        dataset.reads
+        dataset.reads, checkpoint_dir=checkpoint_dir, resume=resume
     )
 
 

@@ -20,6 +20,12 @@ The assembly runs on the execution backend chosen with ``--backend``
 and prints a compact report: per-stage summaries, contig statistics and
 wall-clock / simulated-cluster seconds.  ``--output`` additionally
 writes the contigs as FASTA, ``--scaffold-output`` the scaffolds.
+
+The assembly is a declared workflow (:mod:`repro.workflow`):
+``--list-stages`` prints its DAG without running anything,
+``--checkpoint-dir`` persists the workflow state after every stage, and
+``--resume`` continues a checkpointed run from its last completed stage
+(bit-identical to an uninterrupted run).
 """
 
 from __future__ import annotations
@@ -29,7 +35,7 @@ import sys
 import time
 from typing import List, Optional
 
-from .assembler import AssemblyConfig, PPAAssembler
+from .assembler import AssemblyConfig, PPAAssembler, build_assembly_workflow
 from .assembler.config import LABELING_LIST_RANKING, LABELING_SIMPLIFIED_SV
 from .dna.datasets import get_profile
 from .dna.io_fastq import parse_fastq, parse_paired_fastq, reads_from_pairs
@@ -37,6 +43,7 @@ from .dna.simulator import simulate_dataset, simulate_paired_dataset
 from .errors import ReproError
 from .quality.stats import n50_value
 from .runtime import available_backends
+from .workflow import WorkflowHooks
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,7 +51,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-assemble",
         description="De novo genome assembly with the PPA-assembler reproduction.",
     )
-    source = parser.add_mutually_exclusive_group(required=True)
+    source = parser.add_mutually_exclusive_group()
     source.add_argument(
         "--dataset",
         metavar="NAME",
@@ -148,6 +155,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the assembled contigs to this FASTA file",
     )
     parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="persist the workflow state to this directory after every "
+        "stage, so an interrupted assembly can be continued with --resume",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from the last completed stage checkpointed in "
+        "--checkpoint-dir (starts fresh when no checkpoint exists yet)",
+    )
+    parser.add_argument(
+        "--list-stages",
+        action="store_true",
+        help="print the assembly workflow DAG for this configuration and "
+        "exit without assembling anything",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="print only the final statistics line"
     )
     return parser
@@ -196,6 +221,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             "--scaffold needs pairing information: use --fastq-pair (or a "
             "simulating mode, which then draws read pairs)"
         )
+    has_source = any(
+        value is not None
+        for value in (args.dataset, args.fastq, args.fastq_pair, args.simulate)
+    )
+    if not has_source and not args.list_stages:
+        parser.error(
+            "one of --dataset, --fastq, --fastq-pair, --simulate is required "
+            "(only --list-stages works without an input)"
+        )
+    if args.resume and not args.checkpoint_dir:
+        parser.error("--resume needs --checkpoint-dir")
 
     try:
         config = AssemblyConfig(
@@ -212,6 +248,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as exc:
         parser.error(str(exc))
 
+    if args.list_stages:
+        print(build_assembly_workflow(config).describe())
+        return 0
+
     try:
         reads, pairs, source = _load_input(args)
     except (OSError, ValueError, ReproError) as exc:
@@ -225,9 +265,26 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"backend={config.backend} labeling={config.labeling_method}"
         )
 
+    hooks = None
+    if not args.quiet and args.checkpoint_dir:
+        hooks = WorkflowHooks(
+            on_stage_skipped=lambda stage, index, total: print(
+                f"  resume: skipping completed stage {index + 1}/{total} {stage.name}"
+            ),
+            on_checkpoint=lambda stage, path: print(
+                f"  checkpointed {stage.name} -> {path}"
+            ),
+        )
+
     started = time.perf_counter()
     try:
-        result = PPAAssembler(config).assemble(reads, pairs=pairs)
+        result = PPAAssembler(config).assemble(
+            reads,
+            pairs=pairs,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+            hooks=hooks,
+        )
     except ReproError as exc:
         print(f"repro-assemble: assembly failed: {exc}", file=sys.stderr)
         return 1

@@ -73,6 +73,24 @@ class BackendExecutionError(PregelError):
     """A worker process of a distributed backend failed irrecoverably."""
 
 
+class WorkflowError(ReproError):
+    """A workflow graph is invalid or a stage failed to execute.
+
+    Raised by :mod:`repro.workflow` for structural problems (duplicate
+    stage names, unknown dependencies, cycles, missing state keys) and
+    as the base class of checkpoint failures.
+    """
+
+
+class CheckpointError(WorkflowError):
+    """A workflow checkpoint could not be written, read, or matched.
+
+    Resuming against a directory whose checkpoints were written by a
+    different workflow (or a differently-shaped run of the same
+    workflow) raises this instead of silently producing a hybrid run.
+    """
+
+
 class DnaError(ReproError):
     """Base class for sequence handling errors."""
 

@@ -10,9 +10,14 @@ Pregel-like system:
 * aggregators, combiners and the request-respond idiom,
 * the paper's two API extensions: mini-MapReduce loading
   (:class:`~repro.pregel.mapreduce.MiniMapReduce`) and in-memory job
-  chaining (:class:`~repro.pregel.job.JobChain`),
+  chaining, now provided by
+  :class:`~repro.workflow.executor.StageExecutor` (the old
+  :class:`~repro.pregel.job.JobChain` remains as a deprecated shim),
 * exact per-superstep metrics and a BSP cost model used to estimate
   cluster execution time (Figure 12 of the paper).
+
+Multi-job computations are declared as workflow DAGs in
+:mod:`repro.workflow` and executed by its ``WorkflowRunner``.
 """
 
 from .aggregator import (

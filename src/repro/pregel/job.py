@@ -1,53 +1,38 @@
-"""In-memory job chaining: the paper's first extension to the Pregel+ API.
+"""Deprecated imperative job chaining — superseded by :mod:`repro.workflow`.
 
-In stock Pregel systems, a job dumps its output to HDFS and the next
-job loads it again.  PPA-assembler instead lets job *j'* obtain its
-input directly from job *j*'s in-memory output through a user-defined
-``convert(v)`` function that turns each vertex of *j* into zero or more
-input objects for *j'*; the converted objects are then shuffled by
-vertex ID before *j'* starts (Section II).
+:class:`JobChain` was the original home of the paper's in-memory job
+chaining (Section II): a job *j'* obtains its input directly from job
+*j*'s in-memory output through a user-defined ``convert(v)`` function.
+That execution substrate now lives in
+:class:`repro.workflow.executor.StageExecutor`, and workflows are
+declared as named DAGs (:class:`repro.workflow.Workflow`) instead of
+imperative call sequences.
 
-:class:`JobChain` models an assembly workflow as a list of stages.
-Each stage is either a Pregel job, a mini-MapReduce job, or a pure
-in-memory conversion; the chain records per-stage metrics into a
-:class:`~repro.pregel.metrics.PipelineMetrics` so the cost model can
-price the whole workflow (this is what Figure 12 measures).
+``JobChain`` remains as a thin shim so existing user code keeps
+working: it *is* a ``StageExecutor`` (same ``run_pregel`` /
+``run_mapreduce`` / ``convert`` / metrics surface) but emits a
+:class:`DeprecationWarning` on construction.  New code should create a
+:class:`~repro.workflow.runner.WorkflowRunner` (or a bare
+``StageExecutor`` where only the metered primitives are needed).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+import warnings
+from typing import Optional
 
-from ..errors import InvalidJobError
-from .engine import JobResult, PregelEngine, PregelJob
-from .mapreduce import MapReduceResult, MiniMapReduce
-from .metrics import JobMetrics, PipelineMetrics, SuperstepMetrics
-from .partitioner import HashPartitioner
-from .vertex import Vertex, _estimate_size
+from ..workflow.executor import ConversionResult, ConvertFunction, StageExecutor
 
-ConvertFunction = Callable[[Vertex], Iterable[Any]]
+__all__ = ["ConversionResult", "ConvertFunction", "JobChain"]
 
 
-@dataclass
-class ConversionResult:
-    """Output of an in-memory conversion stage."""
+class JobChain(StageExecutor):
+    """Deprecated alias of :class:`~repro.workflow.executor.StageExecutor`.
 
-    outputs: List[Any]
-    metrics: JobMetrics
-
-
-class JobChain:
-    """Executes a sequence of Pregel / mini-MapReduce / convert stages.
-
-    The chain owns a single :class:`PregelEngine` so that every stage
-    sees the same number of workers and runs on the same execution
-    backend, and accumulates metrics so the caller can price the full
-    workflow.  ``backend`` selects the runtime for the Pregel stages
-    (``"serial"`` or ``"multiprocess"``); mini-MapReduce and convert
-    stages model the distributed data movement in-process either way,
-    because their cost is charged through the metrics rather than
-    measured.
+    Kept for backwards compatibility with pre-workflow user code; the
+    whole repro library itself runs through :mod:`repro.workflow` (the
+    test suite enforces this by turning ``DeprecationWarning`` from
+    ``repro.*`` modules into errors).
     """
 
     def __init__(
@@ -56,102 +41,15 @@ class JobChain:
         backend: str = "serial",
         columnar_messages: Optional[bool] = None,
     ) -> None:
-        self.num_workers = num_workers
-        self.backend = backend
-        self.engine = PregelEngine(
+        warnings.warn(
+            "JobChain is deprecated: declare a repro.workflow.Workflow and "
+            "execute it with WorkflowRunner, or use "
+            "repro.workflow.StageExecutor for the bare metered primitives",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(
             num_workers=num_workers,
             backend=backend,
             columnar_messages=columnar_messages,
         )
-        self.pipeline_metrics = PipelineMetrics()
-        self._partitioner = HashPartitioner(num_workers)
-
-    @property
-    def partitioner(self) -> HashPartitioner:
-        """The shuffle partitioner every stage of this chain uses."""
-        return self._partitioner
-
-    # ------------------------------------------------------------------
-    # stages
-    # ------------------------------------------------------------------
-    def run_pregel(self, job: PregelJob) -> JobResult:
-        """Run a Pregel job and record its metrics."""
-        result = self.engine.run(job)
-        self.pipeline_metrics.add(result.metrics)
-        return result
-
-    def run_mapreduce(
-        self,
-        name: str,
-        records: Iterable[Any],
-        map_fn,
-        reduce_fn,
-    ) -> MapReduceResult:
-        """Run a mini-MapReduce stage and record its metrics."""
-        job = MiniMapReduce(num_workers=self.num_workers, name=name)
-        result = job.run(records, map_fn, reduce_fn)
-        self.pipeline_metrics.add(result.metrics)
-        return result
-
-    def convert(
-        self,
-        name: str,
-        vertices: Iterable[Vertex],
-        convert_fn: ConvertFunction,
-    ) -> ConversionResult:
-        """Apply ``convert_fn`` to each vertex and shuffle outputs by ID.
-
-        The converted objects are expected to either be
-        :class:`~repro.pregel.vertex.Vertex` instances or expose a
-        ``vertex_id`` attribute; the shuffle volume charged to the cost
-        model is the byte size of objects that change worker, exactly
-        the traffic a distributed implementation would incur.
-        """
-        metrics = JobMetrics(job_name=name, num_workers=self.num_workers)
-        step = SuperstepMetrics(superstep=0)
-        step.worker_compute_ops = [0] * self.num_workers
-        step.worker_bytes_sent = [0] * self.num_workers
-        step.worker_bytes_received = [0] * self.num_workers
-
-        outputs: List[Any] = []
-        for vertex in vertices:
-            source_worker = self._partitioner.worker_for(vertex.vertex_id)
-            produced = list(convert_fn(vertex))
-            step.worker_compute_ops[source_worker] += 1 + len(produced)
-            step.compute_ops += 1 + len(produced)
-            for item in produced:
-                outputs.append(item)
-                target_id = getattr(item, "vertex_id", None)
-                if target_id is None:
-                    continue
-                destination = self._partitioner.worker_for(target_id)
-                if destination != source_worker:
-                    size = _estimate_size(getattr(item, "value", None)) + 16
-                    step.worker_bytes_sent[source_worker] += size
-                    step.worker_bytes_received[destination] += size
-                    step.bytes_sent += size
-                    step.messages_sent += 1
-
-        metrics.add(step)
-        metrics.loading_ops = step.compute_ops
-        self.pipeline_metrics.add(metrics)
-        return ConversionResult(outputs=outputs, metrics=metrics)
-
-    # ------------------------------------------------------------------
-    # reporting
-    # ------------------------------------------------------------------
-    def add_metrics(self, metrics: JobMetrics) -> None:
-        """Record a stage executed outside the chain's own runners.
-
-        Used by batch-kernel stages (e.g. the vectorized DBG
-        construction) that compute a whole mini-MapReduce round as
-        array operations but still charge the cost model the exact
-        per-worker counters the scalar runner would have produced.
-        """
-        self.pipeline_metrics.add(metrics)
-
-    def metrics(self) -> PipelineMetrics:
-        return self.pipeline_metrics
-
-    def reset_metrics(self) -> None:
-        self.pipeline_metrics = PipelineMetrics()

@@ -2,7 +2,7 @@
 
 Section II describes two extensions PPA-assembler adds to Pregel+:
 
-1. *in-memory job chaining* — handled by :mod:`repro.pregel.job`;
+1. *in-memory job chaining* — handled by :mod:`repro.workflow`;
 2. *mini-MapReduce during graph loading* — each input record may
    generate zero or more ``(key, value)`` pairs via a user-defined
    ``map`` function; the pairs are shuffled by key across workers,

@@ -8,7 +8,7 @@ simulation (``"serial"``) or on real shared-nothing worker processes
 is configured::
 
     PregelEngine(num_workers=4, backend="multiprocess")
-    JobChain(num_workers=4, backend="multiprocess")
+    WorkflowRunner(num_workers=4, backend="multiprocess")
     AssemblyConfig(k=21, backend="multiprocess")
 
 Both backends produce identical vertex states, aggregate histories and

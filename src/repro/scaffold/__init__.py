@@ -50,6 +50,7 @@ from .scaffolder import (
     Scaffold,
     ScaffoldMember,
     ScaffoldingResult,
+    build_scaffolding_workflow,
     scaffold_contigs,
 )
 
@@ -66,5 +67,6 @@ __all__ = [
     "Scaffold",
     "ScaffoldMember",
     "ScaffoldingResult",
+    "build_scaffolding_workflow",
     "scaffold_contigs",
 ]

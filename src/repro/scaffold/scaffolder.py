@@ -1,9 +1,11 @@
 """The scaffolding stage: contig-link graph → ordered, gap-padded scaffolds.
 
-:func:`scaffold_contigs` is the driver.  It consumes the assembler's
-contigs plus the paired-end reads and runs the whole stage through a
-:class:`~repro.pregel.job.JobChain`, so every sub-stage is metered by
-the same cost model as the assembly operations:
+:func:`build_scaffolding_workflow` declares the stage as a
+:class:`~repro.workflow.Workflow` — the library's second in-tree
+workflow after the assembly itself — and :func:`scaffold_contigs` is
+the one-call driver that executes it.  Either way every sub-stage runs
+through a :class:`~repro.workflow.executor.StageExecutor`, so it is
+metered by the same cost model as the assembly operations:
 
 1. **map pairs** — both mates of every pair are placed on the contigs
    (:class:`~repro.scaffold.mapping.ContigSeedIndex`); same-contig
@@ -39,8 +41,15 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..dna.io_fastq import FastaRecord, ReadPair, write_fasta
 from ..dna.sequence import reverse_complement
 from ..pregel import PregelJob, min_combiner
-from ..pregel.job import JobChain
 from ..ppa.hash_min import HashMinVertex
+from ..workflow import (
+    BranchStage,
+    ConvertStage,
+    MapReduceStage,
+    PregelStage,
+    Workflow,
+    WorkflowRunner,
+)
 from ..ppa.list_ranking import ListNode, build_vertices, ranks_from_result
 from .links import (
     END_HEAD,
@@ -144,87 +153,20 @@ def _map_pairs(
     return mapped
 
 
-def _bundle_links(
-    observations: List[PairLinkObservation],
-    job_chain: JobChain,
-) -> List[LinkBundle]:
-    """Aggregate observations into bundles with a mini-MapReduce stage."""
+def _map_observation(observation: PairLinkObservation):
+    yield observation.key, observation.gap
 
-    def map_observation(observation: PairLinkObservation):
-        yield observation.key, observation.gap
 
-    def reduce_bundle(key, gaps: List[float]):
-        contig_a, end_a, contig_b, end_b = key
-        yield LinkBundle(
-            contig_a=contig_a,
-            end_a=end_a,
-            contig_b=contig_b,
-            end_b=end_b,
-            count=len(gaps),
-            mean_gap=sum(gaps) / len(gaps),
-        )
-
-    result = job_chain.run_mapreduce(
-        name="scaffolding/link-bundling",
-        records=observations,
-        map_fn=map_observation,
-        reduce_fn=reduce_bundle,
+def _reduce_bundle(key, gaps: List[float]):
+    contig_a, end_a, contig_b, end_b = key
+    yield LinkBundle(
+        contig_a=contig_a,
+        end_a=end_a,
+        contig_b=contig_b,
+        end_b=end_b,
+        count=len(gaps),
+        mean_gap=sum(gaps) / len(gaps),
     )
-    return list(result.outputs)
-
-
-# ----------------------------------------------------------------------
-# the two PPA jobs
-# ----------------------------------------------------------------------
-def _run_component_job(
-    num_contigs: int,
-    links: List[LinkBundle],
-    job_chain: JobChain,
-) -> Dict[int, int]:
-    """Scaffold membership via Hash-Min over the contig-link graph.
-
-    The link graph's diameter is the longest scaffold path, so the
-    O(δ)-superstep Hash-Min flood is acceptable here (unlike on the de
-    Bruijn graph, whose paths are millions of vertices long — the
-    reason operation ② never uses it).
-    """
-    adjacency: Dict[int, List[int]] = {contig: [] for contig in range(num_contigs)}
-    for bundle in links:
-        adjacency[bundle.contig_a].append(bundle.contig_b)
-        adjacency[bundle.contig_b].append(bundle.contig_a)
-    vertices = [
-        HashMinVertex(contig, value=contig, edges=sorted(set(neighbors)))
-        for contig, neighbors in adjacency.items()
-    ]
-    result = job_chain.run_pregel(
-        PregelJob(
-            name="scaffolding/components-hash-min",
-            vertices=vertices,
-            combiner=min_combiner(),
-        )
-    )
-    return {contig: vertex.value for contig, vertex in result.vertices.items()}
-
-
-def _run_ordering_job(
-    predecessors: Dict[int, Optional[int]],
-    job_chain: JobChain,
-) -> Dict[int, int]:
-    """Position of every contig in its scaffold path via list ranking.
-
-    Each contig's value is 1 and its predecessor pointer is its left
-    neighbour, so the prefix sum computed by the list-ranking PPA is
-    exactly the 1-based position — in O(log n) supersteps even for
-    scaffolds spanning a whole chromosome arm.
-    """
-    nodes = [
-        ListNode(node_id=contig, value=1.0, predecessor=predecessor)
-        for contig, predecessor in predecessors.items()
-    ]
-    result = job_chain.run_pregel(
-        PregelJob(name="scaffolding/ordering-list-ranking", vertices=build_vertices(nodes))
-    )
-    return {contig: int(rank) for contig, rank in ranks_from_result(result).items()}
 
 
 # ----------------------------------------------------------------------
@@ -344,54 +286,25 @@ def _far_endpoint(
 
 
 # ----------------------------------------------------------------------
-# the stage driver
+# the workflow stages
+#
+# Stage bodies read and write the workflow context's state; the two
+# Pregel jobs are declared as PregelStage descriptors so the metered
+# job boundary is visible in the DAG itself.
 # ----------------------------------------------------------------------
-def scaffold_contigs(
-    contigs: Iterable[str],
-    pairs: Iterable[ReadPair],
-    job_chain: JobChain,
-    seed_k: int = 21,
-    min_links: int = 2,
-    insert_size: Optional[float] = None,
-) -> ScaffoldingResult:
-    """Run the full scaffolding stage over assembled contigs.
-
-    Parameters
-    ----------
-    contigs:
-        The assembled contig sequences (any order; they are re-sorted
-        into a deterministic content-based order internally).
-    pairs:
-        The paired-end reads the contigs were assembled from.
-    job_chain:
-        The chain the Pregel / mini-MapReduce stages run on — sharing
-        the assembly's chain makes the stage show up in the same
-        pipeline metrics and run on the same execution backend.
-    seed_k:
-        Seed length for read-to-contig mapping (the assembly k is a
-        natural choice).
-    min_links:
-        Minimum number of supporting pairs before a contig link is
-        trusted.
-    insert_size:
-        The library's insert size; when None it is estimated as the
-        median fragment length over pairs whose mates map to the same
-        contig, falling back to :data:`DEFAULT_INSERT_SIZE` when no
-        such pair exists.
-    """
-    ordered = sorted(contigs, key=lambda sequence: (-len(sequence), sequence))
-    pair_list = list(pairs)
+def _stage_map_pairs(ctx) -> None:
+    """Map both mates of every pair; calibrate the insert size."""
+    ordered = sorted(
+        ctx.require("contigs"), key=lambda sequence: (-len(sequence), sequence)
+    )
+    pair_list = ctx.require("pairs")
+    insert_size = ctx.require("insert_size")
     contig_lengths = [len(sequence) for sequence in ordered]
 
-    if not ordered:
-        return ScaffoldingResult(
-            contigs=[], scaffolds=[], insert_size=insert_size or DEFAULT_INSERT_SIZE,
-            num_pairs=len(pair_list), num_pairs_mapped=0,
-            num_cross_links=0, num_links_selected=0,
-        )
-
-    index = ContigSeedIndex(ordered, seed_k=seed_k)
-    mapped = _map_pairs(pair_list, index)
+    mapped: List[Tuple[ReadMapping, ReadMapping, int, int]] = []
+    if ordered:
+        index = ContigSeedIndex(ordered, seed_k=ctx.require("seed_k"))
+        mapped = _map_pairs(pair_list, index)
 
     if insert_size is None:
         estimates = []
@@ -409,34 +322,101 @@ def scaffold_contigs(
         if observation is not None:
             observations.append(observation)
 
-    links: List[LinkBundle] = []
-    if observations:
-        bundles = _bundle_links(observations, job_chain)
-        links = select_links(bundles, min_support=min_links)
-
-    if not links:
-        scaffolds = [
-            Scaffold(
-                members=[ScaffoldMember(contig=i, forward=True, gap_before=0, position=1)],
-                sequence=sequence,
-            )
-            for i, sequence in enumerate(ordered)
-        ]
-        return ScaffoldingResult(
-            contigs=ordered,
-            scaffolds=scaffolds,
-            insert_size=insert_size,
-            num_pairs=len(pair_list),
-            num_pairs_mapped=len(mapped),
-            num_cross_links=len(observations),
-            num_links_selected=0,
-        )
-
-    components = _run_component_job(len(ordered), links, job_chain)
-    predecessor, forward, gap_before, num_links_used, used_cycle_break = _orient_paths(
-        len(ordered), links
+    ctx.state.update(
+        ordered=ordered,
+        num_pairs_mapped=len(mapped),
+        insert_size=insert_size,
+        observations=observations,
+        links=[],
     )
-    ranks = _run_ordering_job(predecessor, job_chain)
+
+
+def _has_observations(ctx) -> bool:
+    return bool(ctx.state.get("observations"))
+
+
+def _stage_select_links(ctx) -> List[LinkBundle]:
+    """Keep at most one well-supported link per contig end."""
+    bundles = list(ctx.require("bundles").outputs)
+    return select_links(bundles, min_support=ctx.require("min_links"))
+
+
+def _has_links(ctx) -> bool:
+    return bool(ctx.state.get("links"))
+
+
+def _components_job(ctx) -> PregelJob:
+    """Scaffold membership via Hash-Min over the contig-link graph.
+
+    The link graph's diameter is the longest scaffold path, so the
+    O(δ)-superstep Hash-Min flood is acceptable here (unlike on the de
+    Bruijn graph, whose paths are millions of vertices long — the
+    reason operation ② never uses it).
+    """
+    links: List[LinkBundle] = ctx.require("links")
+    num_contigs = len(ctx.require("ordered"))
+    adjacency: Dict[int, List[int]] = {contig: [] for contig in range(num_contigs)}
+    for bundle in links:
+        adjacency[bundle.contig_a].append(bundle.contig_b)
+        adjacency[bundle.contig_b].append(bundle.contig_a)
+    vertices = [
+        HashMinVertex(contig, value=contig, edges=sorted(set(neighbors)))
+        for contig, neighbors in adjacency.items()
+    ]
+    return PregelJob(
+        name="scaffolding/components-hash-min",
+        vertices=vertices,
+        combiner=min_combiner(),
+    )
+
+
+def _collect_components(ctx, result) -> Dict[int, int]:
+    return {contig: vertex.value for contig, vertex in result.vertices.items()}
+
+
+def _stage_orient(ctx) -> None:
+    """Fix every contig's orientation and predecessor pointer."""
+    predecessor, forward, gap_before, links_used, used_cycle_break = _orient_paths(
+        len(ctx.require("ordered")), ctx.require("links")
+    )
+    ctx.state.update(
+        predecessor=predecessor,
+        forward=forward,
+        gap_before=gap_before,
+        num_links_used=links_used,
+        used_cycle_break=used_cycle_break,
+    )
+
+
+def _ordering_job(ctx) -> PregelJob:
+    """Position of every contig in its scaffold path via list ranking.
+
+    Each contig's value is 1 and its predecessor pointer is its left
+    neighbour, so the prefix sum computed by the list-ranking PPA is
+    exactly the 1-based position — in O(log n) supersteps even for
+    scaffolds spanning a whole chromosome arm.
+    """
+    nodes = [
+        ListNode(node_id=contig, value=1.0, predecessor=predecessor)
+        for contig, predecessor in ctx.require("predecessor").items()
+    ]
+    return PregelJob(
+        name="scaffolding/ordering-list-ranking", vertices=build_vertices(nodes)
+    )
+
+
+def _collect_ranks(ctx, result) -> Dict[int, int]:
+    return {contig: int(rank) for contig, rank in ranks_from_result(result).items()}
+
+
+def _stage_emit(ctx) -> ScaffoldingResult:
+    """Stitch contigs in rank order with N-gap runs between them."""
+    ordered: List[str] = ctx.require("ordered")
+    links: List[LinkBundle] = ctx.require("links")
+    components: Dict[int, int] = ctx.require("components")
+    ranks: Dict[int, int] = ctx.require("ranks")
+    forward: Dict[int, bool] = ctx.require("forward")
+    gap_before: Dict[int, int] = ctx.require("gap_before")
 
     grouped: Dict[int, List[int]] = {}
     for contig in range(len(ordered)):
@@ -466,11 +446,161 @@ def scaffold_contigs(
     return ScaffoldingResult(
         contigs=ordered,
         scaffolds=scaffolds,
-        insert_size=insert_size,
-        num_pairs=len(pair_list),
-        num_pairs_mapped=len(mapped),
-        num_cross_links=len(observations),
+        insert_size=ctx.require("insert_size"),
+        num_pairs=len(ctx.require("pairs")),
+        num_pairs_mapped=ctx.require("num_pairs_mapped"),
+        num_cross_links=len(ctx.require("observations")),
         num_links_selected=len(links),
-        num_links_used=num_links_used,
-        used_cycle_break=used_cycle_break,
+        num_links_used=ctx.require("num_links_used"),
+        used_cycle_break=ctx.require("used_cycle_break"),
     )
+
+
+def _stage_emit_singletons(ctx) -> ScaffoldingResult:
+    """No trusted links: every contig is its own single-member scaffold."""
+    ordered: List[str] = ctx.require("ordered")
+    insert_size = ctx.require("insert_size")
+    scaffolds = [
+        Scaffold(
+            members=[ScaffoldMember(contig=i, forward=True, gap_before=0, position=1)],
+            sequence=sequence,
+        )
+        for i, sequence in enumerate(ordered)
+    ]
+    return ScaffoldingResult(
+        contigs=ordered,
+        scaffolds=scaffolds,
+        insert_size=insert_size or DEFAULT_INSERT_SIZE,
+        num_pairs=len(ctx.require("pairs")),
+        num_pairs_mapped=ctx.require("num_pairs_mapped"),
+        num_cross_links=len(ctx.require("observations")),
+        num_links_selected=0,
+    )
+
+
+def build_scaffolding_workflow() -> Workflow:
+    """Declare the scaffolding stage as a workflow DAG.
+
+    The two decision points of the stage — "any cross-contig evidence?"
+    and "any links that survived filtering?" — are
+    :class:`~repro.workflow.BranchStage` nodes, so a run on a library
+    with no usable pairing degrades to singleton scaffolds without
+    charging the cost model for jobs that never ran.  Expected initial
+    state keys: ``contigs``, ``pairs``, ``seed_k``, ``min_links``,
+    ``insert_size`` (``None`` = self-calibrate); the final
+    :class:`ScaffoldingResult` lands under ``scaffolding``.
+    """
+    workflow = Workflow(
+        "scaffolding",
+        description="read pairs → contig links → ordered gap-padded scaffolds",
+    )
+    workflow.add(ConvertStage("scaffolding/map-pairs", _stage_map_pairs))
+    workflow.add(
+        BranchStage(
+            "scaffolding/bundle",
+            condition=_has_observations,
+            then_stages=[
+                MapReduceStage(
+                    "scaffolding/link-bundling",
+                    records="observations",
+                    map_fn=_map_observation,
+                    reduce_fn=_reduce_bundle,
+                    output="bundles",
+                ),
+                ConvertStage(
+                    "scaffolding/select-links", _stage_select_links, output="links"
+                ),
+            ],
+        )
+    )
+    workflow.add(
+        BranchStage(
+            "scaffolding/layout",
+            condition=_has_links,
+            then_stages=[
+                PregelStage(
+                    "scaffolding/components-hash-min",
+                    job_factory=_components_job,
+                    collect=_collect_components,
+                    output="components",
+                ),
+                ConvertStage("scaffolding/orient-paths", _stage_orient),
+                PregelStage(
+                    "scaffolding/ordering-list-ranking",
+                    job_factory=_ordering_job,
+                    collect=_collect_ranks,
+                    output="ranks",
+                ),
+                ConvertStage("scaffolding/emit", _stage_emit, output="scaffolding"),
+            ],
+            else_stages=[
+                ConvertStage(
+                    "scaffolding/emit-singletons",
+                    _stage_emit_singletons,
+                    output="scaffolding",
+                ),
+            ],
+        )
+    )
+    return workflow
+
+
+# ----------------------------------------------------------------------
+# the stage driver
+# ----------------------------------------------------------------------
+def scaffold_contigs(
+    contigs: Iterable[str],
+    pairs: Iterable[ReadPair],
+    executor,
+    seed_k: int = 21,
+    min_links: int = 2,
+    insert_size: Optional[float] = None,
+    checkpoint_dir=None,
+    resume: bool = False,
+    hooks=None,
+) -> ScaffoldingResult:
+    """Run the full scaffolding workflow over assembled contigs.
+
+    Parameters
+    ----------
+    contigs:
+        The assembled contig sequences (any order; they are re-sorted
+        into a deterministic content-based order internally).
+    pairs:
+        The paired-end reads the contigs were assembled from.
+    executor:
+        The :class:`~repro.workflow.executor.StageExecutor` (or
+        :class:`~repro.workflow.runner.WorkflowContext`) the Pregel /
+        mini-MapReduce stages run on — sharing the assembly's executor
+        makes the stage show up in the same pipeline metrics and run on
+        the same execution backend.
+    seed_k:
+        Seed length for read-to-contig mapping (the assembly k is a
+        natural choice).
+    min_links:
+        Minimum number of supporting pairs before a contig link is
+        trusted.
+    insert_size:
+        The library's insert size; when None it is estimated as the
+        median fragment length over pairs whose mates map to the same
+        contig, falling back to :data:`DEFAULT_INSERT_SIZE` when no
+        such pair exists.
+    checkpoint_dir / resume / hooks:
+        Passed to the underlying
+        :class:`~repro.workflow.WorkflowRunner` for standalone runs;
+        leave at their defaults when scaffolding inside the assembly
+        workflow (which checkpoints the branch as a whole).
+    """
+    workflow = build_scaffolding_workflow()
+    runner = WorkflowRunner(
+        executor=executor, checkpoint_dir=checkpoint_dir, hooks=hooks
+    )
+    state = {
+        "contigs": list(contigs),
+        "pairs": list(pairs),
+        "seed_k": seed_k,
+        "min_links": min_links,
+        "insert_size": insert_size,
+    }
+    ctx = runner.run(workflow, state=state, resume=resume)
+    return ctx.state["scaffolding"]

@@ -1,0 +1,367 @@
+"""Workflow execution: one runner, any backend, optional checkpoints.
+
+:class:`WorkflowRunner` executes a validated
+:class:`~repro.workflow.builder.Workflow` stage by stage on a
+:class:`~repro.workflow.executor.StageExecutor`.  It adds the three
+operational features the declarative layer exists for:
+
+* **lifecycle hooks** — ``on_stage_start`` / ``on_stage_end`` /
+  ``on_progress`` callables observe the run without touching it (the
+  CLI uses them for progress lines, tests for crash injection);
+* **per-stage overrides** — a stage may pin its own execution backend
+  or worker count; the runner keeps one executor per distinct override
+  but funnels all metrics into a single
+  :class:`~repro.pregel.metrics.PipelineMetrics`, so the cost model
+  still prices the workflow as a whole;
+* **checkpoint/resume** — with a ``checkpoint_dir``, the whole workflow
+  state is pickled after every stage;
+  :meth:`WorkflowRunner.resume` (or ``run(..., resume=True)``) skips
+  the completed prefix and continues bit-identically.
+
+The :class:`WorkflowContext` passed to every stage carries the shared
+``state`` dictionary plus the executor services
+(``run_pregel``/``run_mapreduce``/``convert``/``add_metrics``), so a
+context is a drop-in replacement wherever an executor is expected.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..errors import CheckpointError, WorkflowError
+from ..pregel.metrics import PipelineMetrics
+from .builder import Workflow
+from .checkpoint import Checkpoint, CheckpointStore, state_fingerprint
+from .executor import StageExecutor
+from .stage import Stage
+
+
+@dataclass
+class WorkflowHooks:
+    """Optional observers of a workflow run.
+
+    ``on_stage_start(stage, index, total)`` and
+    ``on_stage_end(stage, index, total, seconds)`` fire around every
+    executed stage (including stages inside a
+    :class:`~repro.workflow.stage.BranchStage`, which reuse the parent's
+    index); ``on_stage_skipped(stage, index, total)`` fires for stages
+    a resume skips; ``on_checkpoint(stage, path)`` after a checkpoint
+    file is written; ``on_progress(message)`` for free-form progress
+    events.  Exceptions raised by hooks abort the run — by design, so
+    tests can inject crashes at exact stage boundaries.
+    """
+
+    on_stage_start: Optional[Callable[[Stage, int, int], None]] = None
+    on_stage_end: Optional[Callable[[Stage, int, int, float], None]] = None
+    on_stage_skipped: Optional[Callable[[Stage, int, int], None]] = None
+    on_checkpoint: Optional[Callable[[Stage, Any], None]] = None
+    on_progress: Optional[Callable[[str], None]] = None
+
+    def progress(self, message: str) -> None:
+        if self.on_progress is not None:
+            self.on_progress(message)
+
+
+class WorkflowContext:
+    """What a stage sees while it runs: shared state + executor services."""
+
+    def __init__(
+        self,
+        runner: "WorkflowRunner",
+        executor: StageExecutor,
+        state: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self._runner = runner
+        self.executor = executor
+        self.state: Dict[str, Any] = state if state is not None else {}
+
+    # ------------------------------------------------------------------
+    # state access
+    # ------------------------------------------------------------------
+    def require(self, key: str) -> Any:
+        """``state[key]`` with a workflow-level error on absence."""
+        try:
+            return self.state[key]
+        except KeyError:
+            raise WorkflowError(
+                f"workflow state has no value for {key!r} — did an upstream "
+                "stage that provides it run?"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # executor services (a context duck-types as an executor)
+    # ------------------------------------------------------------------
+    def run_pregel(self, job):
+        return self.executor.run_pregel(job)
+
+    def run_mapreduce(self, name, records, map_fn, reduce_fn):
+        return self.executor.run_mapreduce(name, records, map_fn, reduce_fn)
+
+    def convert(self, name, vertices, convert_fn):
+        return self.executor.convert(name, vertices, convert_fn)
+
+    def add_metrics(self, metrics) -> None:
+        self.executor.add_metrics(metrics)
+
+    @property
+    def pipeline_metrics(self) -> PipelineMetrics:
+        return self.executor.pipeline_metrics
+
+    @pipeline_metrics.setter
+    def pipeline_metrics(self, metrics: PipelineMetrics) -> None:
+        # A context duck-types as an executor, and executors must allow
+        # metrics rebinding (a nested runner resuming from a checkpoint
+        # calls _rebind_metrics on whatever executor it was given).
+        self.executor.pipeline_metrics = metrics
+
+    @property
+    def partitioner(self):
+        return self.executor.partitioner
+
+    @property
+    def num_workers(self) -> int:
+        return self.executor.num_workers
+
+    @property
+    def backend(self) -> str:
+        return self.executor.backend
+
+    # ------------------------------------------------------------------
+    # sub-stage execution (BranchStage bodies)
+    # ------------------------------------------------------------------
+    def run_substage(self, stage: Stage) -> None:
+        self._runner._execute(stage, self)
+
+
+class WorkflowRunner:
+    """Executes workflows on an execution backend, with checkpointing."""
+
+    def __init__(
+        self,
+        num_workers: int = 4,
+        backend: str = "serial",
+        columnar_messages: Optional[bool] = None,
+        checkpoint_dir=None,
+        hooks: Optional[WorkflowHooks] = None,
+        executor: Optional[StageExecutor] = None,
+    ) -> None:
+        if executor is not None:
+            self._executor = executor
+        else:
+            self._executor = StageExecutor(
+                num_workers=num_workers,
+                backend=backend,
+                columnar_messages=columnar_messages,
+            )
+        self.hooks = hooks or WorkflowHooks()
+        self._store = CheckpointStore(checkpoint_dir) if checkpoint_dir else None
+        self._override_executors: Dict[Tuple[str, int], StageExecutor] = {}
+        self._current_index = 0
+        self._total_stages = 0
+        # The (backend, num_workers) override of the stage currently
+        # executing, if any — inner stages of a BranchStage inherit it
+        # unless they carry their own.
+        self._active_override: Tuple[Optional[str], Optional[int]] = (None, None)
+
+    @property
+    def executor(self) -> StageExecutor:
+        """The default executor (stages without overrides run on it)."""
+        return self._executor
+
+    @property
+    def checkpoint_dir(self):
+        return self._store.directory if self._store is not None else None
+
+    # ------------------------------------------------------------------
+    # public entry points
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        workflow: Workflow,
+        state: Optional[Dict[str, Any]] = None,
+        resume: bool = False,
+    ) -> WorkflowContext:
+        """Execute ``workflow`` and return its final context.
+
+        ``state`` seeds the context's state dictionary (inputs such as
+        reads live there).  With ``resume=True`` and a matching
+        checkpoint in the runner's checkpoint directory, the completed
+        prefix is skipped and the persisted state takes over; without a
+        checkpoint the workflow simply starts from the beginning.
+        """
+        return self._run(workflow, state, resume=resume, require_checkpoint=False)
+
+    def resume(
+        self,
+        workflow: Workflow,
+        state: Optional[Dict[str, Any]] = None,
+    ) -> WorkflowContext:
+        """Like ``run(resume=True)`` but a missing checkpoint is an error.
+
+        ``state`` may be omitted entirely — the checkpoint's state takes
+        over anyway.  When given, it must carry the same values as the
+        original run's seed state; checkpoints record a fingerprint of
+        it and a mismatch raises :class:`~repro.errors.CheckpointError`
+        rather than silently returning the old run's results.
+        """
+        return self._run(workflow, state, resume=True, require_checkpoint=True)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _run(
+        self,
+        workflow: Workflow,
+        state: Optional[Dict[str, Any]],
+        resume: bool,
+        require_checkpoint: bool,
+    ) -> WorkflowContext:
+        workflow.validate()
+        order = workflow.execution_order()
+        names = [stage.name for stage in order]
+        ctx = WorkflowContext(self, self._executor, dict(state or {}))
+        self._total_stages = len(order)
+
+        # The seed fingerprint ties checkpoints to this run's inputs:
+        # stage names alone cannot tell two runs of the same workflow
+        # over different data/parameters apart.  Resuming with an empty
+        # seed state means "use the checkpoint's" and skips the check.
+        fingerprint = (
+            state_fingerprint(ctx.state)
+            if self._store is not None and ctx.state
+            else None
+        )
+
+        completed = 0
+        if resume:
+            completed, restored = self._load_resume_point(
+                workflow, names, fingerprint, require_checkpoint
+            )
+            if restored is not None:
+                ctx.state = restored.state
+                # Checkpoints written by the continued run must keep
+                # the original run's fingerprint, whatever seed state
+                # this call was (or was not) given.
+                fingerprint = restored.seed_fingerprint
+                self._rebind_metrics(restored.metrics)
+                for index in range(completed):
+                    if self.hooks.on_stage_skipped is not None:
+                        self.hooks.on_stage_skipped(order[index], index, len(order))
+                self.hooks.progress(
+                    f"resumed workflow {workflow.name!r}: skipping "
+                    f"{completed}/{len(order)} completed stages"
+                )
+
+        if self._store is not None and completed == 0:
+            # Starting from stage 0 into a directory with leftovers: a
+            # previous run's higher-numbered checkpoints would outlive
+            # this run's overwrites and shadow it on a later resume.
+            self._store.clear(workflow.name)
+
+        for index in range(completed, len(order)):
+            stage = order[index]
+            self._current_index = index
+            self._execute(stage, ctx)
+            if self._store is not None:
+                path = self._store.save(
+                    Checkpoint(
+                        workflow=workflow.name,
+                        stage_names=names,
+                        completed=index + 1,
+                        state=ctx.state,
+                        metrics=self._executor.pipeline_metrics,
+                        seed_fingerprint=fingerprint,
+                    )
+                )
+                if self.hooks.on_checkpoint is not None:
+                    self.hooks.on_checkpoint(stage, path)
+        return ctx
+
+    def _load_resume_point(
+        self,
+        workflow: Workflow,
+        names,
+        fingerprint,
+        require_checkpoint: bool,
+    ):
+        if self._store is None:
+            raise CheckpointError(
+                "cannot resume: the runner has no checkpoint directory"
+            )
+        checkpoint = self._store.latest(workflow.name)
+        if checkpoint is None:
+            if require_checkpoint:
+                raise CheckpointError(
+                    f"no checkpoint for workflow {workflow.name!r} "
+                    f"in {self._store.directory}"
+                )
+            return 0, None
+        if checkpoint.stage_names != names:
+            raise CheckpointError(
+                f"checkpoint in {self._store.directory} was written by a "
+                f"differently-shaped run of workflow {workflow.name!r} "
+                f"(stages {checkpoint.stage_names} != {names}); "
+                "start fresh or point at a different directory"
+            )
+        if (
+            fingerprint is not None
+            and checkpoint.seed_fingerprint is not None
+            and checkpoint.seed_fingerprint != fingerprint
+        ):
+            raise CheckpointError(
+                f"checkpoint in {self._store.directory} was written by a run "
+                f"of workflow {workflow.name!r} over different inputs or "
+                "parameters; start fresh or point at a different directory"
+            )
+        return checkpoint.completed, checkpoint
+
+    def _execute(self, stage: Stage, ctx: WorkflowContext) -> None:
+        index, total = self._current_index, self._total_stages
+        if self.hooks.on_stage_start is not None:
+            self.hooks.on_stage_start(stage, index, total)
+        # A stage's own override wins; otherwise the enclosing stage's
+        # (a BranchStage pinned to a backend pins its whole sub-path).
+        inherited_backend, inherited_workers = self._active_override
+        backend = stage.backend or inherited_backend
+        num_workers = stage.num_workers or inherited_workers
+        executor = self._executor_for(backend, num_workers)
+        previous_executor = ctx.executor
+        previous_override = self._active_override
+        ctx.executor = executor
+        self._active_override = (backend, num_workers)
+        started = time.perf_counter()
+        try:
+            stage.run(ctx)
+        finally:
+            ctx.executor = previous_executor
+            self._active_override = previous_override
+        elapsed = time.perf_counter() - started
+        if self.hooks.on_stage_end is not None:
+            self.hooks.on_stage_end(stage, index, total, elapsed)
+
+    def _executor_for(
+        self, backend: Optional[str], num_workers: Optional[int]
+    ) -> StageExecutor:
+        if backend is None and num_workers is None:
+            return self._executor
+        backend = backend or self._executor.backend
+        num_workers = num_workers or self._executor.num_workers
+        key = (backend, num_workers)
+        executor = self._override_executors.get(key)
+        if executor is None:
+            executor = StageExecutor(
+                num_workers=num_workers,
+                backend=backend,
+                columnar_messages=getattr(self._executor, "columnar_messages", None),
+                pipeline_metrics=self._executor.pipeline_metrics,
+            )
+            self._override_executors[key] = executor
+        return executor
+
+    def _rebind_metrics(self, metrics: PipelineMetrics) -> None:
+        """Point every executor at the metrics restored from a checkpoint."""
+        self._executor.pipeline_metrics = metrics
+        for executor in self._override_executors.values():
+            executor.pipeline_metrics = metrics

@@ -18,7 +18,7 @@ from repro.dbg.ids import ContigIdAllocator
 from repro.dna.io_fastq import reads_from_strings
 from repro.dna.sequence import reverse_complement
 from repro.dna.simulator import simulate_dataset
-from repro.pregel.job import JobChain
+from repro.workflow import StageExecutor
 
 
 def _prepare_merged_graph(reads, k=5, threshold=0, tip=0, workers=2):
@@ -28,7 +28,7 @@ def _prepare_merged_graph(reads, k=5, threshold=0, tip=0, workers=2):
         tip_length_threshold=tip,
         num_workers=workers,
     )
-    chain = JobChain(num_workers=workers)
+    chain = StageExecutor(num_workers=workers)
     graph = build_dbg(reads, config, chain).graph
     labeling = label_contigs(graph, config, chain)
     merge_contigs(graph, labeling, config, chain, ContigIdAllocator())

@@ -10,7 +10,7 @@ from repro.dbg.kmer_vertex import TYPE_AMBIGUOUS, TYPE_UNAMBIGUOUS
 from repro.dna.io_fastq import Read, reads_from_strings
 from repro.dna.sequence import reverse_complement
 from repro.errors import PipelineConfigError
-from repro.pregel.job import JobChain
+from repro.workflow import StageExecutor
 
 
 # ----------------------------------------------------------------------
@@ -58,7 +58,7 @@ def test_config_copies():
 # ----------------------------------------------------------------------
 def _build(reads, k=5, threshold=0, workers=2):
     config = AssemblyConfig(k=k, coverage_threshold=threshold, num_workers=workers)
-    chain = JobChain(num_workers=workers)
+    chain = StageExecutor(num_workers=workers)
     return build_dbg(reads, config, chain), chain
 
 

@@ -11,7 +11,7 @@ from repro.dbg.ids import ContigIdAllocator
 from repro.dbg.kmer_vertex import TYPE_AMBIGUOUS
 from repro.dna.io_fastq import reads_from_strings
 from repro.dna.sequence import reverse_complement
-from repro.pregel.job import JobChain
+from repro.workflow import StageExecutor
 
 
 def _assemble_first_round(reads, k=5, threshold=0, workers=2, method="list_ranking", tip=0):
@@ -22,7 +22,7 @@ def _assemble_first_round(reads, k=5, threshold=0, workers=2, method="list_ranki
         labeling_method=method,
         num_workers=workers,
     )
-    chain = JobChain(num_workers=workers)
+    chain = StageExecutor(num_workers=workers)
     graph = build_dbg(reads, config, chain).graph
     labeling = label_contigs(graph, config, chain, include_contigs=False)
     merging = merge_contigs(graph, labeling, config, chain, ContigIdAllocator())
@@ -39,7 +39,7 @@ def _matches_genome(contig, genome):
 def test_chain_graph_excludes_ambiguous_vertices():
     reads = reads_from_strings(["AACCGGTTA", "AACCGGTCA"])
     config = AssemblyConfig(k=5, coverage_threshold=0, num_workers=2)
-    job_chain = JobChain(num_workers=2)
+    job_chain = StageExecutor(num_workers=2)
     graph = build_dbg(reads, config, job_chain).graph
     chain = build_chain_graph(graph)
     ambiguous = set(graph.ambiguous_vertices())
@@ -58,7 +58,7 @@ def test_chain_graph_excludes_ambiguous_vertices():
 def test_chain_pair_view_has_two_slots_per_node():
     reads = reads_from_strings(["GCTAAAGACA"])
     config = AssemblyConfig(k=5, coverage_threshold=0, num_workers=2)
-    job_chain = JobChain(num_workers=2)
+    job_chain = StageExecutor(num_workers=2)
     graph = build_dbg(reads, config, job_chain).graph
     pairs = build_chain_graph(graph).pair_view()
     assert all(len(pair) == 2 for pair in pairs.values())

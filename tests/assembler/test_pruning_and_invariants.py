@@ -17,14 +17,14 @@ from repro.dbg.ids import ContigIdAllocator
 from repro.dna.io_fastq import reads_from_strings
 from repro.dna.sequence import reverse_complement
 from repro.dna.simulator import ReadSimulationConfig, ReadSimulator, generate_genome
-from repro.pregel.job import JobChain
+from repro.workflow import StageExecutor
 
 
 def _merged_graph(reads, k=5, threshold=0, workers=2):
     config = AssemblyConfig(
         k=k, coverage_threshold=threshold, tip_length_threshold=0, num_workers=workers
     )
-    chain = JobChain(num_workers=workers)
+    chain = StageExecutor(num_workers=workers)
     graph = build_dbg(reads, config, chain).graph
     labeling = label_contigs(graph, config, chain)
     merge_contigs(graph, labeling, config, chain, ContigIdAllocator())
@@ -76,7 +76,7 @@ def test_pruning_protects_long_contigs():
 
 def test_pruning_on_empty_graph():
     config = AssemblyConfig(k=5, num_workers=2)
-    chain = JobChain(num_workers=2)
+    chain = StageExecutor(num_workers=2)
     from repro.dbg.graph import DeBruijnGraph
 
     graph = DeBruijnGraph(5)
@@ -130,6 +130,33 @@ def test_property_assembly_total_length_bounded_with_errors(seed):
     result.graph.validate()
 
 
+def test_merging_hairpin_selfloop_keeps_boundary_wired():
+    """Regression: a chain node whose far port links back to itself.
+
+    Hypothesis found (seed 6471) that such a hairpin group was
+    classified as a pure cycle, so merging discarded its real start
+    boundary and the bordering ambiguous k-mer kept a dangling edge
+    into the deleted node.  The hairpin must merge as a path whose far
+    end simply dead-ends.
+    """
+    genome = generate_genome(1_200, repeat_fraction=0.05, repeat_length=80, seed=6471)
+    simulator = ReadSimulator(
+        ReadSimulationConfig(read_length=60, coverage=15, error_rate=0.008, seed=6472)
+    )
+    reads = simulator.simulate(genome)
+    config = AssemblyConfig(
+        k=15, coverage_threshold=0, tip_length_threshold=40, num_workers=3
+    )
+    chain = StageExecutor(num_workers=3)
+    graph = build_dbg(reads, config, chain).graph
+    labeling = label_contigs(graph, config, chain)
+    # The dataset contains a self-looping ⟨1-1⟩ node bordering an
+    # ambiguous vertex; without the fix this validate() reports a
+    # missing-neighbour reference.
+    merge_contigs(graph, labeling, config, chain, ContigIdAllocator())
+    graph.validate()
+
+
 @settings(max_examples=6, deadline=None)
 @given(seed=st.integers(min_value=0, max_value=10_000))
 def test_property_graph_valid_after_every_operation(seed):
@@ -142,7 +169,7 @@ def test_property_graph_valid_after_every_operation(seed):
     )
     reads = simulator.simulate(genome)
     config = AssemblyConfig(k=15, coverage_threshold=0, tip_length_threshold=40, num_workers=3)
-    chain = JobChain(num_workers=3)
+    chain = StageExecutor(num_workers=3)
     allocator = ContigIdAllocator()  # shared across rounds, as the pipeline does
 
     graph = build_dbg(reads, config, chain).graph

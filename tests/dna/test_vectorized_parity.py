@@ -27,7 +27,7 @@ from repro.dna.encoding import (
 from repro.dna.kmer import extract_kplus1mers
 from repro.dna.sequence import split_on_ambiguous
 from repro.dna.simulator import simulate_dataset
-from repro.pregel.job import JobChain
+from repro.workflow import StageExecutor
 
 
 def random_reads(seed: int, count: int = 60, with_ns: bool = True):
@@ -147,8 +147,8 @@ def simulated_reads():
 def test_construction_parity(simulated_reads):
     config_fast = AssemblyConfig(k=15, use_vectorized=True)
     config_reference = AssemblyConfig(k=15, use_vectorized=False)
-    chain_fast = JobChain(num_workers=4, columnar_messages=True)
-    chain_reference = JobChain(num_workers=4, columnar_messages=False)
+    chain_fast = StageExecutor(num_workers=4, columnar_messages=True)
+    chain_reference = StageExecutor(num_workers=4, columnar_messages=False)
 
     fast = build_dbg(simulated_reads, config_fast, chain_fast)
     reference = build_dbg(simulated_reads, config_reference, chain_reference)

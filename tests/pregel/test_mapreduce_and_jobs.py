@@ -15,7 +15,7 @@ from repro.pregel import (
     Vertex,
     estimate_seconds,
 )
-from repro.pregel.job import JobChain
+from repro.workflow import StageExecutor
 
 
 # ----------------------------------------------------------------------
@@ -81,7 +81,7 @@ class NoopVertex(Vertex):
 
 
 def test_job_chain_accumulates_metrics():
-    chain = JobChain(num_workers=2)
+    chain = StageExecutor(num_workers=2)
     chain.run_mapreduce(
         "stage-1",
         records=[1, 2, 3],
@@ -94,7 +94,7 @@ def test_job_chain_accumulates_metrics():
 
 
 def test_job_chain_convert_shuffles_outputs():
-    chain = JobChain(num_workers=4)
+    chain = StageExecutor(num_workers=4)
     vertices = [NoopVertex(i) for i in range(20)]
     conversion = chain.convert(
         "convert",
@@ -107,7 +107,7 @@ def test_job_chain_convert_shuffles_outputs():
 
 
 def test_job_chain_reset_metrics():
-    chain = JobChain(num_workers=2)
+    chain = StageExecutor(num_workers=2)
     chain.run_pregel(PregelJob(name="only", vertices=[NoopVertex(1)]))
     chain.reset_metrics()
     assert chain.metrics().jobs == []

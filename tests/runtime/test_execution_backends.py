@@ -13,7 +13,7 @@ from repro.errors import (
     VertexNotFoundError,
 )
 from repro.pregel import PregelEngine, PregelJob, Vertex, run_single_job
-from repro.pregel.job import JobChain
+from repro.workflow import StageExecutor
 from repro.runtime import (
     ExecutionBackend,
     MultiprocessBackend,
@@ -141,7 +141,7 @@ def test_multiprocess_propagates_worker_exceptions():
 # configuration plumbing
 # ----------------------------------------------------------------------
 def test_job_chain_plumbs_backend():
-    chain = JobChain(num_workers=2, backend="multiprocess")
+    chain = StageExecutor(num_workers=2, backend="multiprocess")
     assert chain.backend == "multiprocess"
     assert chain.engine.backend_name == "multiprocess"
 

@@ -13,7 +13,7 @@ import pytest
 
 from repro.dna import PairedReadSimulationConfig, PairedReadSimulator, generate_genome
 from repro.dna.sequence import reverse_complement
-from repro.pregel.job import JobChain
+from repro.workflow import StageExecutor
 from repro.scaffold import (
     END_HEAD,
     END_TAIL,
@@ -151,7 +151,7 @@ def known_genome_pairs():
 def test_two_contigs_are_joined_in_order_with_gap(known_genome_pairs):
     genome, pairs = known_genome_pairs
     contig_a, contig_b = genome[0:1_200], genome[1_300:2_300]
-    result = scaffold_contigs([contig_a, contig_b], pairs, JobChain(num_workers=2))
+    result = scaffold_contigs([contig_a, contig_b], pairs, StageExecutor(num_workers=2))
     assert len(result.scaffolds) == 1
     scaffold = result.scaffolds[0]
     assert [member.position for member in scaffold.members] == [1, 2]
@@ -168,7 +168,7 @@ def test_reversed_contig_is_flipped_back(known_genome_pairs):
     genome, pairs = known_genome_pairs
     contig_a = genome[0:1_200]
     contig_b = reverse_complement(genome[1_300:2_300])
-    result = scaffold_contigs([contig_a, contig_b], pairs, JobChain(num_workers=2))
+    result = scaffold_contigs([contig_a, contig_b], pairs, StageExecutor(num_workers=2))
     assert len(result.scaffolds) == 1
     sequence = result.scaffolds[0].sequence
     degapped = re.split("N+", sequence)
@@ -186,7 +186,7 @@ def test_three_contigs_order_by_list_ranking(known_genome_pairs):
     # Feed them scrambled; equal lengths make the scaffolder's internal
     # (length, sequence) sort differ from genome order, so a correct
     # result can only come from the link evidence.
-    result = scaffold_contigs([slices[2], slices[0], slices[1]], pairs, JobChain(num_workers=2))
+    result = scaffold_contigs([slices[2], slices[0], slices[1]], pairs, StageExecutor(num_workers=2))
     assert len(result.scaffolds) == 1
     scaffold = result.scaffolds[0]
     assert [member.position for member in scaffold.members] == [1, 2, 3]
@@ -198,14 +198,14 @@ def test_unlinked_contigs_stay_singletons(known_genome_pairs):
     genome, pairs = known_genome_pairs
     contig_a = genome[0:1_200]
     stranger = generate_genome(600, repeat_fraction=0.0, seed=99)
-    result = scaffold_contigs([contig_a, stranger], pairs, JobChain(num_workers=2))
+    result = scaffold_contigs([contig_a, stranger], pairs, StageExecutor(num_workers=2))
     assert len(result.scaffolds) == 2
     assert result.num_joined() == 0
     assert sorted(result.sequences, key=len) == sorted([contig_a, stranger], key=len)
 
 
 def test_no_contigs_no_pairs_degenerate_cases():
-    chain = JobChain(num_workers=2)
+    chain = StageExecutor(num_workers=2)
     empty = scaffold_contigs([], [], chain)
     assert empty.scaffolds == []
     lone = scaffold_contigs(["ACGTACGTACGTACGTACGTACGTA"], [], chain, seed_k=11)

@@ -7,9 +7,11 @@ import pytest
 from repro.cli import build_parser, main
 
 
-def test_parser_requires_an_input_source(capsys):
+def test_cli_requires_an_input_source(capsys):
+    # The argparse group itself is optional (--list-stages works without
+    # input), so the requirement is enforced by main().
     with pytest.raises(SystemExit):
-        build_parser().parse_args([])
+        main([])
     assert "required" in capsys.readouterr().err
 
 
@@ -110,6 +112,45 @@ def test_cli_scaffolds_simulated_pairs(tmp_path, capsys):
     assert "[scaffolding]" in output
     assert "scaffold_n50=" in output
     assert scaffolds.read_text().startswith(">scaffold_0")
+
+
+def test_cli_list_stages_needs_no_input(capsys):
+    assert main(["--list-stages", "--scaffold"]) == 0
+    output = capsys.readouterr().out
+    assert "workflow ppa-assembly" in output
+    assert "dbg-construction" in output
+    assert "scaffolding" in output
+    # Listing must not run anything.
+    assert "contigs=" not in output
+
+
+def test_cli_list_stages_reflects_config(capsys):
+    assert main(["--list-stages"]) == 0
+    output = capsys.readouterr().out
+    assert "scaffolding" not in output
+    assert "contig-merging/round-2" in output
+
+
+def test_cli_resume_requires_checkpoint_dir(capsys):
+    with pytest.raises(SystemExit):
+        main(["--simulate", "1500", "-k", "15", "--resume"])
+    assert "--checkpoint-dir" in capsys.readouterr().err
+
+
+def test_cli_checkpoint_then_resume_matches(tmp_path, capsys):
+    checkpoint_dir = tmp_path / "ckpt"
+    args = ["--simulate", "2000", "-k", "15", "--workers", "2", "--quiet",
+            "--checkpoint-dir", str(checkpoint_dir)]
+    assert main(args) == 0
+    first = capsys.readouterr().out.strip()
+    assert list(checkpoint_dir.glob("checkpoint-*.pkl"))
+
+    assert main(args + ["--resume"]) == 0
+    resumed = capsys.readouterr().out.strip()
+    # Identical statistics; only the wall-clock differs between a full
+    # run and an instant resume-of-completed-run.
+    strip = lambda line: line.split(" wall_seconds=")[0]  # noqa: E731
+    assert strip(resumed) == strip(first)
 
 
 def test_cli_assembles_fastq_pair(tmp_path, capsys):

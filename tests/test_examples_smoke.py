@@ -50,7 +50,13 @@ def test_quickstart_runs(monkeypatch, capsys):
 
 def test_custom_workflow_runs(monkeypatch, capsys):
     _run_example("custom_workflow.py", [], monkeypatch)
-    assert "simulated cluster time" in capsys.readouterr().out
+    output = capsys.readouterr().out
+    assert "simulated cluster time" in output
+    # The example's checkpoint/resume scenario must actually resume:
+    # the simulated crash leaves checkpoints behind and the second
+    # runner skips every completed stage.
+    assert "simulated crash after stage" in output
+    assert "resume skips completed stage" in output
 
 
 def test_quality_report_runs(monkeypatch, capsys, tmp_path):
