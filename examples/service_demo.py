@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""The assembly job service, end to end: submit → watch → fetch.
+
+Starts the durable job service in-process (exactly what
+``repro-assemble serve`` runs), then acts as a remote client would:
+
+1. submit two assembly jobs over HTTP — one plain, one paired-end with
+   scaffolding — with an idempotency key making the submission
+   retry-safe,
+2. stream the first job's stage events live while it runs (the same
+   events ``repro-assemble submit --wait`` prints),
+3. fetch the results: quality metrics JSON plus the contig FASTA, and
+   the scaffold FASTA for the scaffolded job.
+
+Run with::
+
+    python examples/service_demo.py
+
+``REPRO_EXAMPLE_SCALE`` shrinks the dataset (used by the CI smoke run).
+In production the service would run in its own process (``repro-assemble
+serve --data-dir …``) and survive ``kill -9``: interrupted jobs resume
+from their per-stage checkpoints bit-identically on restart.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+from repro.service import AssemblyService, JobSpec, ServiceClient
+
+EXAMPLE_SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "1.0"))
+
+
+def main() -> None:
+    genome_length = max(2_000, int(12_000 * EXAMPLE_SCALE))
+
+    with tempfile.TemporaryDirectory(prefix="repro-service-demo-") as data_dir:
+        # ------------------------------------------------------------------
+        # 1. A service with two worker slots, on a free loopback port.
+        # ------------------------------------------------------------------
+        with AssemblyService(data_dir, num_workers=2, port=0) as service:
+            client = ServiceClient(service.base_url)
+            print(f"service up at {service.base_url} "
+                  f"({service.health()['workers']} workers)")
+
+            # --------------------------------------------------------------
+            # 2. Submit: one plain job, one paired-end + scaffolding job.
+            # --------------------------------------------------------------
+            plain = client.submit(
+                JobSpec(
+                    input={"mode": "simulate",
+                           "genome_length": genome_length, "seed": 1},
+                    config={"k": 17, "num_workers": 2},
+                ),
+                idempotency_key="demo-plain",
+            )
+            scaffolded = client.submit(
+                JobSpec(
+                    input={"mode": "simulate",
+                           "genome_length": genome_length, "seed": 2,
+                           "insert_size": 400.0},
+                    config={"k": 17, "num_workers": 2, "scaffold": True},
+                ),
+                priority=1,  # jumps the queue if workers are busy
+            )
+            print(f"submitted jobs {plain['id'][:8]}… and {scaffolded['id'][:8]}…")
+
+            # --------------------------------------------------------------
+            # 3. Watch the plain job's stage events stream in.
+            # --------------------------------------------------------------
+            def show(event):
+                payload = event["payload"]
+                if event["type"] == "stage-end":
+                    print(f"  stage {payload['index'] + 1}/{payload['total']} "
+                          f"{payload['stage']} done in {payload['seconds']:.3f}s")
+
+            final = client.wait(plain["id"], timeout=600, on_event=show)
+            print(f"plain job: {final['job']['state']}")
+
+            # --------------------------------------------------------------
+            # 4. Fetch results: metrics JSON + FASTA artifacts.
+            # --------------------------------------------------------------
+            metrics = client.result(plain["id"])
+            contigs = metrics["contigs"]
+            print(f"contigs: {contigs['count']} pieces, N50 {contigs['n50']}, "
+                  f"NG50 {contigs.get('ng50', '—')}")
+            fasta = client.contigs_fasta(plain["id"])
+            print(f"contig FASTA: {fasta.count('>')} records, "
+                  f"{len(fasta)} bytes (first: {fasta.splitlines()[0]})")
+
+            scaffold_final = client.wait(scaffolded["id"], timeout=600)
+            print(f"scaffolded job: {scaffold_final['job']['state']}")
+            scaffold_metrics = client.result(scaffolded["id"])
+            if scaffold_metrics["scaffolds"] is not None:
+                print(f"scaffolds: {scaffold_metrics['scaffolds']['count']} pieces, "
+                      f"N50 {scaffold_metrics['scaffolds']['n50']} "
+                      f"(contig N50 {scaffold_metrics['contigs']['n50']})")
+                scaffold_fasta = client.scaffolds_fasta(scaffolded["id"])
+                print(f"scaffold FASTA: {scaffold_fasta.count('>')} records")
+
+            counts = client.health()["counts"]
+            print(f"served: {counts['succeeded']} succeeded, "
+                  f"{counts['failed']} failed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# Job-service smoke: serve → submit → poll → kill -9 mid-assembly →
+# restart → assert the job resumes and its contigs are byte-identical
+# to an uninterrupted one-shot run.  This is the shell replay of
+# tests/service/test_crash_recovery.py, run by CI as a black-box check
+# of the installed entry point.
+#
+# Environment:
+#   REPRO_ASSEMBLE  command to invoke (default: repro-assemble on PATH;
+#                   use "python -m repro.cli" with PYTHONPATH=src)
+#   SMOKE_PORT      TCP port for the service (default 8650)
+set -euo pipefail
+
+ASSEMBLE=(${REPRO_ASSEMBLE:-repro-assemble})
+PORT="${SMOKE_PORT:-8650}"
+URL="http://127.0.0.1:$PORT"
+DATA_DIR="$(mktemp -d)"
+GENOME=24000
+SEED=13
+K=17
+SERVER_PID=""
+
+cleanup() {
+    if [ -n "$SERVER_PID" ]; then
+        kill -9 "$SERVER_PID" 2>/dev/null || true
+    fi
+    rm -rf "$DATA_DIR"
+}
+trap cleanup EXIT
+
+start_server() {
+    "${ASSEMBLE[@]}" serve --data-dir "$DATA_DIR/service" --port "$PORT" \
+        --workers 1 --poll-interval 0.05 &
+    SERVER_PID=$!
+    for _ in $(seq 1 200); do
+        if curl -fsS "$URL/healthz" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "service_smoke: server did not come up" >&2
+    exit 1
+}
+
+job_field() {  # job_field <id> <python expr over doc>
+    curl -fsS "$URL/jobs/$1" | python -c "import json,sys; doc=json.load(sys.stdin); print($2)"
+}
+
+echo "== reference: uninterrupted one-shot run =="
+"${ASSEMBLE[@]}" --simulate "$GENOME" --seed "$SEED" -k "$K" --workers 2 \
+    --quiet --output "$DATA_DIR/reference.fa"
+
+echo "== start service =="
+start_server
+
+echo "== submit =="
+JOB=$(curl -fsS -X POST "$URL/jobs" -H 'Content-Type: application/json' \
+    -d "{\"input\": {\"mode\": \"simulate\", \"genome_length\": $GENOME, \"seed\": $SEED},
+         \"config\": {\"k\": $K, \"num_workers\": 2}}" \
+    | python -c 'import json,sys; print(json.load(sys.stdin)["job"]["id"])')
+echo "job $JOB"
+
+echo "== wait for the first checkpoint, then kill -9 =="
+CHECKPOINTS=0
+for _ in $(seq 1 600); do
+    CHECKPOINTS=$(curl -fsS "$URL/jobs/$JOB/events" | python -c \
+        'import json,sys; print(sum(1 for e in json.load(sys.stdin)["events"] if e["type"] == "checkpoint"))')
+    if [ "$CHECKPOINTS" -ge 1 ]; then
+        break
+    fi
+    sleep 0.05
+done
+if [ "$CHECKPOINTS" -lt 1 ]; then
+    echo "service_smoke: job never checkpointed" >&2
+    exit 1
+fi
+STATE=$(job_field "$JOB" 'doc["job"]["state"]')
+if [ "$STATE" != "running" ] && [ "$STATE" != "queued" ]; then
+    echo "service_smoke: job already $STATE; cannot kill mid-assembly" >&2
+    exit 1
+fi
+echo "killing server (job $STATE, $CHECKPOINTS checkpoint(s) written)"
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+echo "== restart: the job must resume and finish =="
+start_server
+STATE=""
+for _ in $(seq 1 1200); do
+    STATE=$(job_field "$JOB" 'doc["job"]["state"]')
+    case "$STATE" in
+        succeeded) break ;;
+        failed|cancelled)
+            echo "service_smoke: job ended $STATE after restart" >&2
+            job_field "$JOB" 'doc["job"]["error"]' >&2 || true
+            exit 1 ;;
+    esac
+    sleep 0.25
+done
+if [ "$STATE" != "succeeded" ]; then
+    echo "service_smoke: job did not finish after restart" >&2
+    exit 1
+fi
+
+echo "== assert the resume actually resumed =="
+curl -fsS "$URL/jobs/$JOB/events" | python -c '
+import json, sys
+types = [event["type"] for event in json.load(sys.stdin)["events"]]
+assert "recovered" in types, f"no recovery event: {types}"
+assert "stage-skipped" in types, f"resume recomputed everything: {types}"
+print(f"recovered; {types.count('"'"'stage-skipped'"'"')} stages skipped on resume")
+'
+
+echo "== assert byte-identical contigs =="
+curl -fsS "$URL/jobs/$JOB/contigs.fasta" > "$DATA_DIR/resumed.fa"
+cmp "$DATA_DIR/reference.fa" "$DATA_DIR/resumed.fa"
+echo "service_smoke: resume-to-identical-result OK"

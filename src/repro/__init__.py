@@ -20,6 +20,9 @@ Pregel" (ICDE 2018).  The package is organised by subsystem:
   workflow driver (the paper's contribution);
 * :mod:`repro.scaffold` — paired-end scaffolding: the PPA toolkit run
   on the contig-link graph, ordering contigs into gap-padded scaffolds;
+* :mod:`repro.service` — the durable assembly job service: SQLite job
+  queue, bounded worker pool resuming jobs from checkpoints, stdlib
+  REST API and HTTP client (``repro-assemble serve``);
 * :mod:`repro.baselines` — ABySS/Ray/SWAP/Spaler-style comparison
   assemblers;
 * :mod:`repro.quality` — QUAST-style quality assessment;
@@ -46,7 +49,7 @@ from .assembler import (
 from .errors import ReproError
 from .workflow import Workflow, WorkflowHooks, WorkflowRunner
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AssemblyConfig",

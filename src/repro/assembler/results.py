@@ -107,6 +107,67 @@ class AssemblyResult:
     def add_stage(self, name: str, **detail: object) -> None:
         self.stages.append(StageSummary(name=name, detail=dict(detail)))
 
+    def metrics_payload(
+        self,
+        min_contig: int = 0,
+        stage_seconds: Optional[Dict[str, float]] = None,
+        wall_seconds: Optional[float] = None,
+        reference_length: Optional[int] = None,
+    ) -> Dict[str, object]:
+        """The run's quality summary as a machine-readable JSON document.
+
+        This is the single shape shared by the CLI's ``--metrics-json``
+        flag and the job service's result endpoint: contig (and, when
+        scaffolding ran, scaffold) contiguity statistics, the per-stage
+        summaries, measured per-stage wall-clock seconds when the caller
+        collected them via :class:`~repro.workflow.WorkflowHooks`, and
+        the cost model's simulated cluster seconds.  ``*_ng50`` fields
+        appear only when the reference length is known.
+        """
+        from dataclasses import asdict
+
+        from ..quality.stats import l50_value, n50_value, ng50_value
+
+        def contiguity(lengths: List[int]) -> Dict[str, object]:
+            block: Dict[str, object] = {
+                "count": len(lengths),
+                "total_bp": sum(lengths),
+                "largest": max(lengths, default=0),
+                "n50": n50_value(lengths),
+                "l50": l50_value(lengths),
+            }
+            if reference_length:
+                block["ng50"] = ng50_value(lengths, reference_length)
+            return block
+
+        contig_lengths = [len(s) for s in self.contigs_longer_than(min_contig)]
+        payload: Dict[str, object] = {
+            "schema_version": 1,
+            "min_contig": min_contig,
+            "config": asdict(self.config),
+            "contigs": contiguity(contig_lengths),
+            "scaffolds": (
+                contiguity(
+                    [len(s) for s in self.scaffolds_longer_than(min_contig)]
+                )
+                if self.scaffolding is not None
+                else None
+            ),
+            "stages": [
+                {"name": stage.name, **stage.detail} for stage in self.stages
+            ],
+            "estimated_cluster_seconds": round(self.estimated_seconds(), 6),
+        }
+        if reference_length:
+            payload["reference_length"] = reference_length
+        if stage_seconds is not None:
+            payload["stage_seconds"] = {
+                name: round(seconds, 6) for name, seconds in stage_seconds.items()
+            }
+        if wall_seconds is not None:
+            payload["wall_seconds"] = round(wall_seconds, 6)
+        return payload
+
     def labeling_summary(self, which: str) -> Dict[str, int]:
         """Supersteps/messages/runtime proxy for one labeling invocation.
 

@@ -26,20 +26,23 @@ The assembly is a declared workflow (:mod:`repro.workflow`):
 ``--checkpoint-dir`` persists the workflow state after every stage, and
 ``--resume`` continues a checkpointed run from its last completed stage
 (bit-identical to an uninterrupted run).
+
+When the first argument is a service verb (``serve``, ``submit``,
+``status``, ``result``, ``cancel``, ``jobs``), the CLI instead drives
+the durable assembly job service (:mod:`repro.service`) — see
+:mod:`repro.service.cli`.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from .assembler import AssemblyConfig, PPAAssembler, build_assembly_workflow
 from .assembler.config import LABELING_LIST_RANKING, LABELING_SIMPLIFIED_SV
-from .dna.datasets import get_profile
-from .dna.io_fastq import parse_fastq, parse_paired_fastq, reads_from_pairs
-from .dna.simulator import simulate_dataset, simulate_paired_dataset
 from .errors import ReproError
 from .quality.stats import n50_value
 from .runtime import available_backends
@@ -155,6 +158,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the assembled contigs to this FASTA file",
     )
     parser.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        help="write the run's quality summary (contig/scaffold N50, NG50 "
+        "when the reference length is known, per-stage timings) as JSON — "
+        "the same payload the job service's result endpoint returns",
+    )
+    parser.add_argument(
         "--checkpoint-dir",
         metavar="DIR",
         help="persist the workflow state to this directory after every "
@@ -179,39 +189,40 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _load_input(args: argparse.Namespace):
-    """Materialise the input: ``(reads, pairs or None, description)``."""
-    simulate_paired = args.scaffold or args.scaffold_output
-    insert_mean = args.insert_size if args.insert_size is not None else 500.0
-    if args.dataset is not None:
-        profile = get_profile(args.dataset, scale=args.scale)
-        source = f"dataset {profile.name} (scale {args.scale})"
-        if simulate_paired:
-            _reference, pairs = profile.generate_paired(
-                insert_size_mean=insert_mean, insert_size_std=args.insert_std
-            )
-            return reads_from_pairs(pairs), pairs, source
-        _reference, reads = profile.generate()
-        return reads, None, source
-    if args.fastq is not None:
-        return list(parse_fastq(args.fastq)), None, f"fastq {args.fastq}"
-    if args.fastq_pair is not None:
-        path1, path2 = args.fastq_pair
-        pairs = list(parse_paired_fastq(path1, path2))
-        return reads_from_pairs(pairs), pairs, f"fastq pair {path1} + {path2}"
-    source = f"simulated genome of {args.simulate} bp (seed {args.seed})"
-    if simulate_paired:
-        _genome, pairs = simulate_paired_dataset(
-            genome_length=args.simulate,
-            insert_size_mean=insert_mean,
-            insert_size_std=args.insert_std,
-            seed=args.seed,
-        )
-        return reads_from_pairs(pairs), pairs, source
-    _genome, reads = simulate_dataset(genome_length=args.simulate, seed=args.seed)
-    return reads, None, source
+    """Materialise the input via the job-service spec machinery.
+
+    Returns the :class:`~repro.service.spec.MaterializedInput` —
+    reads, optional pairs, the reference length when the mode knows it,
+    and a printable description.  Building a :class:`JobSpec` from the
+    flags keeps the one-shot CLI and a submitted service job on one
+    materialisation path: the same flags always produce the same reads
+    on both surfaces.
+    """
+    from .service.spec import JobSpec, input_block_from_args
+
+    scaffold = bool(args.scaffold or args.scaffold_output)
+    spec = JobSpec(
+        input=input_block_from_args(args),
+        config={"scaffold": True} if scaffold else {},
+    )
+    return spec.materialize()
+
+
+#: Mirror of :data:`repro.service.cli.SERVICE_VERBS`, duplicated as a
+#: literal so a plain one-shot run (or --help) never imports the
+#: serving stack (sqlite3, http.server, urllib); a test asserts the
+#: two tuples stay in sync.
+_SERVICE_VERBS = ("serve", "submit", "status", "result", "cancel", "jobs")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] in _SERVICE_VERBS:
+        from .service.cli import service_main
+
+        return service_main(argv)
+
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -253,26 +264,45 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     try:
-        reads, pairs, source = _load_input(args)
+        material = _load_input(args)
     except (OSError, ValueError, ReproError) as exc:
         print(f"repro-assemble: failed to load reads: {exc}", file=sys.stderr)
         return 1
+    reads, pairs = material.reads, material.pairs
+    reference_length = material.reference_length
 
     if not args.quiet:
-        print(f"assembling {len(reads)} reads from {source}")
+        print(f"assembling {len(reads)} reads from {material.description}")
         print(
             f"  k={config.k} workers={config.num_workers} "
             f"backend={config.backend} labeling={config.labeling_method}"
         )
 
+    stage_seconds: Dict[str, float] = {}
     hooks = None
-    if not args.quiet and args.checkpoint_dir:
+    verbose_checkpoints = not args.quiet and args.checkpoint_dir
+    if verbose_checkpoints or args.metrics_json:
         hooks = WorkflowHooks(
-            on_stage_skipped=lambda stage, index, total: print(
-                f"  resume: skipping completed stage {index + 1}/{total} {stage.name}"
+            on_stage_end=lambda stage, index, total, seconds: stage_seconds.update(
+                {stage.name: stage_seconds.get(stage.name, 0.0) + seconds}
             ),
-            on_checkpoint=lambda stage, path: print(
-                f"  checkpointed {stage.name} -> {path}"
+            on_stage_skipped=(
+                (
+                    lambda stage, index, total: print(
+                        f"  resume: skipping completed stage {index + 1}/{total} {stage.name}"
+                    )
+                )
+                if verbose_checkpoints
+                else None
+            ),
+            on_checkpoint=(
+                (
+                    lambda stage, path: print(
+                        f"  checkpointed {stage.name} -> {path}"
+                    )
+                )
+                if verbose_checkpoints
+                else None
             ),
         )
 
@@ -319,6 +349,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"{summary} wall_seconds={wall_seconds:.2f} "
         f"simulated_seconds={result.estimated_seconds():.2f}"
     )
+
+    if args.metrics_json:
+        payload = result.metrics_payload(
+            min_contig=args.min_contig,
+            stage_seconds=stage_seconds,
+            wall_seconds=wall_seconds,
+            reference_length=reference_length,
+        )
+        with open(args.metrics_json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        if not args.quiet:
+            print(f"wrote metrics JSON to {args.metrics_json}")
 
     if args.output:
         written = result.write_fasta(args.output)

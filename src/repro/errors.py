@@ -91,6 +91,53 @@ class CheckpointError(WorkflowError):
     """
 
 
+class ServiceError(ReproError):
+    """Base class for errors raised by the assembly job service.
+
+    Everything behind the REST API (:mod:`repro.service`) — job store,
+    scheduler, worker pool, HTTP client — raises subclasses of this, so
+    service embedders can catch one class at the boundary.
+    """
+
+
+class InvalidJobSpecError(ServiceError):
+    """A submitted job specification could not be parsed or validated."""
+
+
+class JobNotFoundError(ServiceError):
+    """A job ID did not match any job known to the store."""
+
+    def __init__(self, job_id: str) -> None:
+        super().__init__(f"no job with id {job_id!r}")
+        self.job_id = job_id
+
+    def __reduce__(self):
+        return (JobNotFoundError, (self.job_id,))
+
+
+class JobStateError(ServiceError):
+    """A job was in the wrong state for the requested operation.
+
+    Raised e.g. when fetching the result of a job that has not
+    succeeded, or transitioning a terminal job.
+    """
+
+
+class ServiceClientError(ServiceError):
+    """An HTTP request to the job service failed.
+
+    Carries the HTTP status code (0 when the server was unreachable)
+    so callers can distinguish 'job not found' from 'service down'.
+    """
+
+    def __init__(self, message: str, status: int = 0) -> None:
+        super().__init__(message)
+        self.status = status
+
+    def __reduce__(self):
+        return (ServiceClientError, (str(self), self.status))
+
+
 class DnaError(ReproError):
     """Base class for sequence handling errors."""
 

@@ -1,0 +1,194 @@
+"""The assembled service: store + worker pool + REST API in one object.
+
+:class:`AssemblyService` is what ``repro-assemble serve`` runs and what
+tests/benchmarks embed in-process.  Its start-up order is the crash
+-recovery contract:
+
+1. open (or create) the SQLite store under ``data_dir``;
+2. :meth:`~repro.service.store.JobStore.recover_interrupted` — every
+   job a dead process left ``running`` goes back to ``queued``;
+3. start the worker pool — recovered jobs are claimed like any other
+   and, because every run resumes from the job's surviving checkpoint
+   directory, continue from their last completed stage bit-identically;
+4. bind the HTTP API.
+
+So a ``kill -9`` at any point costs at most the stage that was in
+flight; everything completed is never recomputed and never changes.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from .. import __version__
+from ..errors import InvalidJobSpecError, JobStateError
+from .api import make_server
+from .scheduler import WorkerPool
+from .spec import JobSpec
+from .store import STATE_SUCCEEDED, JobRecord, JobStore
+
+
+class AssemblyService:
+    """A durable, multi-tenant assembly job service."""
+
+    def __init__(
+        self,
+        data_dir,
+        num_workers: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        poll_interval: float = 0.2,
+    ) -> None:
+        self.data_dir = Path(data_dir)
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self.logger = logging.getLogger("repro.service")
+        self.store = JobStore(self.data_dir / "jobs.sqlite3")
+        self.pool = WorkerPool(
+            self.store, self.data_dir, num_workers=num_workers,
+            poll_interval=poll_interval,
+        )
+        self.host = host
+        self.port = port
+        self._server = None
+        self._server_thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Recover interrupted jobs, start workers, bind the API."""
+        recovered = self.store.recover_interrupted()
+        for record in recovered:
+            self.logger.info(
+                "re-enqueued interrupted job %s (attempt %d, will resume "
+                "from its checkpoints)", record.id, record.attempts,
+            )
+        self.pool.start()
+        self._server = make_server(self, self.host, self.port)
+        self.port = self._server.server_address[1]
+        self._server_thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-service-http",
+            daemon=True,
+        )
+        self._server_thread.start()
+        self.logger.info(
+            "assembly service listening on %s (data dir %s, %d workers)",
+            self.base_url, self.data_dir, self.pool.num_workers,
+        )
+
+    def stop(self, wait: bool = True) -> None:
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._server_thread is not None:
+            self._server_thread.join(timeout=5)
+            self._server_thread = None
+        self.pool.stop(wait=wait)
+        # With wait=False, daemon workers may still be mid-job; the
+        # store must stay open so their final writes land on a live
+        # connection rather than crashing on a closed one (the process
+        # is exiting anyway, and SQLite recovers the file on reopen).
+        if wait:
+            self.store.close()
+
+    def __enter__(self) -> "AssemblyService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # submission (programmatic and HTTP)
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        spec: JobSpec,
+        priority: int = 0,
+        idempotency_key: Optional[str] = None,
+    ) -> JobRecord:
+        record = self.store.submit(
+            spec, priority=priority, idempotency_key=idempotency_key
+        )
+        self.pool.notify()
+        return record
+
+    def submit_payload(self, body: Any) -> Tuple[JobRecord, bool]:
+        """Handle a POST /jobs body; returns ``(record, created)``.
+
+        The body is either a bare spec object or an envelope
+        ``{"spec": ..., "priority": ..., "idempotency_key": ...}`` —
+        bare specs keep the curl quickstart one level flat.
+        """
+        if not isinstance(body, dict):
+            raise InvalidJobSpecError("request body must be a JSON object")
+        if "spec" in body:
+            envelope = body
+            spec_payload = body["spec"]
+        else:
+            envelope = {}
+            spec_payload = body
+        spec = JobSpec.from_dict(spec_payload)
+        priority = envelope.get("priority", 0)
+        if not isinstance(priority, int):
+            raise InvalidJobSpecError(f"priority must be an integer, got {priority!r}")
+        idempotency_key = envelope.get("idempotency_key")
+        if idempotency_key is not None and not isinstance(idempotency_key, str):
+            raise InvalidJobSpecError("idempotency_key must be a string")
+        record, created = self.store.submit_detecting(
+            spec, priority=priority, idempotency_key=idempotency_key
+        )
+        self.pool.notify()
+        return record, created
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def _succeeded(self, job_id: str) -> JobRecord:
+        record = self.store.get(job_id)
+        if record.state != STATE_SUCCEEDED:
+            raise JobStateError(
+                f"job {job_id} is {record.state}, not succeeded; "
+                "results exist only for succeeded jobs"
+            )
+        return record
+
+    def result_payload(self, job_id: str) -> Dict[str, Any]:
+        """The job's quality metrics JSON (written by its worker)."""
+        record = self._succeeded(job_id)
+        path = Path(record.result_dir or "") / "metrics.json"
+        try:
+            return json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise JobStateError(
+                f"result metadata of job {job_id} is unreadable: {exc}"
+            ) from exc
+
+    def artifact_text(self, job_id: str, name: str) -> str:
+        """A FASTA artifact (``contigs.fasta`` / ``scaffolds.fasta``)."""
+        record = self._succeeded(job_id)
+        path = Path(record.result_dir or "") / name
+        if not path.is_file():
+            raise JobStateError(f"job {job_id} produced no {name} artifact")
+        return path.read_text()
+
+    # ------------------------------------------------------------------
+    # health
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return {
+            "status": "ok",
+            "version": __version__,
+            "workers": self.pool.num_workers,
+            "counts": self.store.counts(),
+        }

@@ -1,0 +1,161 @@
+"""Thin HTTP client for the assembly job service.
+
+Wraps the REST API (:mod:`repro.service.api`) in typed calls over
+stdlib ``urllib`` — no sessions, no retries beyond what the caller
+adds, idempotency keys making retried submissions safe.  The CLI verbs
+(``repro-assemble submit/status/result/cancel``) and the examples are
+built on this; it is also the reference for what each endpoint accepts
+and returns.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable, Dict, List, Optional
+from urllib import error, request
+
+from ..errors import ServiceClientError
+from .spec import JobSpec
+
+
+class ServiceClient:
+    """Client for one service instance, e.g. ``ServiceClient("http://localhost:8642")``."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+        decode_json: bool = True,
+    ) -> Any:
+        url = self.base_url + path
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = request.Request(url, data=data, headers=headers, method=method)
+        try:
+            with request.urlopen(req, timeout=self.timeout) as response:
+                body = response.read().decode("utf-8")
+        except error.HTTPError as exc:
+            detail = exc.read().decode("utf-8", errors="replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except json.JSONDecodeError:
+                pass
+            raise ServiceClientError(
+                f"{method} {path} failed with HTTP {exc.code}: {detail}",
+                status=exc.code,
+            ) from exc
+        except error.URLError as exc:
+            raise ServiceClientError(
+                f"could not reach the service at {self.base_url}: {exc.reason}"
+            ) from exc
+        except OSError as exc:
+            # Covers mid-response socket timeouts (TimeoutError), which
+            # urlopen raises directly rather than wrapping in URLError.
+            raise ServiceClientError(
+                f"could not reach the service at {self.base_url}: {exc}"
+            ) from exc
+        if not decode_json:
+            return body
+        try:
+            return json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise ServiceClientError(
+                f"{method} {path} returned malformed JSON: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def submit(
+        self,
+        spec: JobSpec,
+        priority: int = 0,
+        idempotency_key: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Submit a job; returns the job document (existing one on key dedup)."""
+        envelope: Dict[str, Any] = {"spec": spec.to_dict(), "priority": priority}
+        if idempotency_key is not None:
+            envelope["idempotency_key"] = idempotency_key
+        return self._request("POST", "/jobs", payload=envelope)["job"]
+
+    def list_jobs(
+        self, state: Optional[str] = None, limit: int = 100
+    ) -> List[Dict[str, Any]]:
+        query = f"?limit={limit}" + (f"&state={state}" if state else "")
+        return self._request("GET", "/jobs" + query)["jobs"]
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        """The job document plus a ``progress`` block."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def events(self, job_id: str, after: int = 0) -> List[Dict[str, Any]]:
+        return self._request("GET", f"/jobs/{job_id}/events?after={after}")["events"]
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("POST", f"/jobs/{job_id}/cancel", payload={})["job"]
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        """The succeeded job's quality metrics JSON."""
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def contigs_fasta(self, job_id: str) -> str:
+        return self._request(
+            "GET", f"/jobs/{job_id}/contigs.fasta", decode_json=False
+        )
+
+    def scaffolds_fasta(self, job_id: str) -> str:
+        return self._request(
+            "GET", f"/jobs/{job_id}/scaffolds.fasta", decode_json=False
+        )
+
+    # ------------------------------------------------------------------
+    # polling
+    # ------------------------------------------------------------------
+    def wait(
+        self,
+        job_id: str,
+        timeout: Optional[float] = None,
+        poll_interval: float = 0.25,
+        on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state; returns its document.
+
+        ``on_event`` receives every new event exactly once as it is
+        observed (the cursor advances by event sequence number), which
+        is how the CLI and the demo stream live stage progress.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        cursor = 0
+        while True:
+            if on_event is not None:
+                for event in self.events(job_id, after=cursor):
+                    cursor = max(cursor, event["seq"])
+                    on_event(event)
+            status = self.status(job_id)
+            if status["job"]["state"] in ("succeeded", "failed", "cancelled"):
+                if on_event is not None:
+                    for event in self.events(job_id, after=cursor):
+                        cursor = max(cursor, event["seq"])
+                        on_event(event)
+                return status
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceClientError(
+                    f"job {job_id} did not finish within {timeout} seconds "
+                    f"(currently {status['job']['state']})"
+                )
+            time.sleep(poll_interval)

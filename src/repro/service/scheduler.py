@@ -1,0 +1,255 @@
+"""Scheduler and bounded worker pool: where queued jobs become contigs.
+
+The pool owns ``num_workers`` daemon threads.  Each thread loops on the
+store's atomic :meth:`~repro.service.store.JobStore.claim_next` (so at
+most ``num_workers`` jobs are ever ``running``) and executes the claimed
+job's declared workflow through a
+:class:`~repro.workflow.WorkflowRunner`:
+
+* the job gets its own directory under ``data_dir/jobs/<id>/`` holding
+  its checkpoints and, on success, its artifacts (``contigs.fasta``,
+  ``scaffolds.fasta``, ``metrics.json``);
+* :class:`~repro.workflow.WorkflowHooks` translate stage boundaries
+  into store events (``stage-start`` / ``stage-end`` / ``checkpoint``),
+  which is what clients poll for live progress;
+* the ``on_stage_start`` hook doubles as the cooperative cancellation
+  point: a requested cancel aborts the run at the next stage boundary
+  (stages are the atomic unit of work, exactly the checkpoint
+  granularity);
+* every run passes ``resume=True``.  For a fresh job that is a no-op
+  (no checkpoint → start from stage 0); for a job re-enqueued by
+  :meth:`~repro.service.store.JobStore.recover_interrupted` after a
+  crash it means the surviving per-job checkpoints are picked up and
+  the run continues bit-identically — the workflow layer's checkpoint
+  fingerprint guards against the spec somehow materialising different
+  inputs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from pathlib import Path
+from typing import Dict, List
+
+from ..assembler import PPAAssembler
+from ..errors import ReproError
+from ..workflow import WorkflowHooks
+from .store import JobRecord, JobStore
+
+
+class _JobCancelled(Exception):
+    """Internal control-flow signal: a cancel request reached a stage boundary."""
+
+
+class WorkerPool:
+    """Bounded pool of worker threads draining a :class:`JobStore`."""
+
+    def __init__(
+        self,
+        store: JobStore,
+        data_dir,
+        num_workers: int = 2,
+        poll_interval: float = 0.2,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be positive, got {num_workers}")
+        self.store = store
+        self.data_dir = Path(data_dir)
+        self.num_workers = num_workers
+        self.poll_interval = poll_interval
+        self._threads: List[threading.Thread] = []
+        self._wakeup = threading.Condition()
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._threads and not self._stopping:
+            return  # already running
+        # Threads left over from a stop(wait=False) still honour the
+        # old stop flag and exit after their current job; join them
+        # before spawning a fresh generation, otherwise old and new
+        # workers together would exceed the num_workers bound.
+        for thread in self._threads:
+            thread.join()
+        self._threads = []
+        self._stopping = False
+        for index in range(self.num_workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                args=(f"worker-{index}",),
+                name=f"repro-service-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self, wait: bool = True) -> None:
+        """Stop claiming new jobs; optionally wait for running ones.
+
+        With ``wait=False`` the handles of still-alive threads are
+        kept, so a later :meth:`start` can wait them out instead of
+        silently doubling the worker count.
+        """
+        self._stopping = True
+        with self._wakeup:
+            self._wakeup.notify_all()
+        if wait:
+            for thread in self._threads:
+                thread.join()
+            self._threads = []
+        else:
+            self._threads = [t for t in self._threads if t.is_alive()]
+
+    def notify(self) -> None:
+        """Wake idle workers (called right after a submission)."""
+        with self._wakeup:
+            self._wakeup.notify_all()
+
+    # ------------------------------------------------------------------
+    # per-job layout
+    # ------------------------------------------------------------------
+    def job_dir(self, job_id: str) -> Path:
+        return self.data_dir / "jobs" / job_id
+
+    def checkpoint_dir(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "checkpoints"
+
+    # ------------------------------------------------------------------
+    # the worker loop
+    # ------------------------------------------------------------------
+    def _worker_loop(self, worker_name: str) -> None:
+        while not self._stopping:
+            record = self.store.claim_next(worker_name)
+            if record is None:
+                with self._wakeup:
+                    if not self._stopping:
+                        self._wakeup.wait(timeout=self.poll_interval)
+                continue
+            self._run_job(record)
+
+    def _run_job(self, record: JobRecord) -> None:
+        job_id = record.id
+        store = self.store
+        stage_seconds: Dict[str, float] = {}
+
+        def on_stage_start(stage, index, total):
+            # The cooperative cancellation point: checked once per
+            # stage, so a cancel lands between stages, never inside one.
+            if store.cancel_requested(job_id):
+                raise _JobCancelled()
+            store.append_event(
+                job_id,
+                "stage-start",
+                {"stage": stage.name, "index": index, "total": total},
+            )
+
+        def on_stage_end(stage, index, total, seconds):
+            stage_seconds[stage.name] = stage_seconds.get(stage.name, 0.0) + seconds
+            store.append_event(
+                job_id,
+                "stage-end",
+                {
+                    "stage": stage.name,
+                    "index": index,
+                    "total": total,
+                    "seconds": round(seconds, 6),
+                },
+            )
+
+        def on_stage_skipped(stage, index, total):
+            store.append_event(
+                job_id,
+                "stage-skipped",
+                {"stage": stage.name, "index": index, "total": total},
+            )
+
+        def on_checkpoint(stage, path):
+            store.append_event(
+                job_id, "checkpoint", {"stage": stage.name, "path": str(path)}
+            )
+
+        hooks = WorkflowHooks(
+            on_stage_start=on_stage_start,
+            on_stage_end=on_stage_end,
+            on_stage_skipped=on_stage_skipped,
+            on_checkpoint=on_checkpoint,
+        )
+
+        started = time.perf_counter()
+        try:
+            spec = record.spec
+            config = spec.assembly_config()
+            material = spec.materialize()
+            result = PPAAssembler(config).assemble(
+                material.reads,
+                pairs=material.pairs,
+                checkpoint_dir=self.checkpoint_dir(job_id),
+                resume=True,
+                hooks=hooks,
+            )
+            wall_seconds = time.perf_counter() - started
+            result_dir = self._write_artifacts(
+                job_id, record, result, material, stage_seconds, wall_seconds
+            )
+            store.mark_succeeded(job_id, result_dir=str(result_dir))
+        except _JobCancelled:
+            self._finish_quietly(store.mark_cancelled, job_id)
+        except ReproError as exc:
+            self._finish_quietly(store.mark_failed, job_id, str(exc))
+        except Exception as exc:  # noqa: BLE001 — a worker thread must survive
+            self._finish_quietly(
+                store.append_event,
+                job_id,
+                "error-detail",
+                {"traceback": traceback.format_exc(limit=20)},
+            )
+            self._finish_quietly(
+                store.mark_failed, job_id, f"{type(exc).__name__}: {exc}"
+            )
+
+    @staticmethod
+    def _finish_quietly(operation, *args) -> None:
+        """Run a terminal store write, swallowing shutdown-time failures.
+
+        A non-waiting service shutdown can close resources while a
+        daemon worker is still finishing its job; the worker's last
+        store writes must not take the thread down with an unhandled
+        exception.
+        """
+        try:
+            operation(*args)
+        except Exception:  # noqa: BLE001 — best-effort by design
+            pass
+
+    def _write_artifacts(
+        self,
+        job_id: str,
+        record: JobRecord,
+        result,
+        material,
+        stage_seconds: Dict[str, float],
+        wall_seconds: float,
+    ) -> Path:
+        """Persist the job's deliverables next to its checkpoints."""
+        import json
+
+        directory = self.job_dir(job_id)
+        directory.mkdir(parents=True, exist_ok=True)
+        result.write_fasta(directory / "contigs.fasta")
+        if result.scaffolding is not None:
+            result.write_scaffold_fasta(directory / "scaffolds.fasta")
+        payload = result.metrics_payload(
+            min_contig=record.spec.min_contig,
+            stage_seconds=stage_seconds,
+            wall_seconds=wall_seconds,
+            reference_length=material.reference_length,
+        )
+        payload["job_id"] = job_id
+        (directory / "metrics.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        return directory

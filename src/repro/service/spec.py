@@ -1,0 +1,409 @@
+"""Job specifications: the JSON contract between clients and workers.
+
+A :class:`JobSpec` is everything a worker needs to run one assembly —
+an *input* block naming where the reads come from and a *config* block
+carrying the full :class:`~repro.assembler.config.AssemblyConfig`
+surface (k, backend, workers, scaffolding knobs, …).  Specs travel as
+JSON over the REST API and are persisted verbatim in the job store, so
+a worker on a restarted service re-materialises exactly the input the
+original run saw — which is what makes checkpoint resume bit-identical:
+the workflow runner fingerprints the seed state and would refuse a
+resume over different reads.
+
+Input modes (mirroring the CLI's source flags):
+
+``inline``
+    Reads (or read pairs) embedded in the spec itself — the only mode
+    that needs no shared filesystem between client and server.
+``fastq`` / ``fastq_pair``
+    Paths the *server* reads.  Deterministic as long as the files are.
+``simulate``
+    A seeded random genome; deterministic by construction.
+``dataset``
+    One of the Table I dataset profiles (seeded), scaled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..assembler.config import AssemblyConfig
+from ..dna.datasets import get_profile
+from ..dna.io_fastq import (
+    Read,
+    ReadPair,
+    parse_fastq,
+    parse_paired_fastq,
+    reads_from_pairs,
+)
+from ..dna.simulator import simulate_dataset, simulate_paired_dataset
+from ..errors import InvalidJobSpecError, ReproError
+
+#: Input modes a spec may name.
+INPUT_MODES = ("inline", "fastq", "fastq_pair", "simulate", "dataset")
+
+#: AssemblyConfig fields a spec's ``config`` block may set.  Kept as an
+#: explicit allowlist so a typo ("kmer": 21) fails loudly at submit
+#: time instead of being silently ignored.
+CONFIG_FIELDS = (
+    "k",
+    "coverage_threshold",
+    "tip_length_threshold",
+    "bubble_edit_distance",
+    "labeling_method",
+    "error_correction_rounds",
+    "num_workers",
+    "backend",
+    "use_vectorized",
+    "scaffold",
+    "scaffold_min_links",
+    "scaffold_insert_size",
+)
+
+
+@dataclass
+class MaterializedInput:
+    """A spec's input block turned into actual reads."""
+
+    reads: List[Read]
+    pairs: Optional[List[ReadPair]]
+    reference_length: Optional[int]
+    description: str
+
+
+def _require(block: Dict[str, Any], key: str, mode: str) -> Any:
+    try:
+        return block[key]
+    except KeyError:
+        raise InvalidJobSpecError(
+            f"input mode {mode!r} requires an {key!r} field"
+        ) from None
+
+
+def _parse_inline_reads(raw: Any) -> List[Read]:
+    reads = []
+    for index, entry in enumerate(raw):
+        if isinstance(entry, str):
+            reads.append(Read(name=f"read_{index}", sequence=entry))
+        elif isinstance(entry, (list, tuple)) and len(entry) == 2:
+            reads.append(Read(name=str(entry[0]), sequence=str(entry[1])))
+        else:
+            raise InvalidJobSpecError(
+                "inline reads must be sequences or [name, sequence] pairs, "
+                f"got {entry!r} at index {index}"
+            )
+    return reads
+
+
+def _parse_inline_pairs(raw: Any) -> List[ReadPair]:
+    pairs = []
+    for index, entry in enumerate(raw):
+        if not isinstance(entry, (list, tuple)) or len(entry) != 4:
+            raise InvalidJobSpecError(
+                "inline pairs must be [name1, sequence1, name2, sequence2] "
+                f"quadruples, got {entry!r} at index {index}"
+            )
+        name1, sequence1, name2, sequence2 = entry
+        pairs.append(
+            ReadPair(
+                read1=Read(name=str(name1), sequence=str(sequence1)),
+                read2=Read(name=str(name2), sequence=str(sequence2)),
+            )
+        )
+    return pairs
+
+
+@dataclass
+class JobSpec:
+    """One assembly job, as submitted by a client.
+
+    ``input`` is the mode-tagged input block, ``config`` the (partial)
+    :class:`~repro.assembler.config.AssemblyConfig` keyword set, and
+    ``min_contig`` the length cutoff used by the job's reported contig
+    statistics (the service's result payload and the CLI's
+    ``--metrics-json`` share the same shape).
+    """
+
+    input: Dict[str, Any] = field(default_factory=dict)
+    config: Dict[str, Any] = field(default_factory=dict)
+    min_contig: int = 0
+
+    # ------------------------------------------------------------------
+    # validation / (de)serialisation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        mode = self.input.get("mode")
+        if mode not in INPUT_MODES:
+            raise InvalidJobSpecError(
+                f"input.mode must be one of {', '.join(INPUT_MODES)}, got {mode!r}"
+            )
+        unknown = sorted(set(self.config) - set(CONFIG_FIELDS))
+        if unknown:
+            raise InvalidJobSpecError(
+                f"unknown config field(s) {', '.join(unknown)}; "
+                f"allowed: {', '.join(CONFIG_FIELDS)}"
+            )
+        if not isinstance(self.min_contig, int) or self.min_contig < 0:
+            raise InvalidJobSpecError(
+                f"min_contig must be a non-negative integer, got {self.min_contig!r}"
+            )
+        try:
+            self.assembly_config()
+        except ReproError as exc:
+            raise InvalidJobSpecError(f"invalid assembly config: {exc}") from exc
+        self._validate_input_fields()
+        # Materialisation errors for path modes surface at run time (the
+        # file must exist on the *server*), but inline payloads can be
+        # checked right here at the API boundary.
+        if self.input["mode"] == "inline":
+            if "pairs" in self.input:
+                _parse_inline_pairs(self.input["pairs"])
+            elif "reads" in self.input:
+                _parse_inline_reads(self.input["reads"])
+            else:
+                raise InvalidJobSpecError(
+                    "input mode 'inline' requires a 'reads' or 'pairs' field"
+                )
+        # Scaffolding needs pairing evidence; an input that can never
+        # produce pairs is rejected up front (mirroring the one-shot
+        # CLI) instead of silently succeeding without scaffolds.
+        if self.config.get("scaffold"):
+            mode = self.input["mode"]
+            unpaired = mode == "fastq" or (
+                mode == "inline" and "pairs" not in self.input
+            )
+            if unpaired:
+                raise InvalidJobSpecError(
+                    "config.scaffold needs pairing information: use input "
+                    "mode 'fastq_pair', inline 'pairs', or a simulating "
+                    "mode (which then draws read pairs)"
+                )
+
+    def _validate_input_fields(self) -> None:
+        """Mode-required fields are spec-intrinsic: check them at submit.
+
+        Only file *existence* is deferred to run time (paths resolve on
+        the server's filesystem); a missing or mistyped field would
+        otherwise 201 and only surface as a failed job minutes later.
+        """
+        mode = self.input["mode"]
+        if mode == "simulate":
+            length = self.input.get("genome_length")
+            if not isinstance(length, int) or isinstance(length, bool) or length <= 0:
+                raise InvalidJobSpecError(
+                    "input mode 'simulate' requires a positive integer "
+                    f"'genome_length', got {length!r}"
+                )
+            seed = self.input.get("seed", 0)
+            if not isinstance(seed, int) or isinstance(seed, bool):
+                raise InvalidJobSpecError(
+                    f"'seed' must be an integer, got {seed!r}"
+                )
+        elif mode == "dataset":
+            name = self.input.get("name")
+            if not isinstance(name, str) or not name:
+                raise InvalidJobSpecError(
+                    "input mode 'dataset' requires a non-empty 'name'"
+                )
+            scale = self.input.get("scale", 0.25)
+            if not isinstance(scale, (int, float)) or isinstance(scale, bool) or scale <= 0:
+                raise InvalidJobSpecError(
+                    f"'scale' must be a positive number, got {scale!r}"
+                )
+        elif mode == "fastq":
+            if not isinstance(self.input.get("path"), str):
+                raise InvalidJobSpecError("input mode 'fastq' requires a 'path'")
+        elif mode == "fastq_pair":
+            for key in ("path1", "path2"):
+                if not isinstance(self.input.get(key), str):
+                    raise InvalidJobSpecError(
+                        f"input mode 'fastq_pair' requires {key!r}"
+                    )
+        for key in ("insert_size", "insert_std"):
+            if key in self.input:
+                value = self.input[key]
+                if not isinstance(value, (int, float)) or isinstance(value, bool) or value <= 0:
+                    raise InvalidJobSpecError(
+                        f"{key!r} must be a positive number, got {value!r}"
+                    )
+
+    def assembly_config(self) -> AssemblyConfig:
+        """The spec's config block as a validated :class:`AssemblyConfig`."""
+        return AssemblyConfig(**self.config)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "input": dict(self.input),
+            "config": dict(self.config),
+            "min_contig": self.min_contig,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Any, validate: bool = True) -> "JobSpec":
+        """Decode a spec; ``validate=False`` skips the semantic checks.
+
+        The store uses the trusted path when decoding its own rows:
+        every persisted spec already passed :meth:`validate` at submit
+        time, and re-validating per row would re-parse e.g. a large
+        inline read payload on every status poll.
+        """
+        if not isinstance(payload, dict):
+            raise InvalidJobSpecError(
+                f"job spec must be a JSON object, got {type(payload).__name__}"
+            )
+        unknown = sorted(set(payload) - {"input", "config", "min_contig"})
+        if unknown:
+            raise InvalidJobSpecError(
+                f"unknown job spec field(s): {', '.join(unknown)}"
+            )
+        input_block = payload.get("input")
+        if not isinstance(input_block, dict):
+            raise InvalidJobSpecError("job spec needs an 'input' object")
+        config_block = payload.get("config", {})
+        if not isinstance(config_block, dict):
+            raise InvalidJobSpecError("'config' must be an object when present")
+        spec = cls(
+            input=dict(input_block),
+            config=dict(config_block),
+            min_contig=payload.get("min_contig", 0),
+        )
+        if validate:
+            spec.validate()
+        return spec
+
+    # ------------------------------------------------------------------
+    # input materialisation (worker side)
+    # ------------------------------------------------------------------
+    def materialize(self) -> MaterializedInput:
+        """Turn the input block into reads; deterministic per spec.
+
+        Determinism is what crash recovery leans on: a restarted worker
+        reconstructs the same seed state, so the checkpoint
+        fingerprint matches and ``resume()`` continues bit-identically.
+        """
+        mode = self.input.get("mode")
+        scaffold = bool(self.config.get("scaffold"))
+        if mode == "inline":
+            if "pairs" in self.input:
+                pairs = _parse_inline_pairs(self.input["pairs"])
+                return MaterializedInput(
+                    reads=reads_from_pairs(pairs),
+                    pairs=pairs,
+                    reference_length=self.input.get("reference_length"),
+                    description=f"{len(pairs)} inline read pairs",
+                )
+            reads = _parse_inline_reads(_require(self.input, "reads", mode))
+            return MaterializedInput(
+                reads=reads,
+                pairs=None,
+                reference_length=self.input.get("reference_length"),
+                description=f"{len(reads)} inline reads",
+            )
+        if mode == "fastq":
+            path = _require(self.input, "path", mode)
+            return MaterializedInput(
+                reads=list(parse_fastq(path)),
+                pairs=None,
+                reference_length=None,
+                description=f"fastq {path}",
+            )
+        if mode == "fastq_pair":
+            path1 = _require(self.input, "path1", mode)
+            path2 = _require(self.input, "path2", mode)
+            pairs = list(parse_paired_fastq(path1, path2))
+            return MaterializedInput(
+                reads=reads_from_pairs(pairs),
+                pairs=pairs,
+                reference_length=None,
+                description=f"fastq pair {path1} + {path2}",
+            )
+        if mode == "simulate":
+            length = int(_require(self.input, "genome_length", mode))
+            seed = int(self.input.get("seed", 0))
+            insert_mean = float(self.input.get("insert_size", 500.0))
+            insert_std = float(self.input.get("insert_std", 50.0))
+            if scaffold:
+                genome, pairs = simulate_paired_dataset(
+                    genome_length=length,
+                    insert_size_mean=insert_mean,
+                    insert_size_std=insert_std,
+                    seed=seed,
+                )
+                return MaterializedInput(
+                    reads=reads_from_pairs(pairs),
+                    pairs=pairs,
+                    reference_length=len(genome),
+                    description=f"simulated genome of {length} bp (seed {seed}, paired)",
+                )
+            genome, reads = simulate_dataset(genome_length=length, seed=seed)
+            return MaterializedInput(
+                reads=reads,
+                pairs=None,
+                reference_length=len(genome),
+                description=f"simulated genome of {length} bp (seed {seed})",
+            )
+        if mode == "dataset":
+            name = _require(self.input, "name", mode)
+            scale = float(self.input.get("scale", 0.25))
+            profile = get_profile(name, scale=scale)
+            if scaffold:
+                insert_mean = float(self.input.get("insert_size", 500.0))
+                insert_std = float(self.input.get("insert_std", 50.0))
+                reference, pairs = profile.generate_paired(
+                    insert_size_mean=insert_mean, insert_size_std=insert_std
+                )
+                return MaterializedInput(
+                    reads=reads_from_pairs(pairs),
+                    pairs=pairs,
+                    reference_length=len(reference),
+                    description=f"dataset {profile.name} (scale {scale}, paired)",
+                )
+            reference, reads = profile.generate()
+            return MaterializedInput(
+                reads=reads,
+                pairs=None,
+                reference_length=len(reference),
+                description=f"dataset {profile.name} (scale {scale})",
+            )
+        raise InvalidJobSpecError(
+            f"input.mode must be one of {', '.join(INPUT_MODES)}, got {mode!r}"
+        )
+
+
+def input_block_from_args(args: Any) -> Dict[str, Any]:
+    """Build a spec input block from the CLI's source/insert flags.
+
+    The one-shot CLI (``repro-assemble --simulate …``) and the service
+    submit verb (``repro-assemble submit --simulate …``) expose the
+    same source flags; both funnel through here so identical flags
+    always materialise identical reads on both surfaces — the property
+    checkpoint fingerprints and crash recovery rely on.
+    """
+    if getattr(args, "dataset", None) is not None:
+        block: Dict[str, Any] = {
+            "mode": "dataset",
+            "name": args.dataset,
+            "scale": args.scale,
+        }
+    elif getattr(args, "fastq", None) is not None:
+        block = {"mode": "fastq", "path": args.fastq}
+    elif getattr(args, "fastq_pair", None) is not None:
+        block = {
+            "mode": "fastq_pair",
+            "path1": args.fastq_pair[0],
+            "path2": args.fastq_pair[1],
+        }
+    else:
+        block = {
+            "mode": "simulate",
+            "genome_length": args.simulate,
+            "seed": args.seed,
+        }
+    if getattr(args, "insert_size", None) is not None:
+        block["insert_size"] = args.insert_size
+    if getattr(args, "insert_std", None) is not None:
+        block["insert_std"] = args.insert_std
+    return block
+
+

@@ -1,0 +1,581 @@
+"""SQLite-backed durable job store.
+
+One database file holds the whole serving state: a ``jobs`` table (the
+queue *and* the archive — state transitions never delete rows) and an
+append-only ``job_events`` table (per-job, monotonically numbered, the
+substrate of live progress reporting).  SQLite via the stdlib keeps the
+service dependency-free while giving the two properties a durable queue
+actually needs: atomic claim (``queued`` → ``running`` under one
+transaction, priority-ordered) and crash-safe persistence (WAL mode, so
+a ``kill -9`` mid-transaction loses at most the uncommitted write).
+
+States and transitions::
+
+    queued ──claim──> running ──> succeeded
+       │                 │  └───> failed
+       │                 └──────> cancelled      (cooperative, between stages)
+       └──cancel──> cancelled
+    running ──recover_interrupted──> queued      (service restart)
+
+Idempotency keys make submission retry-safe: re-submitting with a key
+the store has seen returns the existing job instead of enqueueing a
+duplicate — exactly what an HTTP client that lost a response needs.
+
+Thread-safety: one connection guarded by an ``RLock``.  The service is
+I/O-bound on assemblies, not on store metadata, so a single writer is
+not a bottleneck; it *is* the simplest arrangement that cannot deadlock
+or interleave claims.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from ..errors import JobNotFoundError, JobStateError
+from .spec import JobSpec
+
+STATE_QUEUED = "queued"
+STATE_RUNNING = "running"
+STATE_SUCCEEDED = "succeeded"
+STATE_FAILED = "failed"
+STATE_CANCELLED = "cancelled"
+
+#: Every state a job can be in, in lifecycle order.
+JOB_STATES = (
+    STATE_QUEUED,
+    STATE_RUNNING,
+    STATE_SUCCEEDED,
+    STATE_FAILED,
+    STATE_CANCELLED,
+)
+
+#: States a job never leaves.
+TERMINAL_STATES = (STATE_SUCCEEDED, STATE_FAILED, STATE_CANCELLED)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    id               TEXT PRIMARY KEY,
+    state            TEXT NOT NULL,
+    priority         INTEGER NOT NULL DEFAULT 0,
+    idempotency_key  TEXT UNIQUE,
+    spec             TEXT NOT NULL,
+    created_at       REAL NOT NULL,
+    updated_at       REAL NOT NULL,
+    started_at       REAL,
+    finished_at      REAL,
+    attempts         INTEGER NOT NULL DEFAULT 0,
+    cancel_requested INTEGER NOT NULL DEFAULT 0,
+    worker           TEXT,
+    error            TEXT,
+    result_dir       TEXT
+);
+CREATE INDEX IF NOT EXISTS jobs_by_state
+    ON jobs (state, priority DESC, created_at ASC);
+CREATE TABLE IF NOT EXISTS job_events (
+    job_id     TEXT NOT NULL,
+    seq        INTEGER NOT NULL,
+    created_at REAL NOT NULL,
+    type       TEXT NOT NULL,
+    payload    TEXT NOT NULL DEFAULT '{}',
+    PRIMARY KEY (job_id, seq)
+);
+"""
+
+
+@dataclass
+class JobRecord:
+    """One row of the ``jobs`` table, decoded."""
+
+    id: str
+    state: str
+    priority: int
+    idempotency_key: Optional[str]
+    spec: JobSpec
+    created_at: float
+    updated_at: float
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    attempts: int = 0
+    cancel_requested: bool = False
+    worker: Optional[str] = None
+    error: Optional[str] = None
+    result_dir: Optional[str] = None
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON shape of a job as the REST API reports it.
+
+        Inline read payloads are summarised to counts: a status poll
+        must not echo megabytes of sequence data back on every request
+        (the worker reads the spec from the store, never from here).
+        """
+        spec_dict = self.spec.to_dict()
+        input_block = spec_dict["input"]
+        if input_block.get("mode") == "inline":
+            for key in ("reads", "pairs"):
+                if key in input_block:
+                    input_block[f"num_{key}"] = len(input_block.pop(key))
+        return {
+            "id": self.id,
+            "state": self.state,
+            "priority": self.priority,
+            "idempotency_key": self.idempotency_key,
+            "spec": spec_dict,
+            "created_at": self.created_at,
+            "updated_at": self.updated_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "attempts": self.attempts,
+            "cancel_requested": self.cancel_requested,
+            "worker": self.worker,
+            "error": self.error,
+        }
+
+
+@dataclass
+class JobEvent:
+    """One row of the append-only per-job event log."""
+
+    job_id: str
+    seq: int
+    created_at: float
+    type: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "created_at": self.created_at,
+            "type": self.type,
+            "payload": self.payload,
+        }
+
+
+#: Default bound on how often a job may be (re)claimed.  Recovery after
+#: a crash re-enqueues running jobs; without a cap, a job that *causes*
+#: the crash (OOM, wedged backend) would crash-loop the service forever.
+DEFAULT_MAX_ATTEMPTS = 3
+
+
+class JobStore:
+    """Durable queue + archive + event log over one SQLite file."""
+
+    def __init__(self, path, max_attempts: int = DEFAULT_MAX_ATTEMPTS) -> None:
+        self.max_attempts = max_attempts
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        self._connection = sqlite3.connect(
+            str(self.path), check_same_thread=False
+        )
+        self._connection.row_factory = sqlite3.Row
+        with self._lock:
+            # WAL survives kill -9 with at most the last uncommitted
+            # write lost; NORMAL sync is the standard pairing for it.
+            self._connection.execute("PRAGMA journal_mode=WAL")
+            self._connection.execute("PRAGMA synchronous=NORMAL")
+            self._connection.executescript(_SCHEMA)
+            self._connection.commit()
+
+    def close(self) -> None:
+        with self._lock:
+            self._connection.close()
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        spec: JobSpec,
+        priority: int = 0,
+        idempotency_key: Optional[str] = None,
+    ) -> JobRecord:
+        """Enqueue a job; an already-seen idempotency key dedups.
+
+        Returns the enqueued (or pre-existing) record; use
+        :meth:`submit_detecting` when the caller needs to know which
+        of the two happened.
+        """
+        record, _ = self.submit_detecting(
+            spec, priority=priority, idempotency_key=idempotency_key
+        )
+        return record
+
+    def submit_detecting(
+        self,
+        spec: JobSpec,
+        priority: int = 0,
+        idempotency_key: Optional[str] = None,
+    ):
+        """Like :meth:`submit`, returning ``(record, created)``.
+
+        The created flag is computed under the same lock as the
+        insert, so concurrent submissions sharing a new idempotency
+        key report exactly one creation between them.  Reusing a key
+        with a *different* spec raises
+        :class:`~repro.errors.JobStateError` — silently answering with
+        the old job's results would hand the caller contigs computed
+        from inputs they did not submit.
+        """
+        spec.validate()
+        spec_json = json.dumps(spec.to_dict(), sort_keys=True)
+        now = time.time()
+        job_id = uuid.uuid4().hex
+        with self._lock:
+            if idempotency_key is not None:
+                row = self._connection.execute(
+                    "SELECT * FROM jobs WHERE idempotency_key = ?",
+                    (idempotency_key,),
+                ).fetchone()
+                if row is not None:
+                    if row["spec"] != spec_json:
+                        raise JobStateError(
+                            f"idempotency key {idempotency_key!r} was "
+                            f"already used by job {row['id']} with a "
+                            "different spec; pick a new key or resubmit "
+                            "the original spec"
+                        )
+                    return self._record(row), False
+            try:
+                self._connection.execute(
+                    "INSERT INTO jobs (id, state, priority, idempotency_key,"
+                    " spec, created_at, updated_at) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        job_id,
+                        STATE_QUEUED,
+                        priority,
+                        idempotency_key,
+                        spec_json,
+                        now,
+                        now,
+                    ),
+                )
+            except sqlite3.IntegrityError:
+                # Another *process* sharing the database file inserted
+                # this key between our SELECT and INSERT (the in-process
+                # lock cannot cover that window); dedup instead of 500.
+                self._connection.rollback()
+                row = self._connection.execute(
+                    "SELECT * FROM jobs WHERE idempotency_key = ?",
+                    (idempotency_key,),
+                ).fetchone()
+                if row is not None and row["spec"] == spec_json:
+                    return self._record(row), False
+                raise JobStateError(
+                    f"idempotency key {idempotency_key!r} was concurrently "
+                    "used with a different spec"
+                ) from None
+            self._append_event_locked(job_id, "submitted", {"priority": priority})
+            self._connection.commit()
+        return self.get(job_id), True
+
+    def find_by_key(self, idempotency_key: str) -> Optional[JobRecord]:
+        """The job previously submitted under this key, if any."""
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT * FROM jobs WHERE idempotency_key = ?",
+                (idempotency_key,),
+            ).fetchone()
+        return self._record(row) if row is not None else None
+
+    # ------------------------------------------------------------------
+    # worker side
+    # ------------------------------------------------------------------
+    def claim_next(self, worker: str) -> Optional[JobRecord]:
+        """Atomically move the best queued job to ``running``.
+
+        Best = highest priority, then oldest.  Returns None when the
+        queue is empty.  The store lock serialises claims within this
+        process; the ``state = queued`` guard on the UPDATE (with a
+        rowcount check) additionally protects against another *process*
+        sharing the database file — a job can only ever be claimed by
+        whoever flips it first.
+        """
+        now = time.time()
+        with self._lock:
+            while True:
+                row = self._connection.execute(
+                    "SELECT id FROM jobs WHERE state = ? "
+                    "ORDER BY priority DESC, created_at ASC, id ASC LIMIT 1",
+                    (STATE_QUEUED,),
+                ).fetchone()
+                if row is None:
+                    return None
+                job_id = row["id"]
+                cursor = self._connection.execute(
+                    "UPDATE jobs SET state = ?, worker = ?, started_at = ?,"
+                    " updated_at = ?, attempts = attempts + 1"
+                    " WHERE id = ? AND state = ?",
+                    (STATE_RUNNING, worker, now, now, job_id, STATE_QUEUED),
+                )
+                if cursor.rowcount != 1:
+                    # Lost the race to a foreign process; try the next
+                    # queued job rather than double-running this one.
+                    self._connection.commit()
+                    continue
+                self._append_event_locked(job_id, "started", {"worker": worker})
+                self._connection.commit()
+                break
+        return self.get(job_id)
+
+    def mark_succeeded(self, job_id: str, result_dir: Optional[str] = None) -> None:
+        self._finish(job_id, STATE_SUCCEEDED, result_dir=result_dir)
+
+    def mark_failed(self, job_id: str, error: str) -> None:
+        self._finish(job_id, STATE_FAILED, error=error)
+
+    def mark_cancelled(self, job_id: str) -> None:
+        self._finish(job_id, STATE_CANCELLED)
+
+    def _finish(
+        self,
+        job_id: str,
+        state: str,
+        error: Optional[str] = None,
+        result_dir: Optional[str] = None,
+    ) -> None:
+        now = time.time()
+        with self._lock:
+            record = self.get(job_id)
+            if record.is_terminal:
+                raise JobStateError(
+                    f"job {job_id} is already terminal ({record.state}); "
+                    f"cannot mark it {state}"
+                )
+            self._connection.execute(
+                "UPDATE jobs SET state = ?, error = ?, result_dir = ?,"
+                " finished_at = ?, updated_at = ? WHERE id = ?",
+                (state, error, result_dir, now, now, job_id),
+            )
+            payload: Dict[str, Any] = {}
+            if error:
+                payload["error"] = error
+            self._append_event_locked(job_id, state, payload)
+            self._connection.commit()
+
+    # ------------------------------------------------------------------
+    # cancellation
+    # ------------------------------------------------------------------
+    def request_cancel(self, job_id: str) -> JobRecord:
+        """Cancel a job: queued jobs immediately, running ones cooperatively.
+
+        A running job only sees the request at its next stage boundary
+        (the worker's hook checks the flag), which is the documented
+        granularity — stages are atomic units of work.
+        """
+        with self._lock:
+            record = self.get(job_id)
+            if record.state == STATE_QUEUED:
+                now = time.time()
+                self._connection.execute(
+                    "UPDATE jobs SET state = ?, cancel_requested = 1,"
+                    " finished_at = ?, updated_at = ? WHERE id = ?",
+                    (STATE_CANCELLED, now, now, job_id),
+                )
+                self._append_event_locked(job_id, STATE_CANCELLED, {})
+                self._connection.commit()
+            elif record.state == STATE_RUNNING:
+                self._connection.execute(
+                    "UPDATE jobs SET cancel_requested = 1, updated_at = ?"
+                    " WHERE id = ?",
+                    (time.time(), job_id),
+                )
+                self._append_event_locked(job_id, "cancel-requested", {})
+                self._connection.commit()
+            # Terminal jobs: cancelling is a no-op, not an error — the
+            # client's intent (job should not run further) already holds.
+        return self.get(job_id)
+
+    def cancel_requested(self, job_id: str) -> bool:
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT cancel_requested FROM jobs WHERE id = ?", (job_id,)
+            ).fetchone()
+        if row is None:
+            raise JobNotFoundError(job_id)
+        return bool(row["cancel_requested"])
+
+    # ------------------------------------------------------------------
+    # crash recovery
+    # ------------------------------------------------------------------
+    def recover_interrupted(self) -> List[JobRecord]:
+        """Re-enqueue every ``running`` job; returns the recovered records.
+
+        Called once at service start-up: any job still marked running
+        belonged to a process that died mid-assembly.  Its per-job
+        checkpoint directory survives, so re-running it resumes from
+        the last completed stage bit-identically.  A job already
+        claimed ``max_attempts`` times is marked failed instead — if it
+        took the process down that often, handing it to a worker again
+        would crash-loop the service with no operator escape.
+        """
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT id, attempts FROM jobs WHERE state = ?", (STATE_RUNNING,)
+            ).fetchall()
+            now = time.time()
+            recovered_ids = []
+            for row in rows:
+                if row["attempts"] >= self.max_attempts:
+                    self._connection.execute(
+                        "UPDATE jobs SET state = ?, worker = NULL, error = ?,"
+                        " finished_at = ?, updated_at = ? WHERE id = ?",
+                        (
+                            STATE_FAILED,
+                            f"gave up after {row['attempts']} interrupted "
+                            "attempts (the job may be crashing the service)",
+                            now,
+                            now,
+                            row["id"],
+                        ),
+                    )
+                    self._append_event_locked(
+                        row["id"],
+                        STATE_FAILED,
+                        {"reason": "attempt limit reached during recovery"},
+                    )
+                    continue
+                self._connection.execute(
+                    "UPDATE jobs SET state = ?, worker = NULL, updated_at = ?"
+                    " WHERE id = ?",
+                    (STATE_QUEUED, now, row["id"]),
+                )
+                self._append_event_locked(
+                    row["id"], "recovered", {"reason": "service restart"}
+                )
+                recovered_ids.append(row["id"])
+            self._connection.commit()
+            return [self.get(job_id) for job_id in recovered_ids]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def get(self, job_id: str) -> JobRecord:
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT * FROM jobs WHERE id = ?", (job_id,)
+            ).fetchone()
+        if row is None:
+            raise JobNotFoundError(job_id)
+        return self._record(row)
+
+    def list_jobs(
+        self,
+        state: Optional[str] = None,
+        limit: int = 100,
+    ) -> List[JobRecord]:
+        """Most recent first; optionally filtered by state."""
+        if state is not None and state not in JOB_STATES:
+            raise JobStateError(
+                f"unknown state filter {state!r}; states: {', '.join(JOB_STATES)}"
+            )
+        with self._lock:
+            if state is None:
+                rows = self._connection.execute(
+                    "SELECT * FROM jobs ORDER BY created_at DESC, id DESC LIMIT ?",
+                    (limit,),
+                ).fetchall()
+            else:
+                rows = self._connection.execute(
+                    "SELECT * FROM jobs WHERE state = ?"
+                    " ORDER BY created_at DESC, id DESC LIMIT ?",
+                    (state, limit),
+                ).fetchall()
+        return [self._record(row) for row in rows]
+
+    def counts(self) -> Dict[str, int]:
+        """Job counts per state (zero-filled), for the health endpoint."""
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT state, COUNT(*) AS n FROM jobs GROUP BY state"
+            ).fetchall()
+        counts = {state: 0 for state in JOB_STATES}
+        for row in rows:
+            counts[row["state"]] = row["n"]
+        return counts
+
+    # ------------------------------------------------------------------
+    # event log
+    # ------------------------------------------------------------------
+    def append_event(
+        self, job_id: str, type: str, payload: Optional[Dict[str, Any]] = None
+    ) -> None:
+        with self._lock:
+            self._append_event_locked(job_id, type, payload or {})
+            self._connection.commit()
+
+    def _append_event_locked(
+        self, job_id: str, type: str, payload: Dict[str, Any]
+    ) -> None:
+        # Seq allocation and insert in ONE statement: atomic under
+        # SQLite's write lock, so even two *processes* sharing the
+        # database file (the scenario claim_next guards) cannot collide
+        # on (job_id, seq).
+        self._connection.execute(
+            "INSERT INTO job_events (job_id, seq, created_at, type, payload)"
+            " SELECT ?, COALESCE(MAX(seq), 0) + 1, ?, ?, ?"
+            " FROM job_events WHERE job_id = ?",
+            (job_id, time.time(), type, json.dumps(payload), job_id),
+        )
+
+    def events(self, job_id: str, after: int = 0) -> List[JobEvent]:
+        """The job's events with ``seq > after``, oldest first."""
+        with self._lock:
+            # Existence probe only — a full get() would re-decode the
+            # persisted spec (potentially megabytes of inline reads) on
+            # every poll of the event log.
+            exists = self._connection.execute(
+                "SELECT 1 FROM jobs WHERE id = ?", (job_id,)
+            ).fetchone()
+            if exists is None:
+                raise JobNotFoundError(job_id)
+            rows = self._connection.execute(
+                "SELECT * FROM job_events WHERE job_id = ? AND seq > ?"
+                " ORDER BY seq ASC",
+                (job_id, after),
+            ).fetchall()
+        return [
+            JobEvent(
+                job_id=row["job_id"],
+                seq=row["seq"],
+                created_at=row["created_at"],
+                type=row["type"],
+                payload=json.loads(row["payload"]),
+            )
+            for row in rows
+        ]
+
+    # ------------------------------------------------------------------
+    # row decoding
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _record(row: sqlite3.Row) -> JobRecord:
+        return JobRecord(
+            id=row["id"],
+            state=row["state"],
+            priority=row["priority"],
+            idempotency_key=row["idempotency_key"],
+            # Trusted decode: the spec was validated at submit time, and
+            # re-validating on every row read would re-parse large
+            # inline payloads on each status poll.
+            spec=JobSpec.from_dict(json.loads(row["spec"]), validate=False),
+            created_at=row["created_at"],
+            updated_at=row["updated_at"],
+            started_at=row["started_at"],
+            finished_at=row["finished_at"],
+            attempts=row["attempts"],
+            cancel_requested=bool(row["cancel_requested"]),
+            worker=row["worker"],
+            error=row["error"],
+            result_dir=row["result_dir"],
+        )

@@ -23,6 +23,7 @@ import os
 import pickle
 import re
 import tempfile
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional
@@ -39,6 +40,19 @@ CHECKPOINT_FORMAT = 1
 #: contain dash-digit runs); the workflow slug namespaces files so
 #: workflows sharing a directory never overwrite each other.
 _FILE_PATTERN = re.compile(r"^checkpoint-(\d{3,})-(.+)\.pkl$")
+
+#: Prefix of in-flight checkpoint temp files.  Distinguishes this
+#: module's own temporaries from any other ``*.tmp`` a shared directory
+#: might contain, so the orphan sweep never deletes a foreign file.
+_TMP_PREFIX = ".ckpt-"
+
+#: How old (seconds since mtime) a temp file must be before the orphan
+#: sweep may delete it.  An in-flight write lives for milliseconds; a
+#: temp file this stale can only be the leftover of a killed process.
+#: The age guard is what makes several stores sharing one directory
+#: (e.g. concurrent jobs of the service) safe: one store's sweep cannot
+#: race another store's write-in-progress out from under it.
+ORPHAN_TMP_AGE_SECONDS = 60.0
 
 
 def _slug(name: str) -> str:
@@ -98,19 +112,27 @@ class CheckpointStore:
         self._swept_orphans = False
 
     def _sweep_orphans(self) -> None:
-        """Remove ``*.tmp`` leftovers of writes that were hard-killed.
+        """Remove stale ``.ckpt-*.tmp`` leftovers of hard-killed writes.
 
         A crash between ``mkstemp`` and ``os.replace`` (exactly the
         failure mode checkpoints exist for) orphans the temp file;
         nothing ever reads those, so the first write of a new store
-        instance sweeps them before they accumulate.
+        instance sweeps them before they accumulate.  Two guards keep
+        the sweep safe when several stores share one directory: only
+        files carrying this module's temp prefix are candidates (a
+        sibling process's unrelated ``*.tmp`` is not ours to judge),
+        and only files older than :data:`ORPHAN_TMP_AGE_SECONDS` are
+        deleted (a *fresh* prefix-matching temp file is a sibling
+        store's write in flight, not an orphan).
         """
         if self._swept_orphans or not self.directory.is_dir():
             return
         self._swept_orphans = True
-        for entry in self.directory.glob("*.tmp"):
+        cutoff = time.time() - ORPHAN_TMP_AGE_SECONDS
+        for entry in self.directory.glob(_TMP_PREFIX + "*.tmp"):
             try:
-                entry.unlink()
+                if entry.stat().st_mtime <= cutoff:
+                    entry.unlink()
             except OSError:
                 pass
 
@@ -133,7 +155,7 @@ class CheckpointStore:
             self.directory.mkdir(parents=True, exist_ok=True)
             self._sweep_orphans()
             descriptor, temp_name = tempfile.mkstemp(
-                dir=self.directory, suffix=".tmp"
+                dir=self.directory, prefix=_TMP_PREFIX, suffix=".tmp"
             )
             try:
                 with os.fdopen(descriptor, "wb") as handle:

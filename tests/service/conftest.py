@@ -1,0 +1,44 @@
+"""Shared fixtures for the job-service tests.
+
+``tiny_spec`` jobs are sized to finish in well under a second so the
+queue/scheduler tests stay fast; the crash-recovery tests build their
+own larger jobs (they need time to be killed mid-assembly).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import AssemblyService, JobSpec
+
+
+def make_spec(
+    genome_length: int = 2_000,
+    seed: int = 1,
+    k: int = 15,
+    **config,
+) -> JobSpec:
+    merged = {"k": k, "num_workers": 2}
+    merged.update(config)
+    return JobSpec(
+        input={"mode": "simulate", "genome_length": genome_length, "seed": seed},
+        config=merged,
+    )
+
+
+@pytest.fixture()
+def tiny_spec() -> JobSpec:
+    return make_spec()
+
+
+@pytest.fixture()
+def service(tmp_path):
+    instance = AssemblyService(
+        tmp_path / "service-data",
+        num_workers=2,
+        port=0,  # pick a free port; tests read service.base_url
+        poll_interval=0.05,
+    )
+    instance.start()
+    yield instance
+    instance.stop(wait=True)

@@ -1,0 +1,276 @@
+"""JobStore semantics: the durable queue under the service.
+
+Everything here runs against the SQLite store directly — no workers,
+no HTTP — so each property (ordering, idempotency, transitions,
+events, recovery) is pinned at the layer that owns it.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import JobNotFoundError, JobStateError
+from repro.service import (
+    STATE_CANCELLED,
+    STATE_QUEUED,
+    STATE_RUNNING,
+    STATE_SUCCEEDED,
+    JobSpec,
+    JobStore,
+)
+
+
+def make_spec(genome_length: int = 2_000, seed: int = 1, k: int = 15, **config) -> JobSpec:
+    merged = {"k": k, "num_workers": 2}
+    merged.update(config)
+    return JobSpec(
+        input={"mode": "simulate", "genome_length": genome_length, "seed": seed},
+        config=merged,
+    )
+
+
+@pytest.fixture()
+def store(tmp_path):
+    instance = JobStore(tmp_path / "jobs.sqlite3")
+    yield instance
+    instance.close()
+
+
+def test_submit_and_get_roundtrip(store):
+    record = store.submit(make_spec(seed=7), priority=3)
+    fetched = store.get(record.id)
+    assert fetched.state == STATE_QUEUED
+    assert fetched.priority == 3
+    assert fetched.spec.input["seed"] == 7
+    assert fetched.spec.config["k"] == 15
+    assert not fetched.is_terminal
+
+
+def test_get_unknown_job_raises(store):
+    with pytest.raises(JobNotFoundError):
+        store.get("0" * 32)
+
+
+def test_claim_order_is_priority_then_fifo(store):
+    low = store.submit(make_spec(seed=1), priority=0)
+    high = store.submit(make_spec(seed=2), priority=5)
+    mid_first = store.submit(make_spec(seed=3), priority=1)
+    mid_second = store.submit(make_spec(seed=4), priority=1)
+
+    claimed = [store.claim_next("w").id for _ in range(4)]
+    assert claimed == [high.id, mid_first.id, mid_second.id, low.id]
+    assert store.claim_next("w") is None
+
+
+def test_claim_marks_running_and_counts_attempts(store):
+    record = store.submit(make_spec())
+    claimed = store.claim_next("worker-0")
+    assert claimed.id == record.id
+    assert claimed.state == STATE_RUNNING
+    assert claimed.worker == "worker-0"
+    assert claimed.attempts == 1
+    assert claimed.started_at is not None
+
+
+def test_concurrent_claims_never_hand_out_the_same_job(store):
+    for seed in range(8):
+        store.submit(make_spec(seed=seed))
+    claimed = []
+    lock = threading.Lock()
+
+    def claim(worker: str) -> None:
+        while True:
+            record = store.claim_next(worker)
+            if record is None:
+                return
+            with lock:
+                claimed.append(record.id)
+
+    threads = [threading.Thread(target=claim, args=(f"w{i}",)) for i in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(claimed) == 8
+    assert len(set(claimed)) == 8
+
+
+def test_idempotency_key_dedups(store):
+    first = store.submit(make_spec(), idempotency_key="once")
+    again = store.submit(make_spec(), idempotency_key="once")
+    assert again.id == first.id
+    assert store.find_by_key("once").id == first.id
+    assert store.find_by_key("never") is None
+    # A different key is a different job.
+    other = store.submit(make_spec(), idempotency_key="twice")
+    assert other.id != first.id
+
+
+def test_idempotency_key_with_a_different_spec_is_refused(store):
+    store.submit(make_spec(seed=1), idempotency_key="reused")
+    with pytest.raises(JobStateError) as excinfo:
+        store.submit(make_spec(seed=2), idempotency_key="reused")
+    assert "different spec" in str(excinfo.value)
+
+
+def test_job_to_dict_summarises_inline_payloads(store):
+    spec = JobSpec(
+        input={"mode": "inline", "reads": [["r0", "ACGTACGTACGTACGTACGT"]]},
+        config={"k": 15},
+    )
+    record = store.submit(spec)
+    reported = record.to_dict()["spec"]["input"]
+    assert "reads" not in reported  # megabytes must not echo on every poll
+    assert reported["num_reads"] == 1
+    # The stored spec keeps the payload — the worker materialises from it.
+    assert store.get(record.id).spec.input["reads"] == [["r0", "ACGTACGTACGTACGTACGT"]]
+
+
+def test_submit_detecting_reports_exactly_one_creation(store):
+    first, created = store.submit_detecting(make_spec(), idempotency_key="flag")
+    assert created is True
+    again, created_again = store.submit_detecting(make_spec(), idempotency_key="flag")
+    assert created_again is False
+    assert again.id == first.id
+    # Under concurrency, exactly one submitter wins the creation.
+    results = []
+    lock = threading.Lock()
+
+    def submit() -> None:
+        outcome = store.submit_detecting(make_spec(), idempotency_key="race")
+        with lock:
+            results.append(outcome)
+
+    threads = [threading.Thread(target=submit) for _ in range(6)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert sum(1 for _, created in results if created) == 1
+    assert len({record.id for record, _ in results}) == 1
+
+
+def test_terminal_transitions(store):
+    record = store.submit(make_spec())
+    store.claim_next("w")
+    store.mark_succeeded(record.id, result_dir="/tmp/x")
+    final = store.get(record.id)
+    assert final.state == STATE_SUCCEEDED
+    assert final.result_dir == "/tmp/x"
+    assert final.finished_at is not None
+    with pytest.raises(JobStateError):
+        store.mark_failed(record.id, "too late")
+
+
+def test_cancel_queued_job_is_immediate(store):
+    record = store.submit(make_spec())
+    cancelled = store.request_cancel(record.id)
+    assert cancelled.state == STATE_CANCELLED
+    assert store.claim_next("w") is None
+
+
+def test_cancel_running_job_sets_the_cooperative_flag(store):
+    record = store.submit(make_spec())
+    store.claim_next("w")
+    after = store.request_cancel(record.id)
+    assert after.state == STATE_RUNNING
+    assert after.cancel_requested
+    assert store.cancel_requested(record.id)
+
+
+def test_cancel_terminal_job_is_a_noop(store):
+    record = store.submit(make_spec())
+    store.claim_next("w")
+    store.mark_succeeded(record.id)
+    after = store.request_cancel(record.id)
+    assert after.state == STATE_SUCCEEDED
+
+
+def test_recovery_gives_up_after_the_attempt_limit(tmp_path):
+    # A job that keeps taking the process down must not crash-loop the
+    # service forever: recovery marks it failed once the claim count
+    # reaches the store's max_attempts.
+    from repro.service.store import JobStore as Store
+
+    store = Store(tmp_path / "loop.sqlite3", max_attempts=2)
+    try:
+        record = store.submit(make_spec())
+        for round_index in range(2):
+            claimed = store.claim_next("w")
+            assert claimed.id == record.id
+            recovered = store.recover_interrupted()  # simulated crash
+            if round_index == 0:
+                assert [r.id for r in recovered] == [record.id]
+        assert recovered == []
+        final = store.get(record.id)
+        assert final.state == "failed"
+        assert "interrupted attempts" in final.error
+    finally:
+        store.close()
+
+
+def test_recover_interrupted_requeues_running_jobs(store):
+    interrupted = store.submit(make_spec(seed=1))
+    untouched = store.submit(make_spec(seed=2))
+    store.claim_next("w")  # interrupted goes running
+
+    recovered = store.recover_interrupted()
+    assert [record.id for record in recovered] == [interrupted.id]
+    assert store.get(interrupted.id).state == STATE_QUEUED
+    assert store.get(untouched.id).state == STATE_QUEUED
+    # The recovery is visible in the event log, and the next claim
+    # counts as a second attempt.
+    types = [event.type for event in store.events(interrupted.id)]
+    assert types == ["submitted", "started", "recovered"]
+    assert store.claim_next("w").attempts >= 1
+
+
+def test_event_log_is_append_only_and_cursorable(store):
+    record = store.submit(make_spec())
+    store.append_event(record.id, "stage-start", {"stage": "x"})
+    store.append_event(record.id, "stage-end", {"stage": "x", "seconds": 0.1})
+    events = store.events(record.id)
+    assert [event.seq for event in events] == [1, 2, 3]
+    assert [event.type for event in events] == ["submitted", "stage-start", "stage-end"]
+    tail = store.events(record.id, after=2)
+    assert [event.type for event in tail] == ["stage-end"]
+    with pytest.raises(JobNotFoundError):
+        store.events("f" * 32)
+
+
+def test_list_jobs_filters_by_state(store):
+    first = store.submit(make_spec(seed=1))
+    second = store.submit(make_spec(seed=2))
+    store.claim_next("w")  # same priority, so FIFO claims `first`
+    assert {job.state for job in store.list_jobs()} == {STATE_QUEUED, STATE_RUNNING}
+    assert [job.id for job in store.list_jobs(state=STATE_RUNNING)] == [first.id]
+    assert [job.id for job in store.list_jobs(state=STATE_QUEUED)] == [second.id]
+    with pytest.raises(JobStateError):
+        store.list_jobs(state="exploded")
+
+
+def test_counts_are_zero_filled(store):
+    counts = store.counts()
+    assert counts == {
+        "queued": 0, "running": 0, "succeeded": 0, "failed": 0, "cancelled": 0,
+    }
+    store.submit(make_spec())
+    assert store.counts()["queued"] == 1
+
+
+def test_store_survives_reopen(tmp_path):
+    path = tmp_path / "jobs.sqlite3"
+    first = JobStore(path)
+    record = first.submit(make_spec(seed=9), priority=2, idempotency_key="durable")
+    first.close()
+
+    reopened = JobStore(path)
+    try:
+        fetched = reopened.get(record.id)
+        assert fetched.priority == 2
+        assert fetched.idempotency_key == "durable"
+        assert fetched.spec.input["seed"] == 9
+    finally:
+        reopened.close()

@@ -1,0 +1,150 @@
+"""Worker pool behaviour: bounded concurrency, artifacts, failure paths.
+
+These tests drive the pool through the in-process service (no HTTP) —
+the store is the observable surface: states, events and the per-job
+timestamps the concurrency assertion is computed from.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.service import JobSpec
+
+
+def make_spec(genome_length: int = 2_000, seed: int = 1, k: int = 15, **config) -> JobSpec:
+    merged = {"k": k, "num_workers": 2}
+    merged.update(config)
+    return JobSpec(
+        input={"mode": "simulate", "genome_length": genome_length, "seed": seed},
+        config=merged,
+    )
+
+
+def _wait_terminal(service, job_ids, timeout=120.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        records = [service.store.get(job_id) for job_id in job_ids]
+        if all(record.is_terminal for record in records):
+            return records
+        time.sleep(0.05)
+    raise AssertionError(
+        f"jobs did not finish within {timeout}s: "
+        f"{[(r.id, r.state) for r in records]}"
+    )
+
+
+def test_more_submissions_than_workers_all_complete_with_bounded_overlap(service):
+    # N = 6 simultaneous submissions against 2 workers (the acceptance
+    # criterion's N > worker-count scenario).
+    job_ids = [
+        service.submit(make_spec(seed=seed)).id for seed in range(6)
+    ]
+    records = _wait_terminal(service, job_ids)
+    assert all(record.state == "succeeded" for record in records)
+
+    # At most `num_workers` jobs were ever running concurrently: sweep
+    # over the recorded start/finish intervals.
+    boundaries = []
+    for record in records:
+        assert record.started_at is not None and record.finished_at is not None
+        boundaries.append((record.started_at, 1))
+        boundaries.append((record.finished_at, -1))
+    overlap = max_overlap = 0
+    for _, delta in sorted(boundaries):
+        overlap += delta
+        max_overlap = max(max_overlap, overlap)
+    assert 1 <= max_overlap <= service.pool.num_workers
+
+
+def test_priorities_order_the_queue(service):
+    # Freeze the pool by filling both workers, then submit the
+    # contested batch: the high-priority job must start first.
+    blockers = [service.submit(make_spec(seed=90 + i)).id for i in range(2)]
+    low = service.submit(make_spec(seed=1), priority=0)
+    high = service.submit(make_spec(seed=2), priority=10)
+    records = _wait_terminal(service, blockers + [low.id, high.id])
+    by_id = {record.id: record for record in records}
+    assert by_id[high.id].started_at <= by_id[low.id].started_at
+
+
+def test_successful_job_writes_artifacts(service, tiny_spec):
+    record = service.submit(tiny_spec)
+    (final,) = _wait_terminal(service, [record.id])
+    assert final.state == "succeeded"
+    result_dir = Path(final.result_dir)
+    contigs = (result_dir / "contigs.fasta").read_text()
+    assert contigs.startswith(">contig_0")
+    metrics = json.loads((result_dir / "metrics.json").read_text())
+    assert metrics["job_id"] == record.id
+    assert metrics["contigs"]["count"] >= 1
+    assert metrics["contigs"]["n50"] >= 1
+    assert "ng50" in metrics["contigs"]  # simulate mode knows the genome size
+    assert metrics["stage_seconds"]  # hooks measured every stage
+    assert metrics["wall_seconds"] > 0
+    # Checkpoints accumulated next to the artifacts (one per stage).
+    assert list((result_dir / "checkpoints").glob("checkpoint-*.pkl"))
+
+
+def test_scaffolded_job_writes_scaffold_artifacts(service):
+    spec = JobSpec(
+        input={
+            "mode": "simulate",
+            "genome_length": 6_000,
+            "seed": 3,
+            "insert_size": 400.0,
+        },
+        config={"k": 17, "num_workers": 2, "scaffold": True},
+    )
+    record = service.submit(spec)
+    (final,) = _wait_terminal(service, [record.id])
+    assert final.state == "succeeded"
+    result_dir = Path(final.result_dir)
+    assert (result_dir / "scaffolds.fasta").read_text().startswith(">scaffold_0")
+    metrics = json.loads((result_dir / "metrics.json").read_text())
+    assert metrics["scaffolds"] is not None
+    assert metrics["scaffolds"]["count"] >= 1
+    # The scaffolding BranchStage and its inner stage share an index;
+    # reported progress must land exactly on the schedule length.
+    from repro.service.api import job_progress
+
+    progress = job_progress(service.store.events(record.id))
+    assert progress["completed_stages"] == progress["total_stages"]
+
+
+def test_failing_job_is_marked_failed_with_the_error(service, tmp_path):
+    spec = JobSpec(
+        input={"mode": "fastq", "path": str(tmp_path / "missing.fastq")},
+        config={"k": 15},
+    )
+    record = service.submit(spec)
+    (final,) = _wait_terminal(service, [record.id])
+    assert final.state == "failed"
+    assert "missing.fastq" in final.error
+    types = [event.type for event in service.store.events(record.id)]
+    assert types[-1] == "failed"
+
+
+def test_running_job_cancels_at_the_next_stage_boundary(service):
+    # Big enough that the run spans many stage boundaries.
+    record = service.submit(make_spec(genome_length=30_000, seed=4, k=17))
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        events = service.store.events(record.id)
+        if any(event.type == "stage-end" for event in events):
+            break
+        time.sleep(0.02)
+    else:
+        raise AssertionError("job never reached a stage boundary")
+    service.store.request_cancel(record.id)
+    (final,) = _wait_terminal(service, [record.id])
+    assert final.state == "cancelled"
+    types = [event.type for event in service.store.events(record.id)]
+    assert "cancel-requested" in types
+    assert types[-1] == "cancelled"
+    # Cooperative means between stages: every started stage finished.
+    starts = sum(1 for t in types if t == "stage-start")
+    ends = sum(1 for t in types if t == "stage-end")
+    assert starts == ends

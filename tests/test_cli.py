@@ -153,6 +153,101 @@ def test_cli_checkpoint_then_resume_matches(tmp_path, capsys):
     assert strip(resumed) == strip(first)
 
 
+def test_cli_metrics_json_writes_the_service_result_payload(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "metrics.json"
+    assert (
+        main(
+            ["--simulate", "1500", "-k", "15", "--workers", "2", "--quiet",
+             "--metrics-json", str(path)]
+        )
+        == 0
+    )
+    payload = json.loads(path.read_text())
+    assert payload["schema_version"] == 1
+    assert payload["contigs"]["count"] >= 1
+    assert payload["contigs"]["n50"] >= 1
+    # Simulating modes know the genome, so NG50 is present.
+    assert payload["contigs"]["ng50"] >= 1
+    assert payload["reference_length"] == 1500
+    assert payload["config"]["k"] == 15
+    # Per-stage wall-clock timings, one entry per workflow stage.
+    assert payload["stage_seconds"]
+    assert all(seconds >= 0 for seconds in payload["stage_seconds"].values())
+    assert payload["wall_seconds"] > 0
+    assert payload["scaffolds"] is None
+
+
+def test_cli_metrics_json_covers_scaffolds(tmp_path):
+    import json
+
+    path = tmp_path / "metrics.json"
+    assert (
+        main(
+            ["--simulate", "6000", "-k", "17", "--scaffold", "--insert-size",
+             "400", "--workers", "2", "--quiet", "--metrics-json", str(path)]
+        )
+        == 0
+    )
+    payload = json.loads(path.read_text())
+    assert payload["scaffolds"] is not None
+    assert payload["scaffolds"]["count"] >= 1
+    assert payload["scaffolds"]["n50"] >= 1
+
+
+def test_submit_verb_and_one_shot_cli_build_the_same_input_block():
+    # Identical source flags must materialise identical reads on both
+    # surfaces (regression: --insert-std used to be dropped by `submit`
+    # unless --insert-size was also given).
+    from repro.service.cli import _build_spec, build_service_parser
+
+    args = build_service_parser().parse_args(
+        ["submit", "--simulate", "2000", "--scaffold", "--insert-std", "80"]
+    )
+    spec = _build_spec(args)
+    assert spec.input["insert_std"] == 80.0
+    assert spec.input["mode"] == "simulate"
+
+
+def test_service_verb_tables_stay_in_sync():
+    # cli.py mirrors the verb tuple as a literal so one-shot runs never
+    # import the serving stack; the mirror must not drift.
+    from repro.cli import _SERVICE_VERBS
+    from repro.service.cli import SERVICE_VERBS
+
+    assert _SERVICE_VERBS == SERVICE_VERBS
+
+
+def test_one_shot_cli_does_not_import_the_serving_stack():
+    import subprocess
+    import sys
+
+    # http.server must not be loaded by a plain one-shot run.
+    code = (
+        "import sys; from repro.cli import main;"
+        " main(['--simulate', '1500', '-k', '15', '--quiet']);"
+        " sys.exit(1 if 'http.server' in sys.modules else 0)"
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True
+    )
+    assert result.returncode == 0, result.stderr
+
+
+def test_cli_service_verbs_are_dispatched(capsys):
+    # Without a reachable server the client verb fails cleanly (exit 1,
+    # message on stderr) instead of falling into the assembler parser.
+    assert main(["status", "0" * 32, "--url", "http://127.0.0.1:1"]) == 1
+    assert "could not reach the service" in capsys.readouterr().err
+
+
+def test_cli_serve_verb_has_its_own_parser(capsys):
+    with pytest.raises(SystemExit):
+        main(["serve", "--no-such-flag"])
+    assert "unrecognized arguments" in capsys.readouterr().err
+
+
 def test_cli_assembles_fastq_pair(tmp_path, capsys):
     from repro.dna import simulate_paired_dataset, write_paired_fastq
 

@@ -25,6 +25,7 @@ EXAMPLES = [
     "quality_report.py",
     "scaling_study.py",
     "scaffolding_demo.py",
+    "service_demo.py",
 ]
 
 
@@ -76,3 +77,12 @@ def test_scaffolding_demo_runs(monkeypatch, capsys):
     output = capsys.readouterr().out
     assert "scaffolding stage:" in output
     assert "contiguity:" in output
+
+
+def test_service_demo_runs(monkeypatch, capsys):
+    _run_example("service_demo.py", [], monkeypatch)
+    output = capsys.readouterr().out
+    assert "service up at http://" in output
+    assert "plain job: succeeded" in output
+    assert "scaffolded job: succeeded" in output
+    assert "contig FASTA:" in output

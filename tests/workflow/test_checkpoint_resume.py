@@ -267,7 +267,18 @@ def test_resume_without_seed_state_uses_the_checkpoints(tmp_path):
 
 
 def test_orphaned_tmp_files_are_swept_on_next_write(tmp_path):
-    (tmp_path / "tmpabc123.tmp").write_bytes(b"half-written checkpoint")
+    # A *stale* checkpoint temp file (a hard-killed write) is an orphan
+    # and gets swept; freshness/ownership edge cases live in
+    # test_checkpoint_concurrency.py.
+    import os
+    import time as _time
+
+    from repro.workflow.checkpoint import _TMP_PREFIX, ORPHAN_TMP_AGE_SECONDS
+
+    orphan = tmp_path / (_TMP_PREFIX + "abc123.tmp")
+    orphan.write_bytes(b"half-written checkpoint")
+    ancient = _time.time() - 2 * ORPHAN_TMP_AGE_SECONDS
+    os.utime(orphan, (ancient, ancient))
     workflow = Workflow("sweeper")
     workflow.add(ConvertStage("only", lambda ctx: None))
     WorkflowRunner(num_workers=2, checkpoint_dir=tmp_path).run(workflow)
