@@ -7,8 +7,12 @@ counts.  Two serving numbers come out per count:
 
 * **jobs/sec** — burst size / wall-clock from first submission to last
   terminal state;
-* **queue latency** — per-job ``started_at - created_at``, i.e. how
-  long a job waited for a worker slot.
+* **queue latency** — how long a job waited for a worker slot, read
+  from the ``claim_latency_seconds`` field of each job's durable
+  ``started`` event.  The store stamps that with a **monotonic** clock
+  captured at enqueue time, so the number is immune to wall-clock
+  steps/NTP slew; the wall-clock ``started_at - created_at`` difference
+  is only the fallback for jobs predating the field.
 
 The run also re-asserts the scheduler's bounding invariant (never more
 than ``num_workers`` concurrently running jobs) from the recorded
@@ -74,6 +78,23 @@ def _wait_all(service, job_ids, timeout=600.0):
     raise AssertionError("burst did not finish in time")
 
 
+def _claim_latency(store, record) -> float:
+    """The job's queue wait, from its durable ``started`` event.
+
+    Prefers the monotonic ``claim_latency_seconds`` the store captured
+    at enqueue time (the last ``started`` event, i.e. the final
+    attempt); falls back to the wall-clock timestamp difference for
+    records without one.
+    """
+    latency = None
+    for event in store.events(record.id):
+        if event.type == "started":
+            latency = event.payload.get("claim_latency_seconds", latency)
+    if latency is not None:
+        return float(latency)
+    return max(0.0, record.started_at - record.created_at)
+
+
 def _max_overlap(records) -> int:
     boundaries = []
     for record in records:
@@ -96,13 +117,15 @@ def _serve_burst(num_workers: int) -> dict:
             job_ids = [service.submit(spec).id for spec in _burst_specs()]
             records = _wait_all(service, job_ids)
             elapsed = time.perf_counter() - started
+            latencies = [
+                _claim_latency(service.store, record) for record in records
+            ]
 
     assert all(record.state == "succeeded" for record in records)
     peak = _max_overlap(records)
     assert peak <= num_workers, (
         f"{peak} jobs ran concurrently with only {num_workers} workers"
     )
-    latencies = [record.started_at - record.created_at for record in records]
     return {
         "jobs": len(records),
         "elapsed_seconds": round(elapsed, 6),

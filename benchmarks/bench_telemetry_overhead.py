@@ -1,0 +1,156 @@
+"""Telemetry overhead benchmark: assembly with tracing+metrics off vs on.
+
+The telemetry plane's contract is *zero-cost when disabled and cheap
+when enabled*: the hot paths call module-level ``span()``/registry
+accessors that dispatch to no-op singletons by default, and the real
+``Tracer``/``MetricsRegistry`` only do O(1) work per superstep/stage.
+This benchmark pins the "cheap when enabled" half with a number: it
+runs the same full assembly (simulated reads, serial backend — no
+fork-timing noise) with telemetry disabled and enabled, alternating
+``ROUNDS`` times, compares the **min** wall-clock of each mode (min-of-N
+discards scheduler noise, the usual microbenchmark practice), asserts
+the relative overhead stays under :data:`MAX_OVERHEAD`, and writes
+``BENCH_telemetry.json`` so CI can track the trajectory over time.
+
+The enabled runs are also checked to have actually recorded telemetry
+(spans produced, superstep counters populated) so a wiring regression
+cannot silently turn this into a disabled-vs-disabled comparison.
+
+Output location: the repository root by default, overridable with
+``REPRO_BENCH_OUTPUT_DIR``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.assembler import AssemblyConfig, PPAAssembler
+from repro.bench import bench_report, bench_scale, format_table, prepare_dataset
+from repro.telemetry import (
+    MetricsRegistry,
+    Tracer,
+    use_registry,
+    use_tracer,
+)
+
+DATASET = "hc2"
+K = 21
+NUM_WORKERS = 4
+
+#: Alternating off/on repetitions; the minimum of each side is compared.
+ROUNDS = 7
+
+#: Acceptance ceiling for the enabled-telemetry slowdown.
+MAX_OVERHEAD = 0.03
+
+
+def _assemble(reads):
+    config = AssemblyConfig(k=K, num_workers=NUM_WORKERS, backend="serial")
+    return PPAAssembler(config).assemble(reads)
+
+
+def _timed_assembly(reads) -> float:
+    started = time.perf_counter()
+    _assemble(reads)
+    return time.perf_counter() - started
+
+
+def _bench_overhead(reads) -> dict:
+    _assemble(reads)  # warmup: page cache, NumPy init, allocator growth
+    disabled, enabled = [], []
+    spans = messages = 0
+    for _ in range(ROUNDS):
+        # Alternate the modes so drift (thermal, page cache, GC) hits
+        # both sides equally instead of biasing whichever ran last.
+        disabled.append(_timed_assembly(reads))
+
+        tracer, registry = Tracer(), MetricsRegistry()
+        with use_tracer(tracer), use_registry(registry):
+            with tracer.span("bench-root") as root:
+                started = time.perf_counter()
+                _assemble(reads)
+                elapsed = time.perf_counter() - started
+        enabled.append(elapsed)
+        spans = _span_count(root.to_dict())
+        messages = sum(
+            child.value
+            for _, child in registry.counter(
+                "repro_pregel_messages_total",
+                "Pregel messages sent, total per job.",
+                labelnames=("job",),
+            ).series()
+        )
+
+    # A run that recorded nothing is measuring the wrong thing.
+    assert spans > 1, "enabled run produced no spans: telemetry not wired"
+    assert messages > 0, "enabled run recorded no Pregel messages"
+
+    disabled_min, enabled_min = min(disabled), min(enabled)
+    return {
+        "rounds": ROUNDS,
+        "disabled_seconds": round(disabled_min, 6),
+        "enabled_seconds": round(enabled_min, 6),
+        "overhead_fraction": round(enabled_min / disabled_min - 1.0, 6),
+        "spans_per_run": spans,
+        "pregel_messages_per_run": int(messages),
+    }
+
+
+def _span_count(tree) -> int:
+    return 1 + sum(_span_count(child) for child in tree.get("children", ()))
+
+
+def _output_path() -> Path:
+    override = os.environ.get("REPRO_BENCH_OUTPUT_DIR")
+    root = Path(override) if override else Path(__file__).resolve().parents[1]
+    return root / "BENCH_telemetry.json"
+
+
+def test_telemetry_overhead(benchmark):
+    scale = bench_scale()
+    dataset = prepare_dataset(DATASET)
+
+    results = benchmark.pedantic(
+        _bench_overhead, args=(dataset.reads,), rounds=1, iterations=1
+    )
+
+    report = bench_report(
+        benchmark="telemetry_overhead",
+        dataset=DATASET,
+        scale=scale,
+        k=K,
+        reads=len(dataset.reads),
+        max_overhead=MAX_OVERHEAD,
+        **results,
+    )
+    output = _output_path()
+    output.write_text(json.dumps(report, indent=2) + "\n")
+
+    print()
+    print(
+        f"Telemetry overhead: full assembly off vs on "
+        f"({DATASET}, scale {scale}, k={K}, min of {ROUNDS})"
+    )
+    print(
+        format_table(
+            ["disabled s", "enabled s", "overhead", "spans", "messages"],
+            [
+                [
+                    f"{results['disabled_seconds']:.3f}",
+                    f"{results['enabled_seconds']:.3f}",
+                    f"{results['overhead_fraction'] * 100:.2f}%",
+                    results["spans_per_run"],
+                    results["pregel_messages_per_run"],
+                ]
+            ],
+        )
+    )
+    print(f"wrote {output}")
+
+    assert results["overhead_fraction"] < MAX_OVERHEAD, (
+        f"telemetry overhead {results['overhead_fraction'] * 100:.2f}% "
+        f"exceeds the {MAX_OVERHEAD * 100:.0f}% ceiling"
+    )

@@ -79,6 +79,27 @@ if [ "$STATE" != "running" ] && [ "$STATE" != "queued" ]; then
     echo "service_smoke: job already $STATE; cannot kill mid-assembly" >&2
     exit 1
 fi
+echo "== scrape /metrics mid-run: well-formed Prometheus text + core series =="
+curl -fsS "$URL/metrics" | python -c '
+import re, sys
+text = sys.stdin.read()
+sample = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9.e+-]+|\+Inf|NaN)$")
+lines = [l for l in text.splitlines() if l and not l.startswith("#")]
+assert lines, "empty /metrics exposition"
+for line in lines:
+    assert sample.match(line), f"malformed sample line: {line!r}"
+for series in (
+    "repro_jobs_queued",
+    "repro_jobs_running",
+    "repro_jobs_submitted_total 1",
+    "repro_http_requests_total",
+    "repro_http_request_seconds_bucket",
+    "repro_claim_latency_seconds_count",
+):
+    assert series in text, f"missing series: {series}"
+print(f"/metrics OK mid-run ({len(lines)} samples)")
+'
+
 echo "killing server (job $STATE, $CHECKPOINTS checkpoint(s) written)"
 kill -9 "$SERVER_PID"
 wait "$SERVER_PID" 2>/dev/null || true
@@ -115,4 +136,26 @@ print(f"recovered; {types.count('"'"'stage-skipped'"'"')} stages skipped on resu
 echo "== assert byte-identical contigs =="
 curl -fsS "$URL/jobs/$JOB/contigs.fasta" > "$DATA_DIR/resumed.fa"
 cmp "$DATA_DIR/reference.fa" "$DATA_DIR/resumed.fa"
+
+echo "== scrape /metrics after success: superstep counters populated =="
+curl -fsS "$URL/metrics" | python -c '
+import re, sys
+text = sys.stdin.read()
+messages = re.search(r"^repro_pregel_messages_total\{[^}]*\} (\d+)", text, re.M)
+assert messages, "no repro_pregel_messages_total series after a finished job"
+assert int(messages.group(1)) > 0, "superstep message counter stayed zero"
+assert re.search(r"^repro_jobs_completed_total\{state=\"succeeded\"\} 1$", text, re.M), \
+    "job completion not counted"
+print(f"/metrics OK after success ({messages.group(1)} Pregel messages counted)")
+'
+
+echo "== fetch the job trace =="
+curl -fsS "$URL/jobs/$JOB/trace" | python -c '
+import json, sys
+root = json.load(sys.stdin)["trace"]
+assert root["name"].startswith("job:"), root["name"]
+assert root["children"][0]["name"] == "workflow:ppa-assembly"
+name, outcome = root["name"], root["attributes"]["outcome"]
+print(f"trace OK (root {name}, outcome {outcome})")
+'
 echo "service_smoke: resume-to-identical-result OK"

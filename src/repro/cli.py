@@ -39,6 +39,7 @@ import argparse
 import json
 import sys
 import time
+from contextlib import ExitStack
 from typing import Dict, List, Optional
 
 from .assembler import AssemblyConfig, PPAAssembler, build_assembly_workflow
@@ -182,6 +183,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the assembly workflow DAG for this configuration and "
         "exit without assembling anything",
     )
+    telemetry = parser.add_argument_group(
+        "telemetry", "structured logging and tracing (see docs/observability.md)"
+    )
+    telemetry.add_argument(
+        "--log-level",
+        metavar="LEVEL",
+        default=None,
+        help="root log level (debug/info/warning/error); configures "
+        "structured logging for the run",
+    )
+    telemetry.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit logs as JSON lines (one object per line, with "
+        "trace/span ids when tracing is active)",
+    )
+    telemetry.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="trace the assembly and write the span tree (workflow -> "
+        "stages -> supersteps -> workers) to this JSON file",
+    )
     parser.add_argument(
         "--quiet", action="store_true", help="print only the final statistics line"
     )
@@ -243,6 +266,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     if args.resume and not args.checkpoint_dir:
         parser.error("--resume needs --checkpoint-dir")
+
+    if args.log_json or args.log_level is not None:
+        from .telemetry import configure_logging
+
+        try:
+            configure_logging(args.log_level or "info", json_lines=args.log_json)
+        except ValueError as exc:
+            parser.error(str(exc))
 
     try:
         config = AssemblyConfig(
@@ -306,6 +337,27 @@ def main(argv: Optional[List[str]] = None) -> int:
             ),
         )
 
+    # --trace-out installs a real tracer for the run and opens a root
+    # span; the tree is written even when the assembly fails, so an
+    # aborted run can still be profiled.
+    trace_stack = ExitStack()
+    root_span = None
+    if args.trace_out:
+        from .telemetry import Tracer
+        from .telemetry import span as telemetry_span
+        from .telemetry import use_tracer
+
+        trace_stack.enter_context(use_tracer(Tracer()))
+        root_span = trace_stack.enter_context(
+            telemetry_span(
+                "assemble",
+                reads=len(reads),
+                k=config.k,
+                backend=config.backend,
+                workers=config.num_workers,
+            )
+        )
+
     started = time.perf_counter()
     try:
         result = PPAAssembler(config).assemble(
@@ -318,6 +370,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as exc:
         print(f"repro-assemble: assembly failed: {exc}", file=sys.stderr)
         return 1
+    finally:
+        trace_stack.close()
+        if root_span is not None:
+            from .telemetry import write_trace
+
+            write_trace(root_span.finish(), args.trace_out)
+            if not args.quiet:
+                print(f"wrote trace to {args.trace_out}")
     wall_seconds = time.perf_counter() - started
 
     if scaffold and result.scaffolding is None:

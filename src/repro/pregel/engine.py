@@ -151,7 +151,19 @@ class PregelEngine:
     # ------------------------------------------------------------------
     def run(self, job: PregelJob) -> JobResult:
         """Execute ``job`` until global termination and return the result."""
-        return self._backend.run(job)
+        from ..telemetry import span
+
+        with span(
+            f"pregel:{job.name}",
+            backend=self._backend.name,
+            num_workers=self.num_workers,
+        ) as job_span:
+            result = self._backend.run(job)
+            job_span.set(
+                supersteps=result.metrics.num_supersteps,
+                messages=result.metrics.total_messages,
+            )
+            return result
 
 
 def run_single_job(

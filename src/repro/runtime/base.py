@@ -26,9 +26,90 @@ from ..errors import InvalidJobError, UnknownBackendError
 from ..pregel.partitioner import HashPartitioner
 from ..pregel.vertex import Vertex
 from ..pregel.worker import Worker
+from ..telemetry import get_registry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..pregel.engine import JobResult, PregelJob
+    from ..pregel.metrics import SuperstepMetrics
+
+
+# ----------------------------------------------------------------------
+# telemetry instruments shared by every backend
+# ----------------------------------------------------------------------
+def worker_messages_counter(registry):
+    """The per-worker message counter family, declared identically
+    everywhere it is touched — master-side by the serial backend,
+    child-side by multiprocess worker processes — so cross-process
+    merges land in the same series and per-worker sums equal the
+    job-level totals exactly.
+    """
+    return registry.counter(
+        "repro_pregel_worker_messages_total",
+        "Messages sent by each Pregel worker partition.",
+        labelnames=("job", "worker"),
+    )
+
+
+class SuperstepInstruments:
+    """Job-scoped handles on the Pregel metric families.
+
+    Instantiated once per :meth:`ExecutionBackend.run` so the hot loop
+    pays label resolution once, not per superstep.  All operations are
+    no-ops under the default :class:`~repro.telemetry.metrics.NullRegistry`.
+    """
+
+    def __init__(self, job_name: str) -> None:
+        registry = get_registry()
+        self.job_name = job_name
+        labels = ("job",)
+        self._supersteps = registry.counter(
+            "repro_pregel_supersteps_total",
+            "Supersteps executed, by job.",
+            labelnames=labels,
+        ).labels(job_name)
+        self._messages = registry.counter(
+            "repro_pregel_messages_total",
+            "Messages sent across all supersteps, by job (pre-combine).",
+            labelnames=labels,
+        ).labels(job_name)
+        self._bytes = registry.counter(
+            "repro_pregel_message_bytes_total",
+            "Message bytes sent across all supersteps, by job.",
+            labelnames=labels,
+        ).labels(job_name)
+        self._delivered = registry.counter(
+            "repro_pregel_messages_delivered_total",
+            "Messages delivered to vertices after combining, by job "
+            "(delivered/sent is the combine ratio).",
+            labelnames=labels,
+        ).labels(job_name)
+        self._active = registry.gauge(
+            "repro_pregel_active_vertices",
+            "Active vertices after the most recent superstep, by job.",
+            labelnames=labels,
+        ).labels(job_name)
+        self._seconds = registry.histogram(
+            "repro_pregel_superstep_seconds",
+            "Wall-clock seconds per superstep, by job.",
+            labelnames=labels,
+        ).labels(job_name)
+        self._worker_messages = worker_messages_counter(registry)
+
+    def record_superstep(self, step: "SuperstepMetrics", elapsed_seconds: float) -> None:
+        """Charge one finished superstep's counters to the registry."""
+        self._supersteps.inc()
+        self._messages.inc(step.messages_sent)
+        self._bytes.inc(step.bytes_sent)
+        self._delivered.inc(sum(step.worker_messages_received))
+        self._active.set(step.active_vertices)
+        self._seconds.observe(elapsed_seconds)
+
+    def record_worker(self, worker_id: int, counters: Dict[str, int]) -> None:
+        """Charge one worker's share of a superstep (serial backend —
+        the multiprocess backend's children record this themselves)."""
+        self._worker_messages.labels(self.job_name, worker_id).inc(
+            counters["messages_sent"]
+        )
 
 
 class ExecutionBackend(ABC):

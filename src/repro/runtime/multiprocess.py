@@ -55,7 +55,9 @@ from ..pregel.metrics import JobMetrics, SuperstepMetrics
 from ..pregel.partitioner import HashPartitioner
 from ..pregel.vertex import Vertex, VertexFactory
 from ..pregel.worker import Worker
-from .base import ExecutionBackend, register_backend
+from ..telemetry import get_registry, remote_context, span, start_remote_span
+from ..telemetry.metrics import MetricsRegistry
+from .base import ExecutionBackend, SuperstepInstruments, register_backend, worker_messages_counter
 
 try:  # pragma: no cover - exercised implicitly by every import
     import numpy as np
@@ -193,6 +195,8 @@ def _worker_main(
     aggregator_template: Dict[str, Aggregator],
     num_vertices: int,
     columnar: bool,
+    job_name: str,
+    metrics_enabled: bool,
     command_queue,
     data_queues,
     control_queue,
@@ -209,6 +213,16 @@ def _worker_main(
         local_batches: Dict[int, List[Tuple[int, Any]]] = {}
         # Batches received early for a future superstep, keyed by superstep.
         staged: Dict[int, Dict[int, List[Tuple[int, Any]]]] = {}
+        # Telemetry is recorded into a registry local to this process
+        # (never the fork-inherited global one — the master merges the
+        # shipped deltas, so recording globally here would double-count)
+        # and shipped to the master as a delta at each barrier.
+        local_registry = MetricsRegistry() if metrics_enabled else None
+        worker_messages = (
+            worker_messages_counter(local_registry).labels(job_name, worker_id)
+            if local_registry is not None
+            else None
+        )
 
         while True:
             command = command_queue.get()
@@ -216,7 +230,7 @@ def _worker_main(
                 if command[1]:  # collect: ship the final partition back
                     result_queue.put((worker_id, list(worker.vertices.values())))
                 break
-            _, superstep, previous_aggregates = command
+            _, superstep, previous_aggregates, trace_ctx = command
 
             if superstep == 0:
                 inbox: Dict[int, List[Any]] = {}
@@ -235,6 +249,11 @@ def _worker_main(
                 name: aggregator.fresh_copy()
                 for name, aggregator in aggregator_template.items()
             }
+            remote_span = (
+                start_remote_span(f"worker-{worker_id}", trace_ctx, worker=worker_id)
+                if trace_ctx is not None
+                else None
+            )
             outbox, counters = worker.execute_superstep(
                 superstep=superstep,
                 inbox=inbox,
@@ -243,6 +262,16 @@ def _worker_main(
                 num_vertices=num_vertices,
                 vertex_factory=vertex_factory,
             )
+            span_dict = (
+                remote_span.finish(
+                    messages_sent=counters["messages_sent"],
+                    compute_calls=counters["compute_calls"],
+                )
+                if remote_span is not None
+                else None
+            )
+            if worker_messages is not None:
+                worker_messages.inc(counters["messages_sent"])
 
             batches = _route_outbox(outbox, partitioner, combiner, columnar)
             for destination in range(num_workers):
@@ -255,8 +284,19 @@ def _worker_main(
             aggregator_states = {
                 name: copy.dump_state() for name, copy in aggregator_copies.items()
             }
+            metrics_state = (
+                local_registry.drain_state() if local_registry is not None else None
+            )
             control_queue.put(
-                (_OK, worker_id, counters, aggregator_states, worker.active_count())
+                (
+                    _OK,
+                    worker_id,
+                    counters,
+                    aggregator_states,
+                    worker.active_count(),
+                    span_dict,
+                    metrics_state,
+                )
             )
     except BaseException as exc:  # noqa: BLE001 - must reach the master
         try:
@@ -341,6 +381,8 @@ class MultiprocessBackend(ExecutionBackend):
                     aggregator_template,
                     num_vertices,
                     self.columnar_messages,
+                    job.name,
+                    get_registry().enabled,
                     command_queues[worker_id],
                     data_queues,
                     control_queue,
@@ -356,6 +398,8 @@ class MultiprocessBackend(ExecutionBackend):
 
         metrics = JobMetrics(job_name=job.name, num_workers=self.num_workers)
         aggregate_history: List[Dict[str, Any]] = []
+        instruments = SuperstepInstruments(job.name)
+        metrics_registry = get_registry()
         active = sum(
             1
             for partition in partitions
@@ -373,28 +417,51 @@ class MultiprocessBackend(ExecutionBackend):
                     break
 
                 previous_aggregates = registry.previous_values()
-                for command_queue in command_queues:
-                    command_queue.put((_STEP, superstep, previous_aggregates))
+                step_started = time.perf_counter()
+                with span(f"superstep-{superstep}") as step_span:
+                    trace_ctx = remote_context()
+                    for command_queue in command_queues:
+                        command_queue.put(
+                            (_STEP, superstep, previous_aggregates, trace_ctx)
+                        )
 
-                reports = self._collect_control(control_queue, processes)
-                step = SuperstepMetrics(superstep=superstep)
-                active = 0
-                messages_in_flight = 0
-                for worker_id in range(self.num_workers):
-                    counters, aggregator_states, active_count = reports[worker_id]
-                    registry.merge_states(aggregator_states)
-                    step.compute_calls += counters["compute_calls"]
-                    step.compute_ops += counters["compute_ops"]
-                    step.messages_sent += counters["messages_sent"]
-                    step.bytes_sent += counters["bytes_sent"]
-                    step.worker_compute_ops.append(counters["compute_ops"])
-                    step.worker_messages_sent.append(counters["messages_sent"])
-                    step.worker_bytes_sent.append(counters["bytes_sent"])
-                    step.worker_messages_received.append(counters["messages_received"])
-                    step.worker_bytes_received.append(counters["bytes_received"])
-                    active += active_count
-                    messages_in_flight += counters["messages_sent"]
-                step.active_vertices = active
+                    reports = self._collect_control(control_queue, processes)
+                    step = SuperstepMetrics(superstep=superstep)
+                    active = 0
+                    messages_in_flight = 0
+                    for worker_id in range(self.num_workers):
+                        (
+                            counters,
+                            aggregator_states,
+                            active_count,
+                            span_dict,
+                            metrics_state,
+                        ) = reports[worker_id]
+                        registry.merge_states(aggregator_states)
+                        if span_dict is not None:
+                            step_span.add_child(span_dict)
+                        if metrics_state is not None:
+                            metrics_registry.merge_state(metrics_state)
+                        step.compute_calls += counters["compute_calls"]
+                        step.compute_ops += counters["compute_ops"]
+                        step.messages_sent += counters["messages_sent"]
+                        step.bytes_sent += counters["bytes_sent"]
+                        step.worker_compute_ops.append(counters["compute_ops"])
+                        step.worker_messages_sent.append(counters["messages_sent"])
+                        step.worker_bytes_sent.append(counters["bytes_sent"])
+                        step.worker_messages_received.append(counters["messages_received"])
+                        step.worker_bytes_received.append(counters["bytes_received"])
+                        active += active_count
+                        messages_in_flight += counters["messages_sent"]
+                    step.active_vertices = active
+                    step_span.set(
+                        messages_sent=step.messages_sent,
+                        bytes_sent=step.bytes_sent,
+                        active_vertices=step.active_vertices,
+                    )
+                instruments.record_superstep(
+                    step, time.perf_counter() - step_started
+                )
                 metrics.add(step)
 
                 snapshot = registry.finish_superstep()

@@ -10,6 +10,7 @@ default for every benchmark that reports simulated cluster numbers.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, List
 
 from ..errors import InvalidJobError, SuperstepLimitExceededError
@@ -18,7 +19,8 @@ from ..pregel.engine import JobResult, PregelJob
 from ..pregel.message import MessageRouter
 from ..pregel.metrics import JobMetrics, SuperstepMetrics
 from ..pregel.worker import Worker
-from .base import ExecutionBackend, register_backend
+from ..telemetry import span
+from .base import ExecutionBackend, SuperstepInstruments, register_backend
 
 
 @register_backend
@@ -40,6 +42,7 @@ class SerialBackend(ExecutionBackend):
         router = MessageRouter(self.partitioner, job.combiner, columnar=self.columnar_messages)
         metrics = JobMetrics(job_name=job.name, num_workers=self.num_workers)
         aggregate_history: List[Dict[str, Any]] = []
+        instruments = SuperstepInstruments(job.name)
 
         superstep = 0
         inboxes: Dict[int, Dict[int, List[Any]]] = {}
@@ -52,8 +55,19 @@ class SerialBackend(ExecutionBackend):
             if active == 0 and not pending:
                 break
 
-            step_metrics = self._run_superstep(
-                superstep, job, workers, inboxes, router, registry, num_vertices
+            step_started = time.perf_counter()
+            with span(f"superstep-{superstep}") as step_span:
+                step_metrics = self._run_superstep(
+                    superstep, job, workers, inboxes, router, registry,
+                    num_vertices, instruments,
+                )
+                step_span.set(
+                    messages_sent=step_metrics.messages_sent,
+                    bytes_sent=step_metrics.bytes_sent,
+                    active_vertices=step_metrics.active_vertices,
+                )
+            instruments.record_superstep(
+                step_metrics, time.perf_counter() - step_started
             )
             metrics.add(step_metrics)
 
@@ -88,6 +102,7 @@ class SerialBackend(ExecutionBackend):
         router: MessageRouter,
         registry: AggregatorRegistry,
         num_vertices: int,
+        instruments: SuperstepInstruments,
     ) -> SuperstepMetrics:
         step = SuperstepMetrics(superstep=superstep)
         previous_aggregates = registry.previous_values()
@@ -95,14 +110,20 @@ class SerialBackend(ExecutionBackend):
         for worker in workers:
             inbox = inboxes.get(worker.worker_id, {})
             aggregator_copies = registry.current_copies()
-            outbox, counters = worker.execute_superstep(
-                superstep=superstep,
-                inbox=inbox,
-                aggregator_copies=aggregator_copies,
-                previous_aggregates=previous_aggregates,
-                num_vertices=num_vertices,
-                vertex_factory=job.vertex_factory,
-            )
+            with span(f"worker-{worker.worker_id}", worker=worker.worker_id) as wspan:
+                outbox, counters = worker.execute_superstep(
+                    superstep=superstep,
+                    inbox=inbox,
+                    aggregator_copies=aggregator_copies,
+                    previous_aggregates=previous_aggregates,
+                    num_vertices=num_vertices,
+                    vertex_factory=job.vertex_factory,
+                )
+                wspan.set(
+                    messages_sent=counters["messages_sent"],
+                    compute_calls=counters["compute_calls"],
+                )
+            instruments.record_worker(worker.worker_id, counters)
             registry.merge_from(aggregator_copies)
             router.post(outbox)
 

@@ -17,6 +17,8 @@ POST        ``/jobs/<id>/cancel``          cancel (cooperative for running jobs)
 GET         ``/jobs/<id>/result``          quality metrics JSON (succeeded only)
 GET         ``/jobs/<id>/contigs.fasta``   contig FASTA artifact
 GET         ``/jobs/<id>/scaffolds.fasta`` scaffold FASTA artifact
+GET         ``/jobs/<id>/trace``           finished job's span tree (JSON)
+GET         ``/metrics``                   Prometheus text-format metrics
 ==========  =============================  =======================================
 
 Error contract: unknown jobs are 404, malformed requests 400, wrong-state
@@ -29,6 +31,7 @@ from __future__ import annotations
 import json
 import re
 import sqlite3
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
@@ -42,6 +45,12 @@ from ..errors import (
 from .store import JOB_STATES, JobEvent
 
 _JOB_PATH = re.compile(r"^/jobs/(?P<id>[0-9a-f]{32})(?P<rest>/.*)?$")
+
+#: Literal routes, for bounded-cardinality HTTP metric labels.
+_KNOWN_PATHS = ("/healthz", "/jobs", "/metrics")
+
+#: Prometheus text exposition format content type.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 #: Maximum accepted request body (inline-read submissions are the
 #: biggest legitimate payload; 64 MiB of reads is far beyond anything
@@ -110,6 +119,7 @@ class ApiHandler(BaseHTTPRequestHandler):
 
     def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
         body = json.dumps(payload, indent=2, sort_keys=True).encode("utf-8") + b"\n"
+        self._response_status = status
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
@@ -118,6 +128,7 @@ class ApiHandler(BaseHTTPRequestHandler):
 
     def _send_text(self, status: int, text: str, content_type: str = "text/plain") -> None:
         body = text.encode("utf-8")
+        self._response_status = status
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
@@ -167,14 +178,70 @@ class ApiHandler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 — http.server API
         self._dispatch("POST")
 
+    #: Known job sub-routes, for bounded-cardinality metric labels.
+    _JOB_RESTS = (
+        "", "/events", "/cancel", "/result",
+        "/contigs.fasta", "/scaffolds.fasta", "/trace",
+    )
+
+    @classmethod
+    def _route_label(cls, path: str, job_id: Optional[str], rest: str) -> str:
+        """Collapse a request path to a bounded route template.
+
+        Metric labels must not grow with traffic: job ids become
+        ``<id>`` and unknown paths (scanners, typos) all share one
+        ``<other>`` series.
+        """
+        if job_id is not None:
+            return "/jobs/<id>" + (rest if rest in cls._JOB_RESTS else "<other>")
+        return path if path in _KNOWN_PATHS else "<other>"
+
+    def _record_http_metrics(
+        self, service, verb: str, route: str, started: float
+    ) -> None:
+        registry = getattr(service, "registry", None)
+        if registry is None:
+            return
+        registry.histogram(
+            "repro_http_request_seconds",
+            "HTTP request handling latency, by method and route.",
+            labelnames=("method", "route"),
+        ).labels(verb, route).observe(time.perf_counter() - started)
+        registry.counter(
+            "repro_http_requests_total",
+            "HTTP requests handled, by method, route and status code.",
+            labelnames=("method", "route", "status"),
+        ).labels(verb, route, self._response_status).inc()
+
     def _dispatch(self, verb: str) -> None:
         service = self.server.service
+        started = time.perf_counter()
+        path, query, job_id, rest = self._route()
+        route = self._route_label(path, job_id, rest)
+        self._response_status = 0
+        try:
+            self._handle(service, verb, path, query, job_id, rest)
+        finally:
+            self._record_http_metrics(service, verb, route, started)
+
+    def _handle(
+        self,
+        service,
+        verb: str,
+        path: str,
+        query: Dict[str, List[str]],
+        job_id: Optional[str],
+        rest: str,
+    ) -> None:
         try:
             # Drain the body first on every POST, body-carrying route or
             # not — see _read_body on keep-alive correctness.
             body = self._read_body() if verb == "POST" else None
-            path, query, job_id, rest = self._route()
-            if verb == "GET" and path == "/healthz":
+            if verb == "GET" and path == "/metrics":
+                self._send_text(
+                    200, service.metrics_text(), content_type=PROMETHEUS_CONTENT_TYPE
+                )
+            elif verb == "GET" and path == "/healthz":
                 self._send_json(200, service.health())
             elif verb == "POST" and path == "/jobs":
                 record, created = service.submit_payload(body)
@@ -239,6 +306,8 @@ class ApiHandler(BaseHTTPRequestHandler):
             self._send_json(200, {"job": record.to_dict()})
         elif verb == "GET" and rest == "/result":
             self._send_json(200, service.result_payload(job_id))
+        elif verb == "GET" and rest == "/trace":
+            self._send_json(200, service.trace_payload(job_id))
         elif verb == "GET" and rest in ("/contigs.fasta", "/scaffolds.fasta"):
             self._send_text(200, service.artifact_text(job_id, rest.lstrip("/")))
         else:

@@ -26,10 +26,17 @@ from typing import Any, Dict, Optional, Tuple
 
 from .. import __version__
 from ..errors import InvalidJobSpecError, JobStateError
+from ..telemetry import (
+    MetricsRegistry,
+    Tracer,
+    render_prometheus,
+    set_registry,
+    set_tracer,
+)
 from .api import make_server
 from .scheduler import WorkerPool
 from .spec import JobSpec
-from .store import STATE_SUCCEEDED, JobRecord, JobStore
+from .store import STATE_QUEUED, STATE_RUNNING, STATE_SUCCEEDED, JobRecord, JobStore
 
 
 class AssemblyService:
@@ -55,12 +62,38 @@ class AssemblyService:
         self.port = port
         self._server = None
         self._server_thread: Optional[threading.Thread] = None
+        # The service always runs with real telemetry — /metrics and
+        # /jobs/<id>/trace are part of its API.  The instances are
+        # installed process-wide in start() so the runtime/workflow hot
+        # paths (which call get_registry()/get_tracer()) feed them, and
+        # restored in stop() so embedding a service in tests or
+        # notebooks leaves the process as it found it.
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer()
+        self._previous_registry = None
+        self._previous_tracer = None
+        self._register_service_metrics()
+
+    def _register_service_metrics(self) -> None:
+        counts = self.store.counts
+        self.registry.gauge(
+            "repro_jobs_queued",
+            "Jobs currently waiting in the queue (sampled at scrape time).",
+            callback=lambda: counts()[STATE_QUEUED],
+        )
+        self.registry.gauge(
+            "repro_jobs_running",
+            "Jobs currently executing (sampled at scrape time).",
+            callback=lambda: counts()[STATE_RUNNING],
+        )
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
         """Recover interrupted jobs, start workers, bind the API."""
+        self._previous_registry = set_registry(self.registry)
+        self._previous_tracer = set_tracer(self.tracer)
         recovered = self.store.recover_interrupted()
         for record in recovered:
             self.logger.info(
@@ -90,6 +123,8 @@ class AssemblyService:
             self._server_thread.join(timeout=5)
             self._server_thread = None
         self.pool.stop(wait=wait)
+        set_registry(self._previous_registry)
+        set_tracer(self._previous_tracer)
         # With wait=False, daemon workers may still be mid-job; the
         # store must stay open so their final writes land on a live
         # connection rather than crashing on a closed one (the process
@@ -181,6 +216,29 @@ class AssemblyService:
         if not path.is_file():
             raise JobStateError(f"job {job_id} produced no {name} artifact")
         return path.read_text()
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def metrics_text(self) -> str:
+        """The service's metrics in Prometheus text exposition format."""
+        return render_prometheus(self.registry)
+
+    def trace_payload(self, job_id: str) -> Dict[str, Any]:
+        """The job's persisted span tree (written when the job finishes).
+
+        404 for unknown jobs, 409 while the job has not finished (or
+        predates tracing) — the same error contract as ``/result``.
+        """
+        self.store.get(job_id)  # unknown job -> JobNotFoundError -> 404
+        path = self.pool.job_dir(job_id) / "trace.json"
+        try:
+            return json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise JobStateError(
+                f"job {job_id} has no trace yet; traces are written when "
+                f"a job finishes ({exc})"
+            ) from exc
 
     # ------------------------------------------------------------------
     # health

@@ -67,6 +67,17 @@ def build_service_parser() -> argparse.ArgumentParser:
         default=0.2,
         help="idle worker poll interval in seconds (default 0.2)",
     )
+    serve.add_argument(
+        "--log-level",
+        metavar="LEVEL",
+        default="info",
+        help="root log level (debug/info/warning/error; default info)",
+    )
+    serve.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit logs as JSON lines with trace/span correlation ids",
+    )
 
     submit = verbs.add_parser("submit", help="submit an assembly job")
     submit.add_argument("--url", default=None, help=f"service URL (default {_DEFAULT_URL})")
@@ -140,13 +151,14 @@ def _client(args: argparse.Namespace) -> ServiceClient:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    import logging
-
+    from ..telemetry import configure_logging
     from .app import AssemblyService
 
-    logging.basicConfig(
-        level=logging.INFO, format="%(asctime)s %(name)s %(message)s"
-    )
+    try:
+        configure_logging(args.log_level, json_lines=args.log_json)
+    except ValueError as exc:
+        print(f"repro-assemble serve: {exc}", file=sys.stderr)
+        return 2
     service = AssemblyService(
         data_dir=args.data_dir,
         num_workers=args.workers,

@@ -113,6 +113,14 @@ class ServiceClient:
         """The succeeded job's quality metrics JSON."""
         return self._request("GET", f"/jobs/{job_id}/result")
 
+    def trace(self, job_id: str) -> Dict[str, Any]:
+        """The finished job's span tree (``{"generated_at": ..., "trace": ...}``)."""
+        return self._request("GET", f"/jobs/{job_id}/trace")
+
+    def metrics_text(self) -> str:
+        """The service's Prometheus text-format metrics, verbatim."""
+        return self._request("GET", "/metrics", decode_json=False)
+
     def contigs_fasta(self, job_id: str) -> str:
         return self._request(
             "GET", f"/jobs/{job_id}/contigs.fasta", decode_json=False
@@ -156,6 +164,40 @@ class ServiceClient:
             if deadline is not None and time.monotonic() > deadline:
                 raise ServiceClientError(
                     f"job {job_id} did not finish within {timeout} seconds "
-                    f"(currently {status['job']['state']})"
+                    f"(currently {status['job']['state']}"
+                    f"{self._progress_detail(job_id, status)})"
                 )
             time.sleep(poll_interval)
+
+    def _progress_detail(self, job_id: str, status: Dict[str, Any]) -> str:
+        """Server-side progress for a timeout message, best-effort.
+
+        A timeout without context ("did not finish") forces the caller
+        to go query the server themselves; this pulls the stage
+        progress and the last event into the error text.  Any failure
+        while enriching yields an empty string — the timeout error
+        itself must never be masked.
+        """
+        detail = ""
+        try:
+            progress = status.get("progress") or {}
+            total = progress.get("total_stages")
+            if total is not None:
+                detail += (
+                    f"; stages {progress.get('completed_stages', 0)}/{total}"
+                )
+            if progress.get("current_stage"):
+                detail += f", running {progress['current_stage']!r}"
+            events = self.events(job_id)
+            if events:
+                last = events[-1]
+                payload = " ".join(
+                    f"{key}={value}" for key, value in last.get("payload", {}).items()
+                )
+                detail += (
+                    f"; last event [{last['seq']:03d}] {last['type']}"
+                    + (f" {payload}" if payload else "")
+                )
+        except Exception:  # noqa: BLE001 — enrichment is best-effort
+            pass
+        return detail

@@ -35,6 +35,8 @@ from typing import Dict, List
 
 from ..assembler import PPAAssembler
 from ..errors import ReproError
+from ..telemetry import get_registry, get_tracer, span, write_trace
+from ..telemetry.trace import Span
 from ..workflow import WorkflowHooks
 from .store import JobRecord, JobStore
 
@@ -180,36 +182,63 @@ class WorkerPool:
         )
 
         started = time.perf_counter()
+        outcome = "failed"
+        with span(f"job:{job_id}", job_id=job_id, attempt=record.attempts) as job_span:
+            try:
+                spec = record.spec
+                config = spec.assembly_config()
+                material = spec.materialize()
+                result = PPAAssembler(config).assemble(
+                    material.reads,
+                    pairs=material.pairs,
+                    checkpoint_dir=self.checkpoint_dir(job_id),
+                    resume=True,
+                    hooks=hooks,
+                )
+                wall_seconds = time.perf_counter() - started
+                result_dir = self._write_artifacts(
+                    job_id, record, result, material, stage_seconds, wall_seconds
+                )
+                store.mark_succeeded(job_id, result_dir=str(result_dir))
+                outcome = "succeeded"
+            except _JobCancelled:
+                outcome = "cancelled"
+                self._finish_quietly(store.mark_cancelled, job_id)
+            except ReproError as exc:
+                self._finish_quietly(store.mark_failed, job_id, str(exc))
+            except Exception as exc:  # noqa: BLE001 — a worker thread must survive
+                self._finish_quietly(
+                    store.append_event,
+                    job_id,
+                    "error-detail",
+                    {"traceback": traceback.format_exc(limit=20)},
+                )
+                self._finish_quietly(
+                    store.mark_failed, job_id, f"{type(exc).__name__}: {exc}"
+                )
+            job_span.set(outcome=outcome)
+        self._write_trace(job_id, job_span)
+        get_registry().counter(
+            "repro_jobs_completed_total",
+            "Jobs finished by the worker pool, by terminal state.",
+            labelnames=("state",),
+        ).labels(outcome).inc()
+
+    def _write_trace(self, job_id: str, job_span) -> None:
+        """Persist the job's span tree next to its artifacts.
+
+        Only when tracing is enabled (the span is real); written for
+        every outcome, so failed jobs can be profiled too.  Best-effort
+        by design — a trace-write failure must not fail the job.
+        """
+        if not get_tracer().enabled or not isinstance(job_span, Span):
+            return
         try:
-            spec = record.spec
-            config = spec.assembly_config()
-            material = spec.materialize()
-            result = PPAAssembler(config).assemble(
-                material.reads,
-                pairs=material.pairs,
-                checkpoint_dir=self.checkpoint_dir(job_id),
-                resume=True,
-                hooks=hooks,
-            )
-            wall_seconds = time.perf_counter() - started
-            result_dir = self._write_artifacts(
-                job_id, record, result, material, stage_seconds, wall_seconds
-            )
-            store.mark_succeeded(job_id, result_dir=str(result_dir))
-        except _JobCancelled:
-            self._finish_quietly(store.mark_cancelled, job_id)
-        except ReproError as exc:
-            self._finish_quietly(store.mark_failed, job_id, str(exc))
-        except Exception as exc:  # noqa: BLE001 — a worker thread must survive
-            self._finish_quietly(
-                store.append_event,
-                job_id,
-                "error-detail",
-                {"traceback": traceback.format_exc(limit=20)},
-            )
-            self._finish_quietly(
-                store.mark_failed, job_id, f"{type(exc).__name__}: {exc}"
-            )
+            directory = self.job_dir(job_id)
+            directory.mkdir(parents=True, exist_ok=True)
+            write_trace(job_span.finish(), directory / "trace.json")
+        except Exception:  # noqa: BLE001 — observability must not break jobs
+            pass
 
     @staticmethod
     def _finish_quietly(operation, *args) -> None:

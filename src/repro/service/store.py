@@ -39,6 +39,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from ..errors import JobNotFoundError, JobStateError
+from ..telemetry import get_registry
 from .spec import JobSpec
 
 STATE_QUEUED = "queued"
@@ -175,6 +176,12 @@ class JobStore:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._lock = threading.RLock()
+        # Monotonic enqueue stamps for queue-latency measurement.  The
+        # row's created_at is wall-clock and can jump (NTP slew, DST on
+        # naive hosts), so latency is derived from time.monotonic()
+        # captured at enqueue whenever this process did the enqueueing;
+        # jobs enqueued by a previous process fall back to wall-clock.
+        self._enqueue_monotonic: Dict[str, float] = {}
         self._connection = sqlite3.connect(
             str(self.path), check_same_thread=False
         )
@@ -277,6 +284,10 @@ class JobStore:
                 ) from None
             self._append_event_locked(job_id, "submitted", {"priority": priority})
             self._connection.commit()
+            self._enqueue_monotonic[job_id] = time.monotonic()
+        get_registry().counter(
+            "repro_jobs_submitted_total", "Jobs accepted into the queue."
+        ).inc()
         return self.get(job_id), True
 
     def find_by_key(self, idempotency_key: str) -> Optional[JobRecord]:
@@ -323,9 +334,30 @@ class JobStore:
                     # queued job rather than double-running this one.
                     self._connection.commit()
                     continue
-                self._append_event_locked(job_id, "started", {"worker": worker})
+                enqueued = self._enqueue_monotonic.pop(job_id, None)
+                if enqueued is not None:
+                    claim_latency = time.monotonic() - enqueued
+                else:
+                    # Enqueued by another/previous process: wall-clock
+                    # difference is the only measure available.
+                    created = self._connection.execute(
+                        "SELECT created_at FROM jobs WHERE id = ?", (job_id,)
+                    ).fetchone()["created_at"]
+                    claim_latency = max(0.0, now - created)
+                self._append_event_locked(
+                    job_id,
+                    "started",
+                    {
+                        "worker": worker,
+                        "claim_latency_seconds": round(claim_latency, 6),
+                    },
+                )
                 self._connection.commit()
                 break
+        get_registry().histogram(
+            "repro_claim_latency_seconds",
+            "Seconds between a job entering the queue and a worker claiming it.",
+        ).observe(claim_latency)
         return self.get(job_id)
 
     def mark_succeeded(self, job_id: str, result_dir: Optional[str] = None) -> None:
@@ -384,6 +416,7 @@ class JobStore:
                 )
                 self._append_event_locked(job_id, STATE_CANCELLED, {})
                 self._connection.commit()
+                self._enqueue_monotonic.pop(job_id, None)
             elif record.state == STATE_RUNNING:
                 self._connection.execute(
                     "UPDATE jobs SET cancel_requested = 1, updated_at = ?"
@@ -453,6 +486,9 @@ class JobStore:
                 self._append_event_locked(
                     row["id"], "recovered", {"reason": "service restart"}
                 )
+                # Recovery re-enqueues: claim latency counts from here,
+                # not from the original (pre-crash) submission.
+                self._enqueue_monotonic[row["id"]] = time.monotonic()
                 recovered_ids.append(row["id"])
             self._connection.commit()
             return [self.get(job_id) for job_id in recovered_ids]

@@ -1,0 +1,71 @@
+"""Telemetry plane: structured tracing, metrics, and exporters.
+
+The repo's instrument panel (ISSUE 6).  Stdlib-only, and **off by
+default**: the module-level :func:`get_tracer` / :func:`get_registry`
+hand back no-op implementations until something installs real ones —
+the service does on start-up, the CLI does when asked (``--log-json``,
+``--trace-out``), tests do with the ``use_*`` context managers.
+
+Layout:
+
+* :mod:`repro.telemetry.trace` — hierarchical spans (job → workflow →
+  stage → superstep → worker) with cross-process propagation;
+* :mod:`repro.telemetry.metrics` — counters / gauges / histograms,
+  thread-safe and mergeable across processes;
+* :mod:`repro.telemetry.export` — Prometheus text format, JSON-lines
+  logging with trace correlation, trace-file writing.
+"""
+
+from .export import (
+    JsonLogFormatter,
+    configure_logging,
+    render_prometheus,
+    write_trace,
+)
+from .metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from .trace import (
+    NoopTracer,
+    RemoteSpan,
+    Span,
+    TraceContext,
+    Tracer,
+    current_span,
+    get_tracer,
+    remote_context,
+    set_tracer,
+    span,
+    start_remote_span,
+    use_tracer,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "JsonLogFormatter",
+    "MetricsRegistry",
+    "NoopTracer",
+    "NullRegistry",
+    "RemoteSpan",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "configure_logging",
+    "current_span",
+    "get_registry",
+    "get_tracer",
+    "remote_context",
+    "render_prometheus",
+    "set_registry",
+    "set_tracer",
+    "span",
+    "start_remote_span",
+    "use_registry",
+    "use_tracer",
+    "write_trace",
+]

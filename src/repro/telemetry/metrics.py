@@ -1,0 +1,446 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+Prometheus-shaped but stdlib-only.  A :class:`MetricsRegistry` holds
+named metric *families*; a family with ``labelnames`` fans out into
+labeled children via :meth:`~_MetricFamily.labels`, one time series per
+label tuple.  Everything is guarded by one registry lock — the hot
+paths touch a counter a few times per superstep, not per message, so
+contention is negligible.
+
+Three properties matter beyond the basics:
+
+* **mergeable** — a registry serialises to plain state
+  (:meth:`MetricsRegistry.dump_state`) and merges into another
+  (:meth:`MetricsRegistry.merge_state`): counters and histograms add,
+  gauges take the incoming value.  Worker processes keep a local
+  registry and ship :meth:`~MetricsRegistry.drain_state` deltas to the
+  master at each superstep barrier, so cross-process sums are exact.
+* **callback gauges** — a gauge may be backed by a zero-argument
+  callable sampled at scrape time (queue depth straight from SQLite).
+* **zero-cost off switch** — :class:`NullRegistry` implements the same
+  surface with no-ops and is the process default; instrumented code
+  calls ``get_registry().counter(...)`` unconditionally.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+#: Default histogram buckets (seconds): 1 ms … 60 s, Prometheus-style.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+    0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+LabelValues = Tuple[str, ...]
+
+
+class _Counter:
+    __slots__ = ("value",)
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def dump(self) -> float:
+        return self.value
+
+    def merge(self, state: float) -> None:
+        self.value += state
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class _Gauge:
+    __slots__ = ("value", "callback")
+
+    kind = "gauge"
+
+    def __init__(self, callback: Optional[Callable[[], float]] = None) -> None:
+        self.value = 0.0
+        self.callback = callback
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: Union[int, float] = 1) -> None:
+        self.value -= amount
+
+    def read(self) -> float:
+        if self.callback is not None:
+            return float(self.callback())
+        return self.value
+
+    def dump(self) -> float:
+        return self.read()
+
+    def merge(self, state: float) -> None:
+        self.value = state
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class _Histogram:
+    __slots__ = ("buckets", "counts", "total", "count")
+
+    kind = "histogram"
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self.buckets: Tuple[float, ...] = tuple(sorted(buckets))
+        # one slot per finite bucket plus the +Inf overflow slot
+        self.counts: List[int] = [0] * (len(self.buckets) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: Union[int, float]) -> None:
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.total += value
+        self.count += 1
+
+    def dump(self) -> Dict[str, Any]:
+        return {"counts": list(self.counts), "total": self.total, "count": self.count}
+
+    def merge(self, state: Dict[str, Any]) -> None:
+        counts = state["counts"]
+        if len(counts) != len(self.counts):
+            raise ValueError("histogram bucket layouts differ; cannot merge")
+        for index, value in enumerate(counts):
+            self.counts[index] += value
+        self.total += state["total"]
+        self.count += state["count"]
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.total = 0.0
+        self.count = 0
+
+
+_CHILD_TYPES = {"counter": _Counter, "gauge": _Gauge, "histogram": _Histogram}
+
+
+class _MetricFamily:
+    """One named metric plus its labeled children.
+
+    A family declared without ``labelnames`` proxies the metric methods
+    (``inc``/``set``/``observe``…) straight to its single unlabeled
+    child, so ``registry.counter("x").inc()`` and
+    ``registry.counter("x", labelnames=("job",)).labels("a").inc()``
+    read the same at the call site.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        kind: str,
+        labelnames: Tuple[str, ...],
+        lock: threading.Lock,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.help = help_text
+        self.kind = kind
+        self.labelnames = labelnames
+        self.buckets = tuple(sorted(buckets))
+        self._lock = lock
+        self._children: Dict[LabelValues, Any] = {}
+        if not labelnames and kind != "gauge":
+            # eager default child so a never-touched counter still renders as 0
+            self._children[()] = self._make_child()
+
+    def _make_child(self, callback: Optional[Callable[[], float]] = None) -> Any:
+        if self.kind == "histogram":
+            return _Histogram(self.buckets)
+        if self.kind == "gauge":
+            return _Gauge(callback)
+        return _Counter()
+
+    def labels(self, *values: Union[str, int, float]) -> Any:
+        """The child time series for this label-value tuple."""
+        if len(values) != len(self.labelnames):
+            raise ValueError(
+                f"{self.name} expects labels {self.labelnames}, got {values!r}"
+            )
+        key = tuple(str(value) for value in values)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._make_child()
+                self._children[key] = child
+        return child
+
+    def _default_child(self) -> Any:
+        child = self._children.get(())
+        if child is None:
+            if self.labelnames:
+                raise ValueError(f"{self.name} is labeled; call .labels() first")
+            child = self._make_child()
+            self._children[()] = child
+        return child
+
+    # -- unlabeled proxies ------------------------------------------------
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        self._default_child().inc(amount)
+
+    def dec(self, amount: Union[int, float] = 1) -> None:
+        self._default_child().dec(amount)
+
+    def set(self, value: Union[int, float]) -> None:
+        self._default_child().set(value)
+
+    def observe(self, value: Union[int, float]) -> None:
+        self._default_child().observe(value)
+
+    def read(self) -> Any:
+        child = self._default_child()
+        return child.read() if self.kind == "gauge" else child.dump()
+
+    # -- state ------------------------------------------------------------
+    def series(self) -> List[Tuple[LabelValues, Any]]:
+        """Label tuple + child pairs, sorted for stable rendering."""
+        with self._lock:
+            return sorted(self._children.items())
+
+
+class MetricsRegistry:
+    """A set of metric families addressed by name.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: the first
+    call declares the family, later calls return the same object (and
+    reject kind/label mismatches, which would indicate an
+    instrumentation bug).
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: Dict[str, _MetricFamily] = {}
+
+    def _family(
+        self,
+        name: str,
+        help_text: str,
+        kind: str,
+        labelnames: Sequence[str],
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> _MetricFamily:
+        labels = tuple(labelnames)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _MetricFamily(
+                    name, help_text, kind, labels, self._lock, buckets
+                )
+                self._families[name] = family
+                return family
+        if family.kind != kind:
+            raise ValueError(f"{name} already registered as a {family.kind}")
+        if family.labelnames != labels:
+            raise ValueError(
+                f"{name} already registered with labels {family.labelnames}"
+            )
+        return family
+
+    def counter(
+        self, name: str, help_text: str = "", labelnames: Sequence[str] = ()
+    ) -> _MetricFamily:
+        return self._family(name, help_text, "counter", labelnames)
+
+    def gauge(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: Sequence[str] = (),
+        callback: Optional[Callable[[], float]] = None,
+    ) -> _MetricFamily:
+        family = self._family(name, help_text, "gauge", labelnames)
+        if callback is not None:
+            if family.labelnames:
+                raise ValueError("callback gauges cannot be labeled")
+            with self._lock:
+                family._children[()] = family._make_child(callback)
+        return family
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> _MetricFamily:
+        return self._family(name, help_text, "histogram", labelnames, buckets)
+
+    def families(self) -> List[_MetricFamily]:
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
+
+    # ------------------------------------------------------------------
+    # cross-process state
+    # ------------------------------------------------------------------
+    def dump_state(self) -> Dict[str, Any]:
+        """Everything needed to reconstruct the values elsewhere.
+
+        Callback gauges are skipped — they are views over live local
+        objects and make no sense in another process.
+        """
+        state: Dict[str, Any] = {}
+        with self._lock:
+            for name, family in self._families.items():
+                series = {}
+                for key, child in family._children.items():
+                    if family.kind == "gauge" and child.callback is not None:
+                        continue
+                    series["\x1f".join(key)] = child.dump()
+                state[name] = {
+                    "kind": family.kind,
+                    "help": family.help,
+                    "labelnames": list(family.labelnames),
+                    "buckets": list(family.buckets),
+                    "series": series,
+                }
+        return state
+
+    def merge_state(self, state: Dict[str, Any]) -> None:
+        """Fold a :meth:`dump_state` payload into this registry."""
+        for name, family_state in state.items():
+            family = self._family(
+                name,
+                family_state.get("help", ""),
+                family_state["kind"],
+                family_state.get("labelnames", ()),
+                family_state.get("buckets", DEFAULT_BUCKETS),
+            )
+            for joined_key, child_state in family_state["series"].items():
+                key = tuple(joined_key.split("\x1f")) if joined_key else ()
+                if key and not family.labelnames:
+                    raise ValueError(f"{name}: labeled state for unlabeled family")
+                child = family.labels(*key) if key else family._default_child()
+                child.merge(child_state)
+
+    def drain_state(self) -> Dict[str, Any]:
+        """:meth:`dump_state`, then reset — an incremental delta.
+
+        Workers call this at every superstep barrier so the same count
+        is never shipped twice.
+        """
+        state = self.dump_state()
+        with self._lock:
+            for family in self._families.values():
+                for child in family._children.values():
+                    if family.kind == "gauge" and child.callback is not None:
+                        continue
+                    child.reset()
+        return state
+
+
+class NullRegistry:
+    """The default registry: accepts everything, records nothing."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self._family = _NullFamily()
+
+    def counter(self, name: str, help_text: str = "", labelnames: Sequence[str] = ()):
+        return self._family
+
+    def gauge(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: Sequence[str] = (),
+        callback: Optional[Callable[[], float]] = None,
+    ):
+        return self._family
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        return self._family
+
+    def families(self) -> List[Any]:
+        return []
+
+    def dump_state(self) -> Dict[str, Any]:
+        return {}
+
+    def merge_state(self, state: Dict[str, Any]) -> None:
+        pass
+
+    def drain_state(self) -> Dict[str, Any]:
+        return {}
+
+
+class _NullFamily:
+    """Shared inert family/child for :class:`NullRegistry`."""
+
+    __slots__ = ()
+
+    def labels(self, *values: Any) -> "_NullFamily":
+        return self
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        pass
+
+    def dec(self, amount: Union[int, float] = 1) -> None:
+        pass
+
+    def set(self, value: Union[int, float]) -> None:
+        pass
+
+    def observe(self, value: Union[int, float]) -> None:
+        pass
+
+    def read(self) -> float:
+        return 0.0
+
+
+_NULL_REGISTRY = NullRegistry()
+_REGISTRY: Union[MetricsRegistry, NullRegistry] = _NULL_REGISTRY
+
+
+def get_registry() -> Union[MetricsRegistry, NullRegistry]:
+    """The process-wide active registry (the null registry by default)."""
+    return _REGISTRY
+
+
+def set_registry(registry: Optional[Union[MetricsRegistry, NullRegistry]]):
+    """Install ``registry`` globally (None restores the null default).
+
+    Returns the previously installed registry so callers can restore it.
+    """
+    global _REGISTRY
+    previous = _REGISTRY
+    _REGISTRY = registry if registry is not None else _NULL_REGISTRY
+    return previous
+
+
+@contextmanager
+def use_registry(
+    registry: Union[MetricsRegistry, NullRegistry]
+) -> Iterator[Union[MetricsRegistry, NullRegistry]]:
+    """Scoped :func:`set_registry`: restores the previous one on exit."""
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

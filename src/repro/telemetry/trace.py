@@ -1,0 +1,322 @@
+"""Hierarchical spans: the tracing half of the telemetry plane.
+
+A :class:`Span` is one timed node in a tree — a service job, a workflow
+run, a stage, a superstep, or one worker's share of a superstep.  Spans
+record wall-clock start time, wall and CPU duration, free-form
+attributes, and their children; a finished tree serialises to plain
+JSON (:meth:`Span.to_dict`), which is what ``GET /jobs/<id>/trace`` and
+``repro-assemble --trace-out`` serve.
+
+The active span is tracked per thread/context through a
+:class:`contextvars.ContextVar`, so concurrently running service jobs
+(one per worker thread) each grow their own independent tree without
+any locking on the hot path.
+
+Two tracers exist:
+
+* :class:`Tracer` — records real spans;
+* :class:`NoopTracer` — the **default**: :func:`span` hands back a
+  shared do-nothing context manager, so an uninstrumented run pays one
+  attribute lookup and one method call per would-be span and allocates
+  nothing (the zero-cost-when-disabled contract asserted by
+  ``benchmarks/bench_telemetry_overhead.py``).
+
+Cross-process propagation: a span cannot straddle a ``fork``, so the
+multiprocess backend ships ``(trace_id, parent_span_id)`` — obtained
+from :func:`remote_context` — to its worker processes inside the
+existing superstep command, the workers time their compute with
+:func:`start_remote_span` (which builds a plain span *dict*, no tracer
+needed), and the master merges the returned dicts into the superstep
+span at the barrier via :meth:`Span.add_child`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+#: The span currently being recorded in this thread/context (if any).
+_ACTIVE_SPAN: "ContextVar[Optional[Span]]" = ContextVar("repro-active-span", default=None)
+
+
+def _new_id(nbytes: int) -> str:
+    return os.urandom(nbytes).hex()
+
+
+class Span:
+    """One node of a trace tree.
+
+    Wall duration comes from ``time.perf_counter`` (monotonic,
+    sub-microsecond), CPU time from ``time.process_time``; the absolute
+    ``start_time`` is plain epoch wall clock so traces can be lined up
+    with logs.
+    """
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "start_time",
+        "duration_seconds",
+        "cpu_seconds",
+        "status",
+        "attributes",
+        "children",
+        "_perf_start",
+        "_cpu_start",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: Optional[str] = None,
+        parent_id: Optional[str] = None,
+        attributes: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.name = name
+        self.trace_id = trace_id or _new_id(16)
+        self.span_id = _new_id(8)
+        self.parent_id = parent_id
+        self.start_time = time.time()
+        self.duration_seconds: Optional[float] = None
+        self.cpu_seconds: Optional[float] = None
+        self.status = "ok"
+        self.attributes: Dict[str, Any] = dict(attributes) if attributes else {}
+        self.children: List[Union["Span", Dict[str, Any]]] = []
+        self._perf_start = time.perf_counter()
+        self._cpu_start = time.process_time()
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def set(self, **attributes: Any) -> "Span":
+        """Attach (or overwrite) attributes; returns self for chaining."""
+        self.attributes.update(attributes)
+        return self
+
+    def add_child(self, child: Union["Span", Dict[str, Any]]) -> None:
+        """Adopt a child — a :class:`Span` or an already-serialised dict.
+
+        Dict children are how remote spans (recorded in a worker
+        process, shipped over a queue) merge into the local tree.
+        """
+        self.children.append(child)
+
+    def finish(self, status: Optional[str] = None) -> "Span":
+        """Stamp the durations; idempotent (the first finish wins)."""
+        if self.duration_seconds is None:
+            self.duration_seconds = time.perf_counter() - self._perf_start
+            self.cpu_seconds = time.process_time() - self._cpu_start
+        if status is not None:
+            self.status = status
+        return self
+
+    @property
+    def finished(self) -> bool:
+        return self.duration_seconds is not None
+
+    # ------------------------------------------------------------------
+    # serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """The span and its subtree as plain JSON-ready data."""
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_time": self.start_time,
+            "duration_seconds": self.duration_seconds,
+            "cpu_seconds": self.cpu_seconds,
+            "status": self.status,
+            "attributes": dict(self.attributes),
+            "children": [
+                child.to_dict() if isinstance(child, Span) else child
+                for child in self.children
+            ],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, id={self.span_id}, "
+            f"children={len(self.children)}, status={self.status})"
+        )
+
+
+class Tracer:
+    """Records spans into per-context trees.
+
+    ``tracer.span(...)`` is a context manager yielding the new
+    :class:`Span`; nesting follows the runtime call structure through a
+    context variable.  An exception inside a span marks it
+    ``status="error"`` (with the exception repr as an attribute) and
+    propagates.
+    """
+
+    enabled = True
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+        parent = _ACTIVE_SPAN.get()
+        entry = Span(
+            name,
+            trace_id=parent.trace_id if parent is not None else None,
+            parent_id=parent.span_id if parent is not None else None,
+            attributes=attributes or None,
+        )
+        if parent is not None:
+            parent.add_child(entry)
+        token = _ACTIVE_SPAN.set(entry)
+        try:
+            yield entry
+        except BaseException as exc:
+            entry.set(error=repr(exc))
+            entry.finish(status="error")
+            raise
+        finally:
+            _ACTIVE_SPAN.reset(token)
+            entry.finish()
+
+    def current_span(self) -> Optional[Span]:
+        return _ACTIVE_SPAN.get()
+
+
+class _NoopSpan:
+    """Shared inert stand-in yielded by the disabled tracer."""
+
+    __slots__ = ()
+    name = ""
+    trace_id = None
+    span_id = None
+    parent_id = None
+    attributes: Dict[str, Any] = {}
+    children: List[Any] = []
+    status = "ok"
+    duration_seconds = None
+    cpu_seconds = None
+    finished = False
+
+    def set(self, **attributes: Any) -> "_NoopSpan":
+        return self
+
+    def add_child(self, child: Any) -> None:
+        pass
+
+    def finish(self, status: Optional[str] = None) -> "_NoopSpan":
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {}
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class NoopTracer:
+    """The default tracer: every span is the shared no-op instance."""
+
+    enabled = False
+
+    def span(self, name: str, **attributes: Any) -> _NoopSpan:
+        return _NOOP_SPAN
+
+    def current_span(self) -> None:
+        return None
+
+
+_NOOP_TRACER = NoopTracer()
+_TRACER: Union[Tracer, NoopTracer] = _NOOP_TRACER
+
+
+def get_tracer() -> Union[Tracer, NoopTracer]:
+    """The process-wide active tracer (the no-op tracer by default)."""
+    return _TRACER
+
+
+def set_tracer(tracer: Optional[Union[Tracer, NoopTracer]]):
+    """Install ``tracer`` globally (None restores the no-op default).
+
+    Returns the previously installed tracer so callers can restore it.
+    """
+    global _TRACER
+    previous = _TRACER
+    _TRACER = tracer if tracer is not None else _NOOP_TRACER
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: Union[Tracer, NoopTracer]) -> Iterator[Union[Tracer, NoopTracer]]:
+    """Scoped :func:`set_tracer`: restores the previous tracer on exit."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
+def span(name: str, **attributes: Any):
+    """``get_tracer().span(...)`` — the one-liner used by the hot paths."""
+    return _TRACER.span(name, **attributes)
+
+
+def current_span() -> Optional[Span]:
+    return _TRACER.current_span()
+
+
+# ----------------------------------------------------------------------
+# cross-process propagation
+# ----------------------------------------------------------------------
+#: What crosses a process boundary: ``(trace_id, parent_span_id)``.
+TraceContext = Tuple[str, str]
+
+
+def remote_context() -> Optional[TraceContext]:
+    """The current span's identity, ready to ship to a worker process.
+
+    None when tracing is disabled or no span is active — workers treat
+    a None context as "telemetry off" and skip all recording.
+    """
+    active = _TRACER.current_span()
+    if active is None:
+        return None
+    return (active.trace_id, active.span_id)
+
+
+class RemoteSpan:
+    """A span recorded *without* a tracer, for worker-process code.
+
+    Worker processes own no span tree: they time one unit of work
+    against a shipped :data:`TraceContext` and return a plain dict that
+    the master adopts via :meth:`Span.add_child`.
+    """
+
+    __slots__ = ("_span",)
+
+    def __init__(self, name: str, context: TraceContext, **attributes: Any) -> None:
+        trace_id, parent_id = context
+        self._span = Span(
+            name, trace_id=trace_id, parent_id=parent_id, attributes=attributes or None
+        )
+
+    def finish(self, **attributes: Any) -> Dict[str, Any]:
+        """Stop the clock and serialise; returns the shippable dict."""
+        if attributes:
+            self._span.set(**attributes)
+        return self._span.finish().to_dict()
+
+
+def start_remote_span(
+    name: str, context: TraceContext, **attributes: Any
+) -> RemoteSpan:
+    """Begin timing a remote unit of work under ``context``."""
+    return RemoteSpan(name, context, **attributes)

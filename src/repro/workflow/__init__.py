@@ -25,7 +25,13 @@ two in-tree workflows; every new scenario is expected to plug in here.
 from .builder import Workflow
 from .checkpoint import CHECKPOINT_FORMAT, Checkpoint, CheckpointStore
 from .executor import ConversionResult, ConvertFunction, StageExecutor
-from .runner import WorkflowContext, WorkflowHooks, WorkflowRunner
+from .runner import (
+    EventSubscriber,
+    WorkflowContext,
+    WorkflowEvent,
+    WorkflowHooks,
+    WorkflowRunner,
+)
 from .stage import BranchStage, ConvertStage, MapReduceStage, PregelStage, Stage
 
 __all__ = [
@@ -35,8 +41,10 @@ __all__ = [
     "CheckpointStore",
     "ConversionResult",
     "ConvertFunction",
+    "EventSubscriber",
     "StageExecutor",
     "WorkflowContext",
+    "WorkflowEvent",
     "WorkflowHooks",
     "WorkflowRunner",
     "BranchStage",

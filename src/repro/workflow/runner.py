@@ -28,10 +28,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..errors import CheckpointError, WorkflowError
 from ..pregel.metrics import PipelineMetrics
+from ..telemetry import get_registry, span
 from .builder import Workflow
 from .checkpoint import Checkpoint, CheckpointStore, state_fingerprint
 from .executor import StageExecutor
@@ -39,8 +40,36 @@ from .stage import Stage
 
 
 @dataclass
+class WorkflowEvent:
+    """One lifecycle event of a workflow run.
+
+    The runner emits these to every subscriber
+    (:meth:`WorkflowRunner.subscribe`) as the run progresses.  ``kind``
+    is one of ``stage-start`` / ``stage-end`` / ``stage-skipped`` /
+    ``checkpoint`` / ``progress``; the remaining fields are populated
+    per kind (``seconds`` only on ``stage-end``, ``path`` only on
+    ``checkpoint``, ``message`` only on ``progress``).  Subscriber
+    exceptions abort the run — by design, so observers can cancel a
+    workflow at an exact stage boundary (the job service's cooperative
+    cancel works this way).
+    """
+
+    kind: str
+    stage: Optional[Stage] = None
+    index: int = 0
+    total: int = 0
+    seconds: float = 0.0
+    path: Any = None
+    message: str = ""
+
+
+#: A workflow-event observer.
+EventSubscriber = Callable[[WorkflowEvent], None]
+
+
+@dataclass
 class WorkflowHooks:
-    """Optional observers of a workflow run.
+    """Optional observers of a workflow run (legacy callback surface).
 
     ``on_stage_start(stage, index, total)`` and
     ``on_stage_end(stage, index, total, seconds)`` fire around every
@@ -51,6 +80,13 @@ class WorkflowHooks:
     file is written; ``on_progress(message)`` for free-form progress
     events.  Exceptions raised by hooks abort the run — by design, so
     tests can inject crashes at exact stage boundaries.
+
+    Since the telemetry plane landed, hooks are implemented as a
+    :class:`WorkflowEvent` subscriber: the runner emits events, and
+    :meth:`handle_event` dispatches each to the matching legacy
+    callback.  Existing hook-based code keeps working unchanged; new
+    observers should subscribe to events directly
+    (:meth:`WorkflowRunner.subscribe`).
     """
 
     on_stage_start: Optional[Callable[[Stage, int, int], None]] = None
@@ -62,6 +98,24 @@ class WorkflowHooks:
     def progress(self, message: str) -> None:
         if self.on_progress is not None:
             self.on_progress(message)
+
+    def handle_event(self, event: WorkflowEvent) -> None:
+        """Dispatch one runner event to the matching legacy callback."""
+        if event.kind == "stage-start":
+            if self.on_stage_start is not None:
+                self.on_stage_start(event.stage, event.index, event.total)
+        elif event.kind == "stage-end":
+            if self.on_stage_end is not None:
+                self.on_stage_end(event.stage, event.index, event.total, event.seconds)
+        elif event.kind == "stage-skipped":
+            if self.on_stage_skipped is not None:
+                self.on_stage_skipped(event.stage, event.index, event.total)
+        elif event.kind == "checkpoint":
+            if self.on_checkpoint is not None:
+                self.on_checkpoint(event.stage, event.path)
+        elif event.kind == "progress":
+            if self.on_progress is not None:
+                self.on_progress(event.message)
 
 
 class WorkflowContext:
@@ -156,6 +210,10 @@ class WorkflowRunner:
                 columnar_messages=columnar_messages,
             )
         self.hooks = hooks or WorkflowHooks()
+        # The legacy hooks object is simply the first event subscriber;
+        # everything it observes arrives through the same channel as any
+        # other subscriber.
+        self._subscribers: List[EventSubscriber] = [self.hooks.handle_event]
         self._store = CheckpointStore(checkpoint_dir) if checkpoint_dir else None
         self._override_executors: Dict[Tuple[str, int], StageExecutor] = {}
         self._current_index = 0
@@ -173,6 +231,24 @@ class WorkflowRunner:
     @property
     def checkpoint_dir(self):
         return self._store.directory if self._store is not None else None
+
+    # ------------------------------------------------------------------
+    # events
+    # ------------------------------------------------------------------
+    def subscribe(self, subscriber: EventSubscriber) -> EventSubscriber:
+        """Register an observer of :class:`WorkflowEvent` emissions.
+
+        Subscribers run synchronously in registration order (the legacy
+        hooks object is always first); an exception from any subscriber
+        aborts the run.  Returns ``subscriber`` so it can be used as a
+        decorator.
+        """
+        self._subscribers.append(subscriber)
+        return subscriber
+
+    def _emit(self, event: WorkflowEvent) -> None:
+        for subscriber in self._subscribers:
+            subscriber(event)
 
     # ------------------------------------------------------------------
     # public entry points
@@ -223,6 +299,11 @@ class WorkflowRunner:
         names = [stage.name for stage in order]
         ctx = WorkflowContext(self, self._executor, dict(state or {}))
         self._total_stages = len(order)
+        registry = get_registry()
+        checkpoint_seconds = registry.histogram(
+            "repro_checkpoint_write_seconds",
+            "Seconds spent writing workflow checkpoints.",
+        )
 
         # The seed fingerprint ties checkpoints to this run's inputs:
         # stage names alone cannot tell two runs of the same workflow
@@ -234,49 +315,72 @@ class WorkflowRunner:
             else None
         )
 
-        completed = 0
-        if resume:
-            completed, restored = self._load_resume_point(
-                workflow, names, fingerprint, require_checkpoint
-            )
-            if restored is not None:
-                ctx.state = restored.state
-                # Checkpoints written by the continued run must keep
-                # the original run's fingerprint, whatever seed state
-                # this call was (or was not) given.
-                fingerprint = restored.seed_fingerprint
-                self._rebind_metrics(restored.metrics)
-                for index in range(completed):
-                    if self.hooks.on_stage_skipped is not None:
-                        self.hooks.on_stage_skipped(order[index], index, len(order))
-                self.hooks.progress(
-                    f"resumed workflow {workflow.name!r}: skipping "
-                    f"{completed}/{len(order)} completed stages"
+        with span(
+            f"workflow:{workflow.name}", stages=len(order), resume=resume
+        ) as run_span:
+            completed = 0
+            if resume:
+                completed, restored = self._load_resume_point(
+                    workflow, names, fingerprint, require_checkpoint
                 )
-
-        if self._store is not None and completed == 0:
-            # Starting from stage 0 into a directory with leftovers: a
-            # previous run's higher-numbered checkpoints would outlive
-            # this run's overwrites and shadow it on a later resume.
-            self._store.clear(workflow.name)
-
-        for index in range(completed, len(order)):
-            stage = order[index]
-            self._current_index = index
-            self._execute(stage, ctx)
-            if self._store is not None:
-                path = self._store.save(
-                    Checkpoint(
-                        workflow=workflow.name,
-                        stage_names=names,
-                        completed=index + 1,
-                        state=ctx.state,
-                        metrics=self._executor.pipeline_metrics,
-                        seed_fingerprint=fingerprint,
+                if restored is not None:
+                    ctx.state = restored.state
+                    # Checkpoints written by the continued run must keep
+                    # the original run's fingerprint, whatever seed state
+                    # this call was (or was not) given.
+                    fingerprint = restored.seed_fingerprint
+                    self._rebind_metrics(restored.metrics)
+                    for index in range(completed):
+                        self._emit(
+                            WorkflowEvent(
+                                "stage-skipped",
+                                stage=order[index],
+                                index=index,
+                                total=len(order),
+                            )
+                        )
+                    self._emit(
+                        WorkflowEvent(
+                            "progress",
+                            message=(
+                                f"resumed workflow {workflow.name!r}: skipping "
+                                f"{completed}/{len(order)} completed stages"
+                            ),
+                        )
                     )
-                )
-                if self.hooks.on_checkpoint is not None:
-                    self.hooks.on_checkpoint(stage, path)
+                    run_span.set(resumed_from=completed)
+
+            if self._store is not None and completed == 0:
+                # Starting from stage 0 into a directory with leftovers: a
+                # previous run's higher-numbered checkpoints would outlive
+                # this run's overwrites and shadow it on a later resume.
+                self._store.clear(workflow.name)
+
+            for index in range(completed, len(order)):
+                stage = order[index]
+                self._current_index = index
+                self._execute(stage, ctx)
+                if self._store is not None:
+                    save_started = time.perf_counter()
+                    path = self._store.save(
+                        Checkpoint(
+                            workflow=workflow.name,
+                            stage_names=names,
+                            completed=index + 1,
+                            state=ctx.state,
+                            metrics=self._executor.pipeline_metrics,
+                            seed_fingerprint=fingerprint,
+                        )
+                    )
+                    checkpoint_seconds.observe(time.perf_counter() - save_started)
+                    self._emit(
+                        WorkflowEvent("checkpoint", stage=stage, path=path)
+                    )
+        registry.counter(
+            "repro_workflow_runs_total",
+            "Completed workflow runs, by workflow.",
+            labelnames=("workflow",),
+        ).labels(workflow.name).inc()
         return ctx
 
     def _load_resume_point(
@@ -319,8 +423,7 @@ class WorkflowRunner:
 
     def _execute(self, stage: Stage, ctx: WorkflowContext) -> None:
         index, total = self._current_index, self._total_stages
-        if self.hooks.on_stage_start is not None:
-            self.hooks.on_stage_start(stage, index, total)
+        self._emit(WorkflowEvent("stage-start", stage=stage, index=index, total=total))
         # A stage's own override wins; otherwise the enclosing stage's
         # (a BranchStage pinned to a backend pins its whole sub-path).
         inherited_backend, inherited_workers = self._active_override
@@ -333,13 +436,22 @@ class WorkflowRunner:
         self._active_override = (backend, num_workers)
         started = time.perf_counter()
         try:
-            stage.run(ctx)
+            with span(f"stage:{stage.name}", index=index):
+                stage.run(ctx)
         finally:
             ctx.executor = previous_executor
             self._active_override = previous_override
         elapsed = time.perf_counter() - started
-        if self.hooks.on_stage_end is not None:
-            self.hooks.on_stage_end(stage, index, total, elapsed)
+        get_registry().histogram(
+            "repro_workflow_stage_seconds",
+            "Wall-clock seconds per workflow stage.",
+            labelnames=("stage",),
+        ).labels(stage.name).observe(elapsed)
+        self._emit(
+            WorkflowEvent(
+                "stage-end", stage=stage, index=index, total=total, seconds=elapsed
+            )
+        )
 
     def _executor_for(
         self, backend: Optional[str], num_workers: Optional[int]

@@ -1,0 +1,141 @@
+"""The service's observability endpoints: ``/metrics`` and ``/jobs/<id>/trace``.
+
+Scrapes a live service over HTTP (the same path a Prometheus collector
+takes), checks the exposition text is well-formed and carries the core
+series, and walks a finished job's span tree.
+"""
+
+from __future__ import annotations
+
+import re
+from urllib import request
+
+import pytest
+
+from repro.errors import ServiceClientError
+from repro.service.api import PROMETHEUS_CONTENT_TYPE
+from repro.service.client import ServiceClient
+
+#: One sample line: ``name{labels} value`` with a finite or int value.
+_SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.e+-]+$|"
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? \+Inf$"
+)
+
+
+@pytest.fixture()
+def client(service) -> ServiceClient:
+    return ServiceClient(service.base_url)
+
+
+def _assert_well_formed(text: str) -> None:
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        assert _SAMPLE_LINE.match(line), f"malformed sample line: {line!r}"
+
+
+def test_metrics_endpoint_scrapes_before_any_job(service, client):
+    response = request.urlopen(service.base_url + "/metrics", timeout=10)
+    assert response.headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+    text = response.read().decode("utf-8")
+    _assert_well_formed(text)
+    # Queue gauges sample the store at scrape time, so they exist (as
+    # zero) before any job does; the scrape itself is the first HTTP
+    # request metric.
+    assert "repro_jobs_queued 0" in text
+    assert "repro_jobs_running 0" in text
+    # A request's own metrics land after its response is written, so
+    # the *second* scrape sees the first one.
+    text = client.metrics_text()
+    assert "# TYPE repro_http_request_seconds histogram" in text
+    assert 'repro_http_requests_total{method="GET",route="/metrics",status="200"} 1' in text
+
+
+def test_metrics_carry_core_series_after_a_job(client, tiny_spec):
+    job = client.submit(tiny_spec)
+    client.wait(job["id"], timeout=120)
+    client.status(job["id"])  # one labeled /jobs/<id> request
+
+    text = client.metrics_text()
+    _assert_well_formed(text)
+    for needle in (
+        "# TYPE repro_pregel_messages_total counter",
+        'repro_pregel_messages_total{job="',
+        'repro_pregel_worker_messages_total{job="',
+        "# TYPE repro_pregel_superstep_seconds histogram",
+        "# TYPE repro_claim_latency_seconds histogram",
+        "repro_claim_latency_seconds_count 1",
+        "repro_jobs_submitted_total 1",
+        'repro_jobs_completed_total{state="succeeded"} 1',
+        'repro_workflow_stage_seconds_count{stage="',
+        "# TYPE repro_checkpoint_write_seconds histogram",
+        'repro_http_requests_total{method="GET",route="/jobs/<id>",status="200"}',
+        'repro_http_request_seconds_bucket{method="POST",route="/jobs",le="+Inf"} 1',
+    ):
+        assert needle in text, f"missing from /metrics: {needle}"
+
+
+def test_unknown_routes_share_one_bounded_metric_label(service, client):
+    for path in ("/nope", "/jobs/feedfacefeedfacefeedfacefeedface/nope"):
+        with pytest.raises(ServiceClientError):
+            client._request("GET", path)
+    text = client.metrics_text()
+    assert 'route="<other>"' in text
+    assert 'route="/jobs/<id><other>"' in text
+    assert "/nope" not in text
+
+
+def test_trace_endpoint_returns_nested_span_tree(client, tiny_spec):
+    job = client.submit(tiny_spec)
+    client.wait(job["id"], timeout=120)
+
+    payload = client.trace(job["id"])
+    assert set(payload) == {"generated_at", "trace"}
+    root = payload["trace"]
+    assert root["name"] == f"job:{job['id']}"
+    assert root["attributes"]["outcome"] == "succeeded"
+    assert root["status"] == "ok"
+
+    (workflow,) = root["children"]
+    assert workflow["name"] == "workflow:ppa-assembly"
+    stage_names = [child["name"] for child in workflow["children"]]
+    assert all(name.startswith("stage:") for name in stage_names)
+    assert "stage:dbg-construction" in stage_names
+
+    # Down the tree: stages hold pregel jobs hold supersteps hold workers.
+    labeling = next(
+        child for child in workflow["children"]
+        if child["name"] == "stage:contig-labeling/kmers"
+    )
+    pregel = labeling["children"][0]
+    assert pregel["name"].startswith("pregel:")
+    superstep = pregel["children"][0]
+    assert superstep["name"] == "superstep-0"
+    assert superstep["attributes"]["messages_sent"] >= 0
+    workers = [child["name"] for child in superstep["children"]]
+    assert workers == ["worker-0", "worker-1"]  # tiny_spec: num_workers=2
+
+    # One trace id everywhere.
+    def walk(node):
+        assert node["trace_id"] == root["trace_id"]
+        for child in node["children"]:
+            walk(child)
+
+    walk(root)
+
+
+def test_trace_of_unknown_job_is_404(client):
+    with pytest.raises(ServiceClientError) as info:
+        client.trace("0" * 32)
+    assert info.value.status == 404
+
+
+def test_trace_before_finish_is_409(service, client, tiny_spec):
+    # Park the pool so the submitted job stays queued deterministically.
+    service.pool.stop(wait=True)
+    job = client.submit(tiny_spec)
+    with pytest.raises(ServiceClientError) as info:
+        client.trace(job["id"])
+    assert info.value.status == 409
+    assert "no trace yet" in str(info.value)

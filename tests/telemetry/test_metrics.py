@@ -1,0 +1,208 @@
+"""Unit tests for metric families, cross-process state, and rendering."""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import pytest
+
+from repro.telemetry import (
+    DEFAULT_BUCKETS,
+    JsonLogFormatter,
+    MetricsRegistry,
+    NullRegistry,
+    Tracer,
+    get_registry,
+    render_prometheus,
+    use_registry,
+    use_tracer,
+)
+
+
+# ----------------------------------------------------------------------
+# primitives
+# ----------------------------------------------------------------------
+def test_counter_goes_up_and_rejects_negative():
+    registry = MetricsRegistry()
+    counter = registry.counter("c_total", "help")
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.read() == 3.5
+    with pytest.raises(ValueError, match="only go up"):
+        counter.inc(-1)
+
+
+def test_gauge_set_inc_dec_and_callback():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("g", "help")
+    gauge.set(10)
+    gauge.inc(5)
+    gauge.dec(1)
+    assert gauge.read() == 14
+    sampled = registry.gauge("sampled", "help", callback=lambda: 42)
+    assert sampled.read() == 42
+
+
+def test_histogram_buckets_sum_and_count():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("h_seconds", "help", buckets=(0.1, 1.0))
+    for value in (0.05, 0.5, 2.0):
+        histogram.observe(value)
+    state = histogram.read()
+    assert state["counts"] == [1, 1, 1]  # (-inf,0.1], (0.1,1], (1,+inf)
+    assert state["count"] == 3
+    assert state["total"] == pytest.approx(2.55)
+
+
+def test_labeled_series_are_separate_children():
+    registry = MetricsRegistry()
+    family = registry.counter("jobs_total", "help", labelnames=("job",))
+    family.labels("a").inc()
+    family.labels("a").inc()
+    family.labels("b").inc(5)
+    assert family.labels("a").value == 2
+    assert family.labels("b").value == 5
+    with pytest.raises(ValueError, match="expects labels"):
+        family.labels("a", "extra")
+    with pytest.raises(ValueError, match="call .labels"):
+        family.inc()
+
+
+def test_registry_rejects_kind_and_label_mismatch():
+    registry = MetricsRegistry()
+    registry.counter("x_total", "help")
+    with pytest.raises(ValueError):
+        registry.gauge("x_total", "help")
+    registry.counter("y_total", "help", labelnames=("job",))
+    with pytest.raises(ValueError):
+        registry.counter("y_total", "help", labelnames=("worker",))
+
+
+def test_get_or_create_returns_same_family():
+    registry = MetricsRegistry()
+    first = registry.counter("same_total", "help")
+    second = registry.counter("same_total", "help")
+    assert first is second
+
+
+# ----------------------------------------------------------------------
+# cross-process state (what the multiprocess backend ships)
+# ----------------------------------------------------------------------
+def test_merge_state_sums_counters_and_histograms():
+    master, worker = MetricsRegistry(), MetricsRegistry()
+    master.counter("m_total", "help", labelnames=("job",)).labels("j").inc(10)
+    worker.counter("m_total", "help", labelnames=("job",)).labels("j").inc(3)
+    worker.histogram("h_seconds", "help", buckets=(1.0,)).observe(0.5)
+
+    master.merge_state(worker.dump_state())
+    assert master.counter("m_total", "help", labelnames=("job",)).labels("j").value == 13
+    merged = master.histogram("h_seconds", "help", buckets=(1.0,)).read()
+    assert merged == {"counts": [1, 0], "total": 0.5, "count": 1}
+
+
+def test_drain_state_resets_so_deltas_never_double_count():
+    worker = MetricsRegistry()
+    worker.counter("d_total", "help").inc(4)
+    first = worker.dump_state()
+    assert worker.drain_state() == first
+    assert worker.counter("d_total", "help").read() == 0
+
+    master = MetricsRegistry()
+    master.merge_state(first)
+    master.merge_state(worker.drain_state())  # empty delta: no change
+    assert master.counter("d_total", "help").read() == 4
+
+
+def test_callback_gauges_stay_local_to_their_process():
+    registry = MetricsRegistry()
+    registry.gauge("sampled", "help", callback=lambda: 7)
+    # The family declaration ships, but no sampled value does: the
+    # callback closes over process-local state and cannot be merged.
+    assert registry.dump_state()["sampled"]["series"] == {}
+
+
+# ----------------------------------------------------------------------
+# defaults and scoping
+# ----------------------------------------------------------------------
+def test_default_registry_is_null_and_absorbs_everything():
+    registry = get_registry()
+    assert isinstance(registry, NullRegistry)
+    assert registry.enabled is False
+    registry.counter("ignored_total", "help").inc()
+    registry.histogram("ignored_seconds", "help").labels("a").observe(1)
+    registry.gauge("ignored", "help").set(3)
+
+
+def test_use_registry_restores_previous():
+    with use_registry(MetricsRegistry()) as registry:
+        assert get_registry() is registry
+        registry.counter("scoped_total", "help").inc()
+    assert isinstance(get_registry(), NullRegistry)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text rendering
+# ----------------------------------------------------------------------
+def test_render_prometheus_counter_gauge_and_escaping():
+    registry = MetricsRegistry()
+    registry.counter("jobs_total", "Jobs.", labelnames=("state",)).labels(
+        'we"ird\\nam\ne'
+    ).inc(2)
+    registry.gauge("depth", "Depth.").set(1.5)
+    text = render_prometheus(registry)
+    assert "# HELP jobs_total Jobs.\n" in text
+    assert "# TYPE jobs_total counter\n" in text
+    assert 'jobs_total{state="we\\"ird\\\\nam\\ne"} 2\n' in text
+    assert "# TYPE depth gauge\n" in text
+    assert "depth 1.5\n" in text
+
+
+def test_render_prometheus_histogram_is_cumulative_with_inf():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("lat_seconds", "Latency.", buckets=(0.1, 1.0))
+    for value in (0.05, 0.5, 0.7, 5.0):
+        histogram.observe(value)
+    text = render_prometheus(registry)
+    assert 'lat_seconds_bucket{le="0.1"} 1\n' in text
+    assert 'lat_seconds_bucket{le="1"} 3\n' in text
+    assert 'lat_seconds_bucket{le="+Inf"} 4\n' in text
+    assert "lat_seconds_count 4\n" in text
+    assert "lat_seconds_sum 6.25\n" in text
+
+
+def test_untouched_unlabeled_counter_renders_as_zero():
+    registry = MetricsRegistry()
+    registry.counter("quiet_total", "help")
+    assert "quiet_total 0\n" in render_prometheus(registry)
+
+
+def test_default_buckets_are_sorted_and_cover_subsecond_to_minute():
+    assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+    assert DEFAULT_BUCKETS[0] <= 0.001
+    assert DEFAULT_BUCKETS[-1] >= 60
+
+
+# ----------------------------------------------------------------------
+# JSON log lines
+# ----------------------------------------------------------------------
+def test_json_log_formatter_emits_trace_correlated_objects():
+    formatter = JsonLogFormatter()
+    record = logging.LogRecord(
+        "repro.test", logging.INFO, __file__, 1, "hello %s", ("world",), None
+    )
+    record.context = {"job_id": "abc"}
+    tracer = Tracer()
+    with use_tracer(tracer):
+        with tracer.span("active") as active:
+            entry = json.loads(formatter.format(record))
+    assert entry["message"] == "hello world"
+    assert entry["level"] == "INFO"
+    assert entry["logger"] == "repro.test"
+    assert entry["job_id"] == "abc"
+    assert entry["trace_id"] == active.trace_id
+    assert entry["span_id"] == active.span_id
+
+    # Without an active span the ids are simply absent.
+    entry = json.loads(formatter.format(record))
+    assert "trace_id" not in entry

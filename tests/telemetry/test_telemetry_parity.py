@@ -1,0 +1,108 @@
+"""Serial vs multiprocess telemetry parity.
+
+The two execution backends must be observationally identical: the same
+job traced on either produces the same span-tree *shape* (stage,
+superstep and worker nesting), and the per-worker message counters sum
+to exactly the same totals — the multiprocess merge at the superstep
+barrier loses nothing and double-counts nothing.
+"""
+
+from __future__ import annotations
+
+from repro.pregel import PregelEngine, PregelJob, Vertex
+from repro.telemetry import MetricsRegistry, Tracer, use_registry, use_tracer
+
+
+class RingVertex(Vertex):
+    """Passes a token around a ring for a fixed number of supersteps."""
+
+    def compute(self, messages, ctx):
+        if ctx.superstep >= 3:
+            self.vote_to_halt()
+            return
+        for target in self.edges:
+            ctx.send(target, self.vertex_id)
+
+
+def _ring_job(size: int = 40) -> PregelJob:
+    return PregelJob(
+        name="ring",
+        vertices=[RingVertex(i, value=0, edges=[(i + 1) % size]) for i in range(size)],
+    )
+
+
+def _shape(tree: dict) -> list:
+    """The tree as nested names only — ids and timings stripped."""
+    return [tree["name"], [_shape(child) for child in tree["children"]]]
+
+
+def _run_traced(backend: str):
+    tracer, registry = Tracer(), MetricsRegistry()
+    with use_tracer(tracer), use_registry(registry):
+        with tracer.span("root") as root:
+            result = PregelEngine(
+                num_workers=3, backend=backend
+            ).run(_ring_job())
+    return root.to_dict(), registry, result
+
+
+def test_span_tree_shape_identical_serial_vs_multiprocess():
+    serial_tree, _, serial_result = _run_traced("serial")
+    multi_tree, _, multi_result = _run_traced("multiprocess")
+
+    assert _shape(serial_tree) == _shape(multi_tree)
+    assert serial_result.metrics.total_messages == multi_result.metrics.total_messages
+
+    # And the shape is the documented nesting, not accidentally flat.
+    pregel = serial_tree["children"][0]
+    assert pregel["name"] == "pregel:ring"
+    supersteps = [child["name"] for child in pregel["children"]]
+    assert supersteps == [f"superstep-{i}" for i in range(len(supersteps))]
+    workers = [child["name"] for child in pregel["children"][0]["children"]]
+    assert workers == ["worker-0", "worker-1", "worker-2"]
+
+
+def test_one_trace_id_threads_through_multiprocess_worker_spans():
+    tree, _, _ = _run_traced("multiprocess")
+    trace_id = tree["trace_id"]
+
+    def walk(node):
+        assert node["trace_id"] == trace_id
+        for child in node["children"]:
+            walk(child)
+
+    walk(tree)
+    # Worker spans (recorded in another process) link to their superstep.
+    superstep = tree["children"][0]["children"][0]
+    for worker in superstep["children"]:
+        assert worker["parent_id"] == superstep["span_id"]
+
+
+def _worker_sums(registry: MetricsRegistry) -> dict:
+    family = registry.counter(
+        "repro_pregel_worker_messages_total",
+        "Messages sent, per Pregel worker.",
+        labelnames=("job", "worker"),
+    )
+    return {labels: child.value for labels, child in family.series()}
+
+
+def test_counters_sum_exactly_across_workers():
+    _, serial_registry, serial_result = _run_traced("serial")
+    _, multi_registry, multi_result = _run_traced("multiprocess")
+
+    serial_sums = _worker_sums(serial_registry)
+    multi_sums = _worker_sums(multi_registry)
+    assert serial_sums == multi_sums
+    assert sum(serial_sums.values()) == serial_result.metrics.total_messages
+
+    def job_total(registry):
+        family = registry.counter(
+            "repro_pregel_messages_total",
+            "Pregel messages sent, total per job.",
+            labelnames=("job",),
+        )
+        return family.labels("ring").value
+
+    assert job_total(serial_registry) == serial_result.metrics.total_messages
+    assert job_total(multi_registry) == multi_result.metrics.total_messages

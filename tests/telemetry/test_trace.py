@@ -1,0 +1,143 @@
+"""Unit tests for the span/tracer half of the telemetry plane."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.telemetry import (
+    NoopTracer,
+    Span,
+    Tracer,
+    current_span,
+    get_tracer,
+    remote_context,
+    set_tracer,
+    span,
+    start_remote_span,
+    use_tracer,
+)
+
+
+# ----------------------------------------------------------------------
+# default (disabled) behaviour
+# ----------------------------------------------------------------------
+def test_default_tracer_is_noop():
+    tracer = get_tracer()
+    assert isinstance(tracer, NoopTracer)
+    assert tracer.enabled is False
+    assert current_span() is None
+    assert remote_context() is None
+
+
+def test_noop_span_is_shared_and_inert():
+    with span("anything", key="value") as first:
+        with span("nested") as second:
+            assert second is first  # one shared instance, no allocation
+        assert first.set(more=1) is first
+        assert first.to_dict() == {}
+    assert current_span() is None
+
+
+# ----------------------------------------------------------------------
+# real tracer
+# ----------------------------------------------------------------------
+def test_spans_nest_and_record_attributes_and_durations():
+    tracer = Tracer()
+    with use_tracer(tracer):
+        with span("root", kind="test") as root:
+            with span("child-a") as child_a:
+                child_a.set(items=3)
+            with span("child-b"):
+                pass
+    tree = root.to_dict()
+    assert tree["name"] == "root"
+    assert tree["attributes"] == {"kind": "test"}
+    assert [child["name"] for child in tree["children"]] == ["child-a", "child-b"]
+    assert tree["children"][0]["attributes"] == {"items": 3}
+    # One trace id threads through; parents link by span id.
+    assert tree["children"][0]["trace_id"] == tree["trace_id"]
+    assert tree["children"][0]["parent_id"] == tree["span_id"]
+    assert tree["duration_seconds"] >= tree["children"][0]["duration_seconds"]
+    assert tree["cpu_seconds"] is not None
+    assert tree["status"] == "ok"
+
+
+def test_exception_marks_span_error_and_propagates():
+    tracer = Tracer()
+    with use_tracer(tracer):
+        with pytest.raises(RuntimeError, match="boom"):
+            with span("outer") as outer:
+                with span("inner"):
+                    raise RuntimeError("boom")
+    tree = outer.to_dict()
+    assert tree["status"] == "error"
+    assert tree["children"][0]["status"] == "error"
+    assert "boom" in tree["children"][0]["attributes"]["error"]
+
+
+def test_finish_is_idempotent():
+    root = Span("once")
+    first = root.finish().duration_seconds
+    assert root.finish().duration_seconds == first
+
+
+def test_use_tracer_restores_previous():
+    outer = Tracer()
+    previous = set_tracer(outer)
+    try:
+        with use_tracer(Tracer()) as inner:
+            assert get_tracer() is inner
+        assert get_tracer() is outer
+    finally:
+        set_tracer(previous)
+
+
+def test_threads_get_independent_span_trees():
+    tracer = Tracer()
+    roots = {}
+
+    def record(name):
+        with tracer.span(name) as root:
+            with tracer.span(f"{name}-child"):
+                pass
+        roots[name] = root
+
+    with use_tracer(tracer):
+        threads = [
+            threading.Thread(target=record, args=(f"thread-{i}",)) for i in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    trees = [roots[f"thread-{i}"].to_dict() for i in range(2)]
+    # Separate roots, separate traces: neither adopted the other.
+    assert trees[0]["trace_id"] != trees[1]["trace_id"]
+    assert [child["name"] for child in trees[0]["children"]] == ["thread-0-child"]
+    assert [child["name"] for child in trees[1]["children"]] == ["thread-1-child"]
+
+
+# ----------------------------------------------------------------------
+# cross-process propagation
+# ----------------------------------------------------------------------
+def test_remote_span_dict_merges_into_local_tree():
+    tracer = Tracer()
+    with use_tracer(tracer):
+        with span("superstep-0") as step:
+            context = remote_context()
+            assert context == (step.trace_id, step.span_id)
+            # What a worker process does with the shipped context:
+            shipped = start_remote_span("worker-0", context, worker=0).finish(
+                messages_sent=7
+            )
+            step.add_child(shipped)
+    tree = step.to_dict()
+    child = tree["children"][0]
+    assert child["name"] == "worker-0"
+    assert child["trace_id"] == tree["trace_id"]
+    assert child["parent_id"] == tree["span_id"]
+    assert child["attributes"] == {"worker": 0, "messages_sent": 7}
+    assert child["duration_seconds"] is not None

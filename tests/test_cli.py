@@ -273,3 +273,62 @@ def test_cli_assembles_fastq_pair(tmp_path, capsys):
         == 0
     )
     assert "scaffolds=" in capsys.readouterr().out
+
+
+def test_cli_trace_out_writes_span_tree(tmp_path, capsys):
+    from repro.telemetry import NoopTracer, get_tracer
+
+    trace_path = tmp_path / "trace.json"
+    assert (
+        main(
+            [
+                "--simulate", "1500", "-k", "15", "--workers", "2",
+                "--trace-out", str(trace_path),
+            ]
+        )
+        == 0
+    )
+    assert "wrote trace to" in capsys.readouterr().out
+    # The flag's tracer is scoped to the run: the process default stays no-op.
+    assert isinstance(get_tracer(), NoopTracer)
+
+    import json
+
+    payload = json.loads(trace_path.read_text())
+    root = payload["trace"]
+    assert root["name"] == "assemble"
+    assert root["attributes"]["k"] == 15
+    (workflow,) = root["children"]
+    assert workflow["name"] == "workflow:ppa-assembly"
+    stage_names = [child["name"] for child in workflow["children"]]
+    assert "stage:dbg-construction" in stage_names
+
+
+def test_cli_log_json_emits_structured_lines(tmp_path, capsys):
+    import json
+    import logging
+
+    assert (
+        main(
+            ["--simulate", "1500", "-k", "15", "--quiet", "--log-json",
+             "--log-level", "debug"]
+        )
+        == 0
+    )
+    handler = logging.getLogger().handlers[0]
+    try:
+        record = logging.LogRecord(
+            "repro.test", logging.INFO, __file__, 1, "structured", (), None
+        )
+        entry = json.loads(handler.format(record))
+        assert entry["message"] == "structured"
+        assert logging.getLogger().level == logging.DEBUG
+    finally:
+        logging.getLogger().removeHandler(handler)
+        logging.getLogger().setLevel(logging.WARNING)
+
+
+def test_cli_rejects_unknown_log_level(capsys):
+    with pytest.raises(SystemExit):
+        main(["--simulate", "1000", "--log-level", "chatty"])
+    assert "unknown log level" in capsys.readouterr().err

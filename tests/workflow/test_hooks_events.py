@@ -1,0 +1,110 @@
+"""Legacy ``WorkflowHooks`` compatibility over the event-subscriber shim.
+
+``WorkflowHooks`` used to be called directly by the runner; it is now
+the first subscriber of the runner's :class:`WorkflowEvent` stream.
+These tests pin the compatibility contract: the old callbacks still
+fire, in the old order, with the old arguments — alongside any new
+subscribers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workflow import (
+    ConvertStage,
+    Workflow,
+    WorkflowEvent,
+    WorkflowHooks,
+    WorkflowRunner,
+)
+
+
+def _three_stage_workflow() -> Workflow:
+    workflow = Workflow("hooked")
+    workflow.add(ConvertStage("a", lambda ctx: 1, output="a"))
+    workflow.add(ConvertStage("b", lambda ctx: 2, output="b"))
+    workflow.add(ConvertStage("c", lambda ctx: 3, output="c"))
+    return workflow
+
+
+def test_legacy_hook_callbacks_fire_in_order():
+    calls = []
+    hooks = WorkflowHooks(
+        on_stage_start=lambda stage, index, total: calls.append(
+            ("start", stage.name, index, total)
+        ),
+        on_stage_end=lambda stage, index, total, seconds: calls.append(
+            ("end", stage.name, index, total)
+        ),
+    )
+    WorkflowRunner(num_workers=2, hooks=hooks).run(_three_stage_workflow())
+    assert calls == [
+        ("start", "a", 0, 3), ("end", "a", 0, 3),
+        ("start", "b", 1, 3), ("end", "b", 1, 3),
+        ("start", "c", 2, 3), ("end", "c", 2, 3),
+    ]
+
+
+def test_stage_end_seconds_argument_still_passed():
+    seconds_seen = []
+    hooks = WorkflowHooks(
+        on_stage_end=lambda stage, index, total, seconds: seconds_seen.append(seconds)
+    )
+    WorkflowRunner(num_workers=2, hooks=hooks).run(_three_stage_workflow())
+    assert len(seconds_seen) == 3
+    assert all(value >= 0 for value in seconds_seen)
+
+
+def test_checkpoint_and_skip_hooks_fire_through_the_shim(tmp_path):
+    checkpoints, skipped = [], []
+    hooks = WorkflowHooks(
+        on_checkpoint=lambda stage, path: checkpoints.append(stage.name),
+        on_stage_skipped=lambda stage, index, total: skipped.append(stage.name),
+    )
+    runner = WorkflowRunner(num_workers=2, hooks=hooks, checkpoint_dir=tmp_path)
+    runner.run(_three_stage_workflow())
+    assert checkpoints == ["a", "b", "c"]
+    assert skipped == []
+
+    # Resume from a complete checkpoint: every stage arrives as skipped.
+    resumed = WorkflowRunner(num_workers=2, hooks=hooks, checkpoint_dir=tmp_path)
+    resumed.run(_three_stage_workflow(), resume=True)
+    assert skipped == ["a", "b", "c"]
+
+
+def test_new_subscribers_see_events_after_the_legacy_hooks():
+    order = []
+    hooks = WorkflowHooks(
+        on_stage_start=lambda stage, index, total: order.append(("hook", stage.name))
+    )
+    runner = WorkflowRunner(num_workers=2, hooks=hooks)
+
+    @runner.subscribe
+    def observer(event: WorkflowEvent):
+        if event.kind == "stage-start":
+            order.append(("subscriber", event.stage.name))
+
+    runner.run(_three_stage_workflow())
+    # Legacy hooks are the first subscriber: for each event they run
+    # before later-registered observers.
+    assert order == [
+        ("hook", "a"), ("subscriber", "a"),
+        ("hook", "b"), ("subscriber", "b"),
+        ("hook", "c"), ("subscriber", "c"),
+    ]
+
+
+def test_subscriber_exception_aborts_the_run():
+    # The service's cooperative cancellation rides on this: its
+    # on_stage_start hook raises to stop a job at a stage boundary.
+    class Stop(Exception):
+        pass
+
+    def bomb(stage, index, total):
+        if stage.name == "b":
+            raise Stop()
+
+    hooks = WorkflowHooks(on_stage_start=bomb)
+    with pytest.raises(Stop):
+        WorkflowRunner(num_workers=2, hooks=hooks).run(_three_stage_workflow())
