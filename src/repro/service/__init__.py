@@ -14,13 +14,19 @@ not already have.
   dataset profile) plus the full
   :class:`~repro.assembler.config.AssemblyConfig` surface;
 * :class:`~repro.service.store.JobStore` — SQLite-backed durable queue:
-  states ``queued/running/succeeded/failed/cancelled``, priorities,
-  idempotency keys, and an append-only per-job event log;
-* :class:`~repro.service.scheduler.WorkerPool` — bounded worker threads
-  executing each job's declared workflow through a
-  :class:`~repro.workflow.WorkflowRunner` with a per-job checkpoint
-  directory, so a crashed service ``resume()``\\ s every interrupted job
-  bit-identically on restart;
+  states ``queued/running/succeeded/failed/cancelled/poisoned``,
+  priorities, idempotency keys, time-bounded leases with heartbeats and
+  fencing tokens, retry accounting with exponential backoff, and an
+  append-only per-job event log;
+* :class:`~repro.service.scheduler.ProcessWorkerPool` — supervised
+  child processes each running a claim loop through
+  :mod:`repro.service.worker`; a crashed or hung worker loses its lease,
+  the job is reclaimed and retried (resuming from its checkpoints
+  bit-identically) until its attempt budget quarantines it as
+  ``poisoned``.  :class:`~repro.service.scheduler.WorkerPool` is the
+  in-process thread variant of the same claim loop;
+* :mod:`repro.service.faults` — deterministic fault injection
+  (``REPRO_FAULTS``) used by the chaos tests to prove the above;
 * :class:`~repro.service.app.AssemblyService` — store + pool + REST API
   (:mod:`repro.service.api`) wired together;
 * :class:`~repro.service.client.ServiceClient` — thin HTTP client used
@@ -36,12 +42,17 @@ not already have.
 _EXPORTS = {
     "AssemblyService": ".app",
     "ServiceClient": ".client",
+    "FaultInjected": ".faults",
+    "FaultInjector": ".faults",
+    "FaultPlan": ".faults",
+    "ProcessWorkerPool": ".scheduler",
     "WorkerPool": ".scheduler",
     "JobSpec": ".spec",
     "MaterializedInput": ".spec",
     "JobStore": ".store",
     "JobRecord": ".store",
     "JobEvent": ".store",
+    "Reclaim": ".store",
     "JOB_STATES": ".store",
     "TERMINAL_STATES": ".store",
     "STATE_QUEUED": ".store",
@@ -49,6 +60,7 @@ _EXPORTS = {
     "STATE_SUCCEEDED": ".store",
     "STATE_FAILED": ".store",
     "STATE_CANCELLED": ".store",
+    "STATE_POISONED": ".store",
 }
 
 __all__ = list(_EXPORTS)

@@ -82,7 +82,16 @@ def job_progress(events: List[JobEvent]) -> Dict[str, Any]:
         elif event.type == "stage-start":
             total = event.payload.get("total", total)
             current = event.payload.get("stage")
-        elif event.type in ("succeeded", "failed", "cancelled", "recovered"):
+        elif event.type in (
+            "succeeded",
+            "failed",
+            "cancelled",
+            "poisoned",
+            "recovered",
+            "retry-scheduled",
+            "timeout",
+            "lease-lost",
+        ):
             # Terminal (or back-to-queued) events: nothing is running,
             # even when the last stage never reached its stage-end.
             current = None

@@ -34,9 +34,19 @@ from ..telemetry import (
     set_tracer,
 )
 from .api import make_server
-from .scheduler import WorkerPool
+from .scheduler import ProcessWorkerPool, WorkerPool
 from .spec import JobSpec
-from .store import STATE_QUEUED, STATE_RUNNING, STATE_SUCCEEDED, JobRecord, JobStore
+from .store import (
+    DEFAULT_MAX_ATTEMPTS,
+    STATE_QUEUED,
+    STATE_RUNNING,
+    STATE_SUCCEEDED,
+    JobRecord,
+    JobStore,
+)
+
+#: Worker planes a service may run (see :mod:`repro.service.scheduler`).
+WORKER_PLANES = ("process", "thread")
 
 
 class AssemblyService:
@@ -49,15 +59,39 @@ class AssemblyService:
         host: str = "127.0.0.1",
         port: int = 8642,
         poll_interval: float = 0.2,
+        worker_plane: str = "process",
+        lease_seconds: Optional[float] = None,
+        reap_interval: float = 1.0,
+        drain_timeout: float = 30.0,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
     ) -> None:
+        if worker_plane not in WORKER_PLANES:
+            raise ValueError(
+                f"worker_plane must be one of {', '.join(WORKER_PLANES)}, "
+                f"got {worker_plane!r}"
+            )
         self.data_dir = Path(data_dir)
         self.data_dir.mkdir(parents=True, exist_ok=True)
         self.logger = logging.getLogger("repro.service")
-        self.store = JobStore(self.data_dir / "jobs.sqlite3")
-        self.pool = WorkerPool(
-            self.store, self.data_dir, num_workers=num_workers,
-            poll_interval=poll_interval,
-        )
+        self.worker_plane = worker_plane
+        store_kwargs = {"max_attempts": max_attempts}
+        if lease_seconds is not None:
+            store_kwargs["lease_seconds"] = lease_seconds
+        self.store = JobStore(self.data_dir / "jobs.sqlite3", **store_kwargs)
+        if worker_plane == "process":
+            self.pool = ProcessWorkerPool(
+                self.store, self.data_dir, num_workers=num_workers,
+                poll_interval=poll_interval, reap_interval=reap_interval,
+                drain_timeout=drain_timeout,
+            )
+        else:
+            self.pool = WorkerPool(
+                self.store, self.data_dir, num_workers=num_workers,
+                poll_interval=poll_interval, reap_interval=reap_interval,
+            )
+        #: Whether the last stop() shut everything down without
+        #: escalation (HTTP thread joined, workers drained).
+        self.stopped_cleanly: Optional[bool] = None
         self.host = host
         self.port = port
         self._server = None
@@ -96,10 +130,16 @@ class AssemblyService:
         self._previous_tracer = set_tracer(self.tracer)
         recovered = self.store.recover_interrupted()
         for record in recovered:
-            self.logger.info(
-                "re-enqueued interrupted job %s (attempt %d, will resume "
-                "from its checkpoints)", record.id, record.attempts,
-            )
+            if record.state == STATE_QUEUED:
+                self.logger.info(
+                    "re-enqueued interrupted job %s (attempt %d, will resume "
+                    "from its checkpoints)", record.id, record.attempts,
+                )
+            else:
+                self.logger.warning(
+                    "interrupted job %s is %s after %d attempts",
+                    record.id, record.state, record.attempts,
+                )
         self.pool.start()
         self._server = make_server(self, self.host, self.port)
         self.port = self._server.server_address[1]
@@ -114,23 +154,44 @@ class AssemblyService:
             self.base_url, self.data_dir, self.pool.num_workers,
         )
 
-    def stop(self, wait: bool = True) -> None:
+    def stop(self, wait: bool = True) -> bool:
+        """Shut down; returns True when everything stopped cleanly.
+
+        The verdict (also kept in :attr:`stopped_cleanly`) covers the
+        HTTP thread actually joining and the worker plane draining
+        without escalation — a False from a process pool means at
+        least one worker had to be terminated or killed (its job was
+        reclaimed and will be retried).
+        """
+        clean = True
         if self._server is not None:
             self._server.shutdown()
             self._server.server_close()
             self._server = None
         if self._server_thread is not None:
             self._server_thread.join(timeout=5)
+            if self._server_thread.is_alive():
+                # A request handler is wedged mid-response.  The thread
+                # is daemonic so process exit is not blocked, but the
+                # operator deserves to know the shutdown was not clean.
+                self.logger.warning(
+                    "HTTP server thread did not exit within 5s; "
+                    "a request handler may be hung"
+                )
+                clean = False
             self._server_thread = None
-        self.pool.stop(wait=wait)
+        if not self.pool.stop(wait=wait):
+            clean = False
         set_registry(self._previous_registry)
         set_tracer(self._previous_tracer)
-        # With wait=False, daemon workers may still be mid-job; the
-        # store must stay open so their final writes land on a live
-        # connection rather than crashing on a closed one (the process
-        # is exiting anyway, and SQLite recovers the file on reopen).
+        # With wait=False, workers may still be mid-job; the store must
+        # stay open so their final writes land on a live connection
+        # rather than crashing on a closed one (the process is exiting
+        # anyway, and SQLite recovers the file on reopen).
         if wait:
             self.store.close()
+        self.stopped_cleanly = clean
+        return clean
 
     def __enter__(self) -> "AssemblyService":
         self.start()
@@ -221,7 +282,14 @@ class AssemblyService:
     # observability
     # ------------------------------------------------------------------
     def metrics_text(self) -> str:
-        """The service's metrics in Prometheus text exposition format."""
+        """The service's metrics in Prometheus text exposition format.
+
+        Worker-process metrics arrive through the spool (each child
+        drains its registry to disk after claiming and finishing jobs);
+        folding them in at scrape time keeps ``/metrics`` one coherent
+        registry regardless of which plane did the work.
+        """
+        self.pool.drain_metrics(self.registry)
         return render_prometheus(self.registry)
 
     def trace_payload(self, job_id: str) -> Dict[str, Any]:
@@ -248,5 +316,8 @@ class AssemblyService:
             "status": "ok",
             "version": __version__,
             "workers": self.pool.num_workers,
+            "worker_plane": self.worker_plane,
+            "worker_pids": self.pool.worker_pids(),
+            "lease_seconds": self.store.lease_seconds,
             "counts": self.store.counts(),
         }

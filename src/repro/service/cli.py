@@ -68,6 +68,40 @@ def build_service_parser() -> argparse.ArgumentParser:
         help="idle worker poll interval in seconds (default 0.2)",
     )
     serve.add_argument(
+        "--worker-plane",
+        choices=("process", "thread"),
+        default="process",
+        help="run jobs in supervised child processes (default; survives "
+        "worker crashes) or in in-process threads (lighter, test-friendly)",
+    )
+    serve.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=None,
+        help="job lease duration; a worker that misses heartbeats for this "
+        "long loses its job to the reaper (default 15)",
+    )
+    serve.add_argument(
+        "--reap-interval",
+        type=float,
+        default=1.0,
+        help="how often the reaper scans for expired leases (default 1.0)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help="graceful-shutdown budget per worker before escalating to "
+        "SIGTERM/SIGKILL (default 30)",
+    )
+    serve.add_argument(
+        "--max-attempts",
+        type=int,
+        default=None,
+        help="default attempt budget per job before quarantine as poisoned "
+        "(default 3; jobs may override via their spec)",
+    )
+    serve.add_argument(
         "--log-level",
         metavar="LEVEL",
         default="info",
@@ -114,6 +148,18 @@ def build_service_parser() -> argparse.ArgumentParser:
     submit.add_argument("--insert-std", type=float, default=50.0)
     submit.add_argument("--min-links", type=int, default=None)
     submit.add_argument("--min-contig", type=int, default=0)
+    submit.add_argument(
+        "--max-attempts", type=int, default=None,
+        help="attempt budget for this job before quarantine (overrides the server default)",
+    )
+    submit.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="kill and retry the job's attempt after this many seconds",
+    )
+    submit.add_argument(
+        "--stage-timeout", type=float, default=None, metavar="SECONDS",
+        help="kill and retry the attempt when any single stage exceeds this",
+    )
     submit.add_argument("--priority", type=int, default=0, help="higher runs first (default 0)")
     submit.add_argument("--idempotency-key", default=None, help="resubmitting with the same key dedups")
     submit.add_argument("--wait", action="store_true", help="poll the job to completion, streaming stage events")
@@ -137,7 +183,7 @@ def build_service_parser() -> argparse.ArgumentParser:
 
     jobs = verbs.add_parser("jobs", help="list jobs, optionally filtered by state")
     jobs.add_argument("--url", default=None)
-    jobs.add_argument("--state", default=None, help="queued/running/succeeded/failed/cancelled")
+    jobs.add_argument("--state", default=None, help="queued/running/succeeded/failed/cancelled/poisoned")
     jobs.add_argument("--limit", type=int, default=20)
 
     return parser
@@ -159,17 +205,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"repro-assemble serve: {exc}", file=sys.stderr)
         return 2
+    kwargs: Dict[str, Any] = {}
+    if args.max_attempts is not None:
+        kwargs["max_attempts"] = args.max_attempts
     service = AssemblyService(
         data_dir=args.data_dir,
         num_workers=args.workers,
         host=args.host,
         port=args.port,
         poll_interval=args.poll_interval,
+        worker_plane=args.worker_plane,
+        lease_seconds=args.lease_seconds,
+        reap_interval=args.reap_interval,
+        drain_timeout=args.drain_timeout,
+        **kwargs,
     )
     service.start()
     print(
         f"assembly service listening on {service.base_url} "
-        f"(data dir {service.data_dir}, {args.workers} workers)",
+        f"(data dir {service.data_dir}, {args.workers} {args.worker_plane} workers)",
         flush=True,
     )
 
@@ -184,8 +238,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         while not stop["flag"]:
             time.sleep(0.2)
     finally:
-        print("shutting down…", flush=True)
-        service.stop(wait=False)
+        # Graceful drain: let in-flight attempts finish (bounded by
+        # --drain-timeout per worker) so SIGTERM from an orchestrator
+        # does not cost a retry.  A second signal is answered by the
+        # escalation path inside stop() itself.
+        print("draining workers…", flush=True)
+        if service.stop(wait=True):
+            print("shutdown clean", flush=True)
+        else:
+            print(
+                "shutdown forced: at least one worker was killed; its job "
+                "was reclaimed and will be retried on the next start",
+                flush=True,
+            )
     return 0
 
 
@@ -230,7 +295,16 @@ def _build_spec(args: argparse.Namespace) -> JobSpec:
             config["scaffold_min_links"] = args.min_links
         if args.insert_size is not None:
             config["scaffold_insert_size"] = args.insert_size
-    spec = JobSpec(input=input_block, config=config, min_contig=args.min_contig)
+    retry: Dict[str, Any] = {}
+    if args.max_attempts is not None:
+        retry["max_attempts"] = args.max_attempts
+    if args.job_timeout is not None:
+        retry["job_timeout_seconds"] = args.job_timeout
+    if args.stage_timeout is not None:
+        retry["stage_timeout_seconds"] = args.stage_timeout
+    spec = JobSpec(
+        input=input_block, config=config, min_contig=args.min_contig, retry=retry
+    )
     spec.validate()
     return spec
 
@@ -255,7 +329,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     )
     final = status["job"]
     print(f"job {final['id']} {final['state']}")
-    if final["state"] == "failed":
+    if final["state"] in ("failed", "poisoned"):
         print(f"error: {final['error']}", file=sys.stderr)
         return 1
     return 0 if final["state"] == "succeeded" else 1

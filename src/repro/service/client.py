@@ -134,30 +134,73 @@ class ServiceClient:
     # ------------------------------------------------------------------
     # polling
     # ------------------------------------------------------------------
+    #: States a wait() stops on.
+    TERMINAL_STATES = ("succeeded", "failed", "cancelled", "poisoned")
+
     def wait(
         self,
         job_id: str,
         timeout: Optional[float] = None,
         poll_interval: float = 0.25,
         on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+        reconnect_window: float = 30.0,
+        reconnect_backoff: float = 0.25,
     ) -> Dict[str, Any]:
         """Poll until the job reaches a terminal state; returns its document.
 
         ``on_event`` receives every new event exactly once as it is
         observed (the cursor advances by event sequence number), which
         is how the CLI and the demo stream live stage progress.
+
+        The poll survives the service going away *temporarily*: jobs
+        are durable, so a replica bounce (deploy, crash + restart, LB
+        failover) mid-wait should not kill the client.  Connection
+        failures (HTTP status 0 — nothing answered at all) are retried
+        with exponential backoff for up to ``reconnect_window``
+        seconds of *continuous* unreachability; any successful request
+        resets the budget.  Real HTTP errors (404, 409, …) still raise
+        immediately — the server answered, and its answer is the answer.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         cursor = 0
+        down_since: Optional[float] = None
+        backoff = reconnect_backoff
+
+        def call(fn, *args, **kwargs):
+            nonlocal down_since, backoff
+            while True:
+                try:
+                    result = fn(*args, **kwargs)
+                except ServiceClientError as exc:
+                    if exc.status != 0:
+                        raise
+                    now = time.monotonic()
+                    if down_since is None:
+                        down_since = now
+                    unreachable = now - down_since
+                    if unreachable + backoff > reconnect_window or (
+                        deadline is not None and now + backoff > deadline
+                    ):
+                        raise ServiceClientError(
+                            f"service unreachable for {unreachable:.1f}s "
+                            f"while waiting on job {job_id}: {exc}"
+                        ) from exc
+                    time.sleep(backoff)
+                    backoff = min(backoff * 2, 5.0)
+                    continue
+                down_since = None
+                backoff = reconnect_backoff
+                return result
+
         while True:
             if on_event is not None:
-                for event in self.events(job_id, after=cursor):
+                for event in call(self.events, job_id, after=cursor):
                     cursor = max(cursor, event["seq"])
                     on_event(event)
-            status = self.status(job_id)
-            if status["job"]["state"] in ("succeeded", "failed", "cancelled"):
+            status = call(self.status, job_id)
+            if status["job"]["state"] in self.TERMINAL_STATES:
                 if on_event is not None:
-                    for event in self.events(job_id, after=cursor):
+                    for event in call(self.events, job_id, after=cursor):
                         cursor = max(cursor, event["seq"])
                         on_event(event)
                 return status

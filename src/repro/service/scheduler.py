@@ -1,52 +1,111 @@
-"""Scheduler and bounded worker pool: where queued jobs become contigs.
+"""Worker pools and their supervision: where queued jobs become contigs.
 
-The pool owns ``num_workers`` daemon threads.  Each thread loops on the
-store's atomic :meth:`~repro.service.store.JobStore.claim_next` (so at
-most ``num_workers`` jobs are ever ``running``) and executes the claimed
-job's declared workflow through a
-:class:`~repro.workflow.WorkflowRunner`:
+Two pools share one execution path
+(:func:`~repro.service.worker.execute_attempt`) and one contract — at
+most ``num_workers`` jobs run concurrently, each under a heartbeat-
+renewed lease — but differ in what a worker *is*:
 
-* the job gets its own directory under ``data_dir/jobs/<id>/`` holding
-  its checkpoints and, on success, its artifacts (``contigs.fasta``,
-  ``scaffolds.fasta``, ``metrics.json``);
-* :class:`~repro.workflow.WorkflowHooks` translate stage boundaries
-  into store events (``stage-start`` / ``stage-end`` / ``checkpoint``),
-  which is what clients poll for live progress;
-* the ``on_stage_start`` hook doubles as the cooperative cancellation
-  point: a requested cancel aborts the run at the next stage boundary
-  (stages are the atomic unit of work, exactly the checkpoint
-  granularity);
-* every run passes ``resume=True``.  For a fresh job that is a no-op
-  (no checkpoint → start from stage 0); for a job re-enqueued by
-  :meth:`~repro.service.store.JobStore.recover_interrupted` after a
-  crash it means the surviving per-job checkpoints are picked up and
-  the run continues bit-identically — the workflow layer's checkpoint
-  fingerprint guards against the spec somehow materialising different
-  inputs.
+:class:`WorkerPool` (``worker_plane="thread"``)
+    Workers are daemon threads inside the service process.  Cheap and
+    simple, but the GIL serialises their compute and a wedged stage
+    cannot be killed, only abandoned at the next stage boundary.
+
+:class:`ProcessWorkerPool` (``worker_plane="process"``, the default)
+    Workers are **spawned processes**, each running its own claim loop
+    against the shared SQLite store.  Compute scales with cores, and
+    the fault model becomes enforceable: a supervisor thread watches
+    for worker death (any exit — SIGKILL, a deliberate timeout exit,
+    a crash) and immediately reclaims the dead incarnation's jobs for
+    retry, then respawns the slot (with a short backoff when a worker
+    dies instantly, so a poisoned environment cannot spawn-loop).
+    Spawn, not fork: the service process is heavily multi-threaded
+    (HTTP server, supervisor, reaper) and forking a threaded process
+    inherits locks in undefined states; children are non-daemonic
+    because the multiprocess Pregel backend forks its own workers.
+
+Both pools also run the **reaper loop**: every ``reap_interval``
+seconds, :meth:`~repro.service.store.JobStore.reap_expired` re-enqueues
+any running job whose lease lapsed.  With one replica this catches
+workers that died without the supervisor noticing; with several
+replicas sharing a store it is what makes *another* replica's death
+survivable — its jobs come back to whoever is still alive, with no
+restart anywhere.  The process pool's reaper additionally kills any of
+its own children that got fenced (their job was reclaimed while they
+kept computing — the stalled-heartbeat case), because a fenced worker
+is doing work nobody will accept.
 """
 
 from __future__ import annotations
 
+import logging
+import multiprocessing
 import threading
 import time
-import traceback
 from pathlib import Path
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from ..assembler import PPAAssembler
-from ..errors import ReproError
-from ..telemetry import get_registry, get_tracer, span, write_trace
-from ..telemetry.trace import Span
-from ..workflow import WorkflowHooks
-from .store import JobRecord, JobStore
+from ..telemetry import get_registry
+from .store import JobStore
+from .worker import (
+    EXIT_REASONS,
+    MetricsSpool,
+    checkpoint_dir,
+    execute_attempt,
+    job_dir,
+    worker_main,
+)
+
+logger = logging.getLogger("repro.service")
+
+#: How long a worker slot must survive for its respawn backoff to reset.
+_QUICK_DEATH_SECONDS = 2.0
+_MAX_RESPAWN_BACKOFF = 5.0
 
 
-class _JobCancelled(Exception):
-    """Internal control-flow signal: a cancel request reached a stage boundary."""
+def _death_reason(exitcode: Optional[int]) -> str:
+    """A bounded label for how a worker process ended."""
+    if exitcode is None:
+        return "unknown"
+    if exitcode in EXIT_REASONS:
+        return EXIT_REASONS[exitcode]
+    if exitcode < 0:
+        return f"signal-{-exitcode}"
+    return f"exit-{exitcode}"
 
 
-class WorkerPool:
-    """Bounded pool of worker threads draining a :class:`JobStore`."""
+class _PoolBase:
+    """Shared layout/lifecycle surface of both worker planes."""
+
+    store: JobStore
+    data_dir: Path
+    num_workers: int
+
+    def job_dir(self, job_id: str) -> Path:
+        return job_dir(self.data_dir, job_id)
+
+    def checkpoint_dir(self, job_id: str) -> Path:
+        return checkpoint_dir(self.data_dir, job_id)
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of live worker processes (empty on the thread plane)."""
+        return []
+
+    def drain_metrics(self, registry) -> None:
+        """Fold spooled worker-process metrics into ``registry`` (no-op here)."""
+
+    def _count_reclaims(self, reclaims) -> None:
+        for reclaim in reclaims:
+            logger.warning(
+                "reclaimed job %s from %s (%s, attempt %d)",
+                reclaim.record.id,
+                reclaim.previous_owner,
+                reclaim.outcome,
+                reclaim.record.attempts,
+            )
+
+
+class WorkerPool(_PoolBase):
+    """Bounded pool of worker *threads* draining a :class:`JobStore`."""
 
     def __init__(
         self,
@@ -54,6 +113,8 @@ class WorkerPool:
         data_dir,
         num_workers: int = 2,
         poll_interval: float = 0.2,
+        lease_seconds: Optional[float] = None,
+        reap_interval: float = 1.0,
     ) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be positive, got {num_workers}")
@@ -61,7 +122,13 @@ class WorkerPool:
         self.data_dir = Path(data_dir)
         self.num_workers = num_workers
         self.poll_interval = poll_interval
+        self.lease_seconds = (
+            store.lease_seconds if lease_seconds is None else lease_seconds
+        )
+        self.reap_interval = reap_interval
         self._threads: List[threading.Thread] = []
+        self._reaper: Optional[threading.Thread] = None
+        self._reaper_stop = threading.Event()
         self._wakeup = threading.Condition()
         self._stopping = False
 
@@ -88,23 +155,35 @@ class WorkerPool:
             )
             thread.start()
             self._threads.append(thread)
+        self._reaper_stop.clear()
+        self._reaper = threading.Thread(
+            target=self._reaper_loop, name="repro-service-reaper", daemon=True
+        )
+        self._reaper.start()
 
-    def stop(self, wait: bool = True) -> None:
+    def stop(self, wait: bool = True) -> bool:
         """Stop claiming new jobs; optionally wait for running ones.
 
         With ``wait=False`` the handles of still-alive threads are
         kept, so a later :meth:`start` can wait them out instead of
-        silently doubling the worker count.
+        silently doubling the worker count.  Returns True when every
+        worker actually finished (always, when waiting — threads
+        cannot be abandoned with a timeout).
         """
         self._stopping = True
+        self._reaper_stop.set()
         with self._wakeup:
             self._wakeup.notify_all()
+        if self._reaper is not None:
+            self._reaper.join(timeout=self.reap_interval + 1.0)
+            self._reaper = None
         if wait:
             for thread in self._threads:
                 thread.join()
             self._threads = []
-        else:
-            self._threads = [t for t in self._threads if t.is_alive()]
+            return True
+        self._threads = [t for t in self._threads if t.is_alive()]
+        return not self._threads
 
     def notify(self) -> None:
         """Wake idle workers (called right after a submission)."""
@@ -112,173 +191,264 @@ class WorkerPool:
             self._wakeup.notify_all()
 
     # ------------------------------------------------------------------
-    # per-job layout
-    # ------------------------------------------------------------------
-    def job_dir(self, job_id: str) -> Path:
-        return self.data_dir / "jobs" / job_id
-
-    def checkpoint_dir(self, job_id: str) -> Path:
-        return self.job_dir(job_id) / "checkpoints"
-
-    # ------------------------------------------------------------------
-    # the worker loop
+    # loops
     # ------------------------------------------------------------------
     def _worker_loop(self, worker_name: str) -> None:
         while not self._stopping:
-            record = self.store.claim_next(worker_name)
+            record = self.store.claim_next(
+                worker_name, lease_seconds=self.lease_seconds
+            )
             if record is None:
                 with self._wakeup:
                     if not self._stopping:
                         self._wakeup.wait(timeout=self.poll_interval)
                 continue
-            self._run_job(record)
-
-    def _run_job(self, record: JobRecord) -> None:
-        job_id = record.id
-        store = self.store
-        stage_seconds: Dict[str, float] = {}
-
-        def on_stage_start(stage, index, total):
-            # The cooperative cancellation point: checked once per
-            # stage, so a cancel lands between stages, never inside one.
-            if store.cancel_requested(job_id):
-                raise _JobCancelled()
-            store.append_event(
-                job_id,
-                "stage-start",
-                {"stage": stage.name, "index": index, "total": total},
+            execute_attempt(
+                self.store,
+                self.data_dir,
+                record,
+                token=record.lease_token or "",
+                lease_seconds=self.lease_seconds,
+                hard_exit=False,
             )
 
-        def on_stage_end(stage, index, total, seconds):
-            stage_seconds[stage.name] = stage_seconds.get(stage.name, 0.0) + seconds
-            store.append_event(
-                job_id,
-                "stage-end",
-                {
-                    "stage": stage.name,
-                    "index": index,
-                    "total": total,
-                    "seconds": round(seconds, 6),
-                },
-            )
-
-        def on_stage_skipped(stage, index, total):
-            store.append_event(
-                job_id,
-                "stage-skipped",
-                {"stage": stage.name, "index": index, "total": total},
-            )
-
-        def on_checkpoint(stage, path):
-            store.append_event(
-                job_id, "checkpoint", {"stage": stage.name, "path": str(path)}
-            )
-
-        hooks = WorkflowHooks(
-            on_stage_start=on_stage_start,
-            on_stage_end=on_stage_end,
-            on_stage_skipped=on_stage_skipped,
-            on_checkpoint=on_checkpoint,
-        )
-
-        started = time.perf_counter()
-        outcome = "failed"
-        with span(f"job:{job_id}", job_id=job_id, attempt=record.attempts) as job_span:
+    def _reaper_loop(self) -> None:
+        while not self._reaper_stop.wait(self.reap_interval):
             try:
-                spec = record.spec
-                config = spec.assembly_config()
-                material = spec.materialize()
-                result = PPAAssembler(config).assemble(
-                    material.reads,
-                    pairs=material.pairs,
-                    checkpoint_dir=self.checkpoint_dir(job_id),
-                    resume=True,
-                    hooks=hooks,
-                )
-                wall_seconds = time.perf_counter() - started
-                result_dir = self._write_artifacts(
-                    job_id, record, result, material, stage_seconds, wall_seconds
-                )
-                store.mark_succeeded(job_id, result_dir=str(result_dir))
-                outcome = "succeeded"
-            except _JobCancelled:
-                outcome = "cancelled"
-                self._finish_quietly(store.mark_cancelled, job_id)
-            except ReproError as exc:
-                self._finish_quietly(store.mark_failed, job_id, str(exc))
-            except Exception as exc:  # noqa: BLE001 — a worker thread must survive
-                self._finish_quietly(
-                    store.append_event,
-                    job_id,
-                    "error-detail",
-                    {"traceback": traceback.format_exc(limit=20)},
-                )
-                self._finish_quietly(
-                    store.mark_failed, job_id, f"{type(exc).__name__}: {exc}"
-                )
-            job_span.set(outcome=outcome)
-        self._write_trace(job_id, job_span)
-        get_registry().counter(
-            "repro_jobs_completed_total",
-            "Jobs finished by the worker pool, by terminal state.",
-            labelnames=("state",),
-        ).labels(outcome).inc()
+                self._count_reclaims(self.store.reap_expired())
+            except Exception:  # noqa: BLE001 — the reaper must outlive store hiccups
+                pass
 
-    def _write_trace(self, job_id: str, job_span) -> None:
-        """Persist the job's span tree next to its artifacts.
 
-        Only when tracing is enabled (the span is real); written for
-        every outcome, so failed jobs can be profiled too.  Best-effort
-        by design — a trace-write failure must not fail the job.
-        """
-        if not get_tracer().enabled or not isinstance(job_span, Span):
-            return
-        try:
-            directory = self.job_dir(job_id)
-            directory.mkdir(parents=True, exist_ok=True)
-            write_trace(job_span.finish(), directory / "trace.json")
-        except Exception:  # noqa: BLE001 — observability must not break jobs
-            pass
+class ProcessWorkerPool(_PoolBase):
+    """Supervised pool of spawned worker *processes*."""
 
-    @staticmethod
-    def _finish_quietly(operation, *args) -> None:
-        """Run a terminal store write, swallowing shutdown-time failures.
-
-        A non-waiting service shutdown can close resources while a
-        daemon worker is still finishing its job; the worker's last
-        store writes must not take the thread down with an unhandled
-        exception.
-        """
-        try:
-            operation(*args)
-        except Exception:  # noqa: BLE001 — best-effort by design
-            pass
-
-    def _write_artifacts(
+    def __init__(
         self,
-        job_id: str,
-        record: JobRecord,
-        result,
-        material,
-        stage_seconds: Dict[str, float],
-        wall_seconds: float,
-    ) -> Path:
-        """Persist the job's deliverables next to its checkpoints."""
-        import json
+        store: JobStore,
+        data_dir,
+        num_workers: int = 2,
+        poll_interval: float = 0.2,
+        lease_seconds: Optional[float] = None,
+        reap_interval: float = 1.0,
+        drain_timeout: float = 30.0,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be positive, got {num_workers}")
+        self.store = store
+        self.data_dir = Path(data_dir)
+        self.num_workers = num_workers
+        self.poll_interval = poll_interval
+        self.lease_seconds = (
+            store.lease_seconds if lease_seconds is None else lease_seconds
+        )
+        self.reap_interval = reap_interval
+        self.drain_timeout = drain_timeout
+        self._ctx = multiprocessing.get_context("spawn")
+        self._stop_event = None
+        self._supervisor: Optional[threading.Thread] = None
+        self._stopping = False
+        self._lock = threading.Lock()
+        self._slots: List[Dict] = []
+        self._spool = MetricsSpool(self.data_dir)
 
-        directory = self.job_dir(job_id)
-        directory.mkdir(parents=True, exist_ok=True)
-        result.write_fasta(directory / "contigs.fasta")
-        if result.scaffolding is not None:
-            result.write_scaffold_fasta(directory / "scaffolds.fasta")
-        payload = result.metrics_payload(
-            min_contig=record.spec.min_contig,
-            stage_seconds=stage_seconds,
-            wall_seconds=wall_seconds,
-            reference_length=material.reference_length,
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        with self._lock:
+            if self._slots and not self._stopping:
+                return  # already running
+            self._stopping = False
+            self._stop_event = self._ctx.Event()
+            self._slots = [
+                {
+                    "index": index,
+                    "process": None,
+                    "incarnation": None,
+                    "spawned_at": 0.0,
+                    "respawn_after": 0.0,
+                    "backoff": 0.0,
+                }
+                for index in range(self.num_workers)
+            ]
+            for slot in self._slots:
+                self._spawn_locked(slot)
+        self._supervisor = threading.Thread(
+            target=self._supervise_loop, name="repro-service-supervisor", daemon=True
         )
-        payload["job_id"] = job_id
-        (directory / "metrics.json").write_text(
-            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        self._supervisor.start()
+
+    def _spawn_locked(self, slot: Dict) -> None:
+        worker_name = f"worker-{slot['index']}"
+        options = {
+            "poll_interval": self.poll_interval,
+            "lease_seconds": self.lease_seconds,
+            "max_attempts": self.store.max_attempts,
+            "backoff_seconds": self.store.backoff_seconds,
+            "backoff_cap_seconds": self.store.backoff_cap_seconds,
+        }
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(
+                str(self.store.path),
+                str(self.data_dir),
+                worker_name,
+                self._stop_event,
+                options,
+            ),
+            name=f"repro-service-{worker_name}",
+            # Non-daemonic on purpose: the multiprocess Pregel backend
+            # forks *its* workers from this process, and daemonic
+            # processes may not have children.  Orphan safety comes
+            # from the child's own getppid() check instead.
+            daemon=False,
         )
-        return directory
+        process.start()
+        slot["process"] = process
+        slot["incarnation"] = f"{worker_name}@{process.pid}"
+        slot["spawned_at"] = time.monotonic()
+
+    def _supervise_loop(self) -> None:
+        last_reap = time.monotonic()
+        while not self._stopping:
+            time.sleep(0.1)
+            if self._stopping:
+                return
+            now = time.monotonic()
+            with self._lock:
+                for slot in self._slots:
+                    process = slot["process"]
+                    if process is not None and not process.is_alive():
+                        self._on_death_locked(slot, now)
+                    if (
+                        slot["process"] is None
+                        and not self._stopping
+                        and now >= slot["respawn_after"]
+                    ):
+                        self._spawn_locked(slot)
+            if now - last_reap >= self.reap_interval:
+                last_reap = now
+                self._reap_once()
+
+    def _on_death_locked(self, slot: Dict, now: float) -> None:
+        process = slot["process"]
+        reason = _death_reason(process.exitcode)
+        incarnation = slot["incarnation"]
+        process.join()
+        slot["process"] = None
+        get_registry().counter(
+            "repro_worker_deaths_total",
+            "Worker processes that exited, by reason.",
+            labelnames=("reason",),
+        ).labels(reason).inc()
+        if not self._stopping:
+            logger.warning(
+                "worker %s died (%s); reclaiming its jobs", incarnation, reason
+            )
+        # The supervisor knows the owner is dead: reclaim immediately
+        # instead of waiting out the lease.
+        try:
+            self._count_reclaims(
+                self.store.reclaim_worker(incarnation, reason=f"worker-{reason}")
+            )
+        except Exception:  # noqa: BLE001 — supervision must survive store hiccups
+            pass
+        lifetime = now - slot["spawned_at"]
+        if lifetime < _QUICK_DEATH_SECONDS:
+            slot["backoff"] = min(
+                _MAX_RESPAWN_BACKOFF, max(0.2, slot["backoff"] * 2)
+            )
+        else:
+            slot["backoff"] = 0.0
+        slot["respawn_after"] = now + slot["backoff"]
+
+    def _reap_once(self) -> None:
+        try:
+            reclaims = self.store.reap_expired()
+        except Exception:  # noqa: BLE001
+            return
+        self._count_reclaims(reclaims)
+        if not reclaims:
+            return
+        # A reclaimed job whose previous owner is one of *our live*
+        # children means that child is fenced (it stopped heartbeating
+        # but kept computing).  Nobody will accept its writes; kill it
+        # so the slot goes back to useful work.
+        owners = {reclaim.previous_owner for reclaim in reclaims}
+        with self._lock:
+            for slot in self._slots:
+                process = slot["process"]
+                if (
+                    process is not None
+                    and process.is_alive()
+                    and slot["incarnation"] in owners
+                ):
+                    logger.warning(
+                        "killing fenced worker %s", slot["incarnation"]
+                    )
+                    process.kill()
+
+    def stop(self, wait: bool = True) -> bool:
+        """Drain (or terminate) the worker processes.
+
+        ``wait=True`` is the graceful drain: signal the stop event,
+        give every child up to ``drain_timeout`` seconds to finish its
+        current job (stages checkpoint as they complete, so even an
+        unfinished job loses nothing durable), then escalate to
+        SIGTERM and finally SIGKILL, reclaiming whatever the killed
+        children held.  Returns True when every worker exited on its
+        own, False when escalation was needed — the service surfaces
+        this as ``stopped_cleanly``.
+        """
+        self._stopping = True
+        if self._stop_event is not None:
+            self._stop_event.set()
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=2.0)
+            self._supervisor = None
+        clean = True
+        with self._lock:
+            processes = [
+                (slot, slot["process"])
+                for slot in self._slots
+                if slot["process"] is not None
+            ]
+            deadline = time.monotonic() + (self.drain_timeout if wait else 0.5)
+            for slot, process in processes:
+                process.join(timeout=max(0.0, deadline - time.monotonic()))
+                if process.is_alive():
+                    clean = False
+                    process.terminate()
+                    process.join(timeout=2.0)
+                if process.is_alive():
+                    process.kill()
+                    process.join(timeout=2.0)
+                try:
+                    self._count_reclaims(
+                        self.store.reclaim_worker(
+                            slot["incarnation"], reason="shutdown"
+                        )
+                    )
+                except Exception:  # noqa: BLE001 — the store may already be closed
+                    pass
+                slot["process"] = None
+            self._slots = []
+        return clean
+
+    def notify(self) -> None:
+        """No-op: worker processes poll the store at ``poll_interval``."""
+
+    # ------------------------------------------------------------------
+    # observability plumbing
+    # ------------------------------------------------------------------
+    def worker_pids(self) -> List[int]:
+        with self._lock:
+            return [
+                slot["process"].pid
+                for slot in self._slots
+                if slot["process"] is not None and slot["process"].is_alive()
+            ]
+
+    def drain_metrics(self, registry) -> None:
+        self._spool.drain_into(registry)

@@ -61,6 +61,18 @@ CONFIG_FIELDS = (
     "scaffold_insert_size",
 )
 
+#: Fields a spec's optional ``retry`` block may set.  They tune the
+#: service's fault handling *for this job*: the attempt budget before
+#: quarantine, the backoff curve between attempts, and the watchdog
+#: deadlines that kill a hung worker.
+RETRY_FIELDS = (
+    "max_attempts",
+    "backoff_seconds",
+    "backoff_cap_seconds",
+    "job_timeout_seconds",
+    "stage_timeout_seconds",
+)
+
 
 @dataclass
 class MaterializedInput:
@@ -128,6 +140,7 @@ class JobSpec:
     input: Dict[str, Any] = field(default_factory=dict)
     config: Dict[str, Any] = field(default_factory=dict)
     min_contig: int = 0
+    retry: Dict[str, Any] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # validation / (de)serialisation
@@ -148,6 +161,7 @@ class JobSpec:
             raise InvalidJobSpecError(
                 f"min_contig must be a non-negative integer, got {self.min_contig!r}"
             )
+        self._validate_retry()
         try:
             self.assembly_config()
         except ReproError as exc:
@@ -178,6 +192,38 @@ class JobSpec:
                     "config.scaffold needs pairing information: use input "
                     "mode 'fastq_pair', inline 'pairs', or a simulating "
                     "mode (which then draws read pairs)"
+                )
+
+    def _validate_retry(self) -> None:
+        if not isinstance(self.retry, dict):
+            raise InvalidJobSpecError("'retry' must be an object when present")
+        unknown = sorted(set(self.retry) - set(RETRY_FIELDS))
+        if unknown:
+            raise InvalidJobSpecError(
+                f"unknown retry field(s) {', '.join(unknown)}; "
+                f"allowed: {', '.join(RETRY_FIELDS)}"
+            )
+        max_attempts = self.retry.get("max_attempts")
+        if max_attempts is not None and (
+            not isinstance(max_attempts, int)
+            or isinstance(max_attempts, bool)
+            or max_attempts < 1
+        ):
+            raise InvalidJobSpecError(
+                f"retry.max_attempts must be a positive integer, got {max_attempts!r}"
+            )
+        for key in (
+            "backoff_seconds",
+            "backoff_cap_seconds",
+            "job_timeout_seconds",
+            "stage_timeout_seconds",
+        ):
+            value = self.retry.get(key)
+            if value is None:
+                continue
+            if not isinstance(value, (int, float)) or isinstance(value, bool) or value <= 0:
+                raise InvalidJobSpecError(
+                    f"retry.{key} must be a positive number, got {value!r}"
                 )
 
     def _validate_input_fields(self) -> None:
@@ -233,11 +279,18 @@ class JobSpec:
         return AssemblyConfig(**self.config)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "input": dict(self.input),
             "config": dict(self.config),
             "min_contig": self.min_contig,
         }
+        # Only serialised when set: keeps the persisted JSON of specs
+        # without retry tuning byte-identical to what older service
+        # versions wrote (idempotency keys compare the serialised spec).
+        # getattr: specs decoded from old pickles/__new__ may predate it.
+        if getattr(self, "retry", None):
+            payload["retry"] = dict(self.retry)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Any, validate: bool = True) -> "JobSpec":
@@ -252,7 +305,7 @@ class JobSpec:
             raise InvalidJobSpecError(
                 f"job spec must be a JSON object, got {type(payload).__name__}"
             )
-        unknown = sorted(set(payload) - {"input", "config", "min_contig"})
+        unknown = sorted(set(payload) - {"input", "config", "min_contig", "retry"})
         if unknown:
             raise InvalidJobSpecError(
                 f"unknown job spec field(s): {', '.join(unknown)}"
@@ -263,10 +316,14 @@ class JobSpec:
         config_block = payload.get("config", {})
         if not isinstance(config_block, dict):
             raise InvalidJobSpecError("'config' must be an object when present")
+        retry_block = payload.get("retry", {})
+        if not isinstance(retry_block, dict):
+            raise InvalidJobSpecError("'retry' must be an object when present")
         spec = cls(
             input=dict(input_block),
             config=dict(config_block),
             min_contig=payload.get("min_contig", 0),
+            retry=dict(retry_block),
         )
         if validate:
             spec.validate()

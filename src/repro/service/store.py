@@ -12,23 +12,45 @@ a ``kill -9`` mid-transaction loses at most the uncommitted write).
 States and transitions::
 
     queued ──claim──> running ──> succeeded
-       │                 │  └───> failed
+       │                 │  └───> failed         (permanent error)
        │                 └──────> cancelled      (cooperative, between stages)
        └──cancel──> cancelled
-    running ──recover_interrupted──> queued      (service restart)
+    running ──lease expiry / worker death──> queued    (retry, with backoff)
+    running ──retryable failure──> queued              (retry, with backoff)
+    running ──attempts exhausted──> poisoned            (quarantine)
+
+Claims are **leases**, not permanent ownership: ``claim_next`` stamps a
+``lease_token`` (a fencing token unique per claim) and a
+``lease_expires_at`` deadline, the worker renews via :meth:`heartbeat`,
+and :meth:`reap_expired` re-enqueues any running job whose lease has
+lapsed — which is what makes a dead or wedged worker's job recoverable
+*without* restarting the service, and what makes several independent
+``serve`` replicas sharing one database file safe.  Every write a
+worker makes on behalf of a job is guarded by its token, so a fenced
+zombie (a worker whose lease was reclaimed while it kept computing)
+cannot corrupt the job's next attempt.
+
+Retry accounting lives here too: a reclaimed or transiently-failed job
+re-enqueues with ``next_attempt_at`` pushed out by exponential backoff
+(deterministic jitter — seeded by job id and attempt, so runs
+reproduce), until ``max_attempts`` is reached and the job is
+quarantined in the terminal ``poisoned`` state with its captured
+failure reason.  ``failed`` remains reserved for *permanent* errors
+(invalid input, missing files) where retrying cannot help.
 
 Idempotency keys make submission retry-safe: re-submitting with a key
 the store has seen returns the existing job instead of enqueueing a
 duplicate — exactly what an HTTP client that lost a response needs.
 
-Thread-safety: one connection guarded by an ``RLock``.  The service is
-I/O-bound on assemblies, not on store metadata, so a single writer is
-not a bottleneck; it *is* the simplest arrangement that cannot deadlock
-or interleave claims.
+Thread-safety: one connection guarded by an ``RLock`` per store
+instance; cross-process safety comes from SQLite's own locking (with a
+``busy_timeout`` so concurrent replicas queue instead of erroring) plus
+the rowcount-checked guarded UPDATEs on every state transition.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import sqlite3
 import threading
@@ -40,6 +62,7 @@ from typing import Any, Dict, List, Optional
 
 from ..errors import JobNotFoundError, JobStateError
 from ..telemetry import get_registry
+from .faults import FaultPlan
 from .spec import JobSpec
 
 STATE_QUEUED = "queued"
@@ -47,6 +70,7 @@ STATE_RUNNING = "running"
 STATE_SUCCEEDED = "succeeded"
 STATE_FAILED = "failed"
 STATE_CANCELLED = "cancelled"
+STATE_POISONED = "poisoned"
 
 #: Every state a job can be in, in lifecycle order.
 JOB_STATES = (
@@ -55,10 +79,11 @@ JOB_STATES = (
     STATE_SUCCEEDED,
     STATE_FAILED,
     STATE_CANCELLED,
+    STATE_POISONED,
 )
 
 #: States a job never leaves.
-TERMINAL_STATES = (STATE_SUCCEEDED, STATE_FAILED, STATE_CANCELLED)
+TERMINAL_STATES = (STATE_SUCCEEDED, STATE_FAILED, STATE_CANCELLED, STATE_POISONED)
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS jobs (
@@ -75,7 +100,11 @@ CREATE TABLE IF NOT EXISTS jobs (
     cancel_requested INTEGER NOT NULL DEFAULT 0,
     worker           TEXT,
     error            TEXT,
-    result_dir       TEXT
+    result_dir       TEXT,
+    lease_token      TEXT,
+    lease_expires_at REAL,
+    next_attempt_at  REAL,
+    max_attempts     INTEGER
 );
 CREATE INDEX IF NOT EXISTS jobs_by_state
     ON jobs (state, priority DESC, created_at ASC);
@@ -88,6 +117,16 @@ CREATE TABLE IF NOT EXISTS job_events (
     PRIMARY KEY (job_id, seq)
 );
 """
+
+#: Columns added after the first released schema; applied by ALTER TABLE
+#: when opening a database file that predates them, so a data dir from
+#: an older service version keeps working.
+_MIGRATED_COLUMNS = (
+    ("lease_token", "TEXT"),
+    ("lease_expires_at", "REAL"),
+    ("next_attempt_at", "REAL"),
+    ("max_attempts", "INTEGER"),
+)
 
 
 @dataclass
@@ -108,6 +147,10 @@ class JobRecord:
     worker: Optional[str] = None
     error: Optional[str] = None
     result_dir: Optional[str] = None
+    lease_token: Optional[str] = None
+    lease_expires_at: Optional[float] = None
+    next_attempt_at: Optional[float] = None
+    max_attempts: Optional[int] = None
 
     @property
     def is_terminal(self) -> bool:
@@ -119,6 +162,8 @@ class JobRecord:
         Inline read payloads are summarised to counts: a status poll
         must not echo megabytes of sequence data back on every request
         (the worker reads the spec from the store, never from here).
+        The lease *token* stays private — it is the fencing credential;
+        the lease deadline and retry schedule are reported.
         """
         spec_dict = self.spec.to_dict()
         input_block = spec_dict["input"]
@@ -140,6 +185,9 @@ class JobRecord:
             "cancel_requested": self.cancel_requested,
             "worker": self.worker,
             "error": self.error,
+            "lease_expires_at": self.lease_expires_at,
+            "next_attempt_at": self.next_attempt_at,
+            "max_attempts": self.max_attempts,
         }
 
 
@@ -162,17 +210,66 @@ class JobEvent:
         }
 
 
-#: Default bound on how often a job may be (re)claimed.  Recovery after
-#: a crash re-enqueues running jobs; without a cap, a job that *causes*
-#: the crash (OOM, wedged backend) would crash-loop the service forever.
+@dataclass
+class Reclaim:
+    """One job taken back from a dead or expired lease holder."""
+
+    record: JobRecord
+    previous_owner: Optional[str]
+    outcome: str  # "requeued" or "poisoned"
+
+
+#: Default bound on how often a job may be (re)claimed.  Without a cap,
+#: a job that *causes* worker death (OOM, wedged backend) would
+#: crash-loop through the pool forever; at the cap it is quarantined in
+#: the ``poisoned`` state instead.
 DEFAULT_MAX_ATTEMPTS = 3
+
+#: Default lease duration.  Long enough that a healthy worker (which
+#: renews every lease_seconds/3) never loses a lease to scheduling
+#: hiccups; short enough that a dead replica's jobs come back quickly.
+DEFAULT_LEASE_SECONDS = 15.0
+
+#: Exponential backoff between attempts: base * 2^(attempt-1), capped,
+#: with deterministic ±20% jitter so reclaimed bursts do not re-claim
+#: in lockstep but tests still reproduce exactly.
+DEFAULT_BACKOFF_SECONDS = 1.0
+DEFAULT_BACKOFF_CAP_SECONDS = 30.0
+
+
+def retry_backoff(
+    job_id: str,
+    attempt: int,
+    base: float = DEFAULT_BACKOFF_SECONDS,
+    cap: float = DEFAULT_BACKOFF_CAP_SECONDS,
+) -> float:
+    """Backoff before retrying ``job_id`` after its ``attempt``-th try.
+
+    Deterministic: the jitter multiplier (0.8–1.2) is derived from a
+    hash of ``job_id:attempt``, never from a random source, so a chaos
+    test can predict the exact requeue schedule.
+    """
+    delay = min(cap, base * (2 ** max(0, attempt - 1)))
+    digest = hashlib.sha256(f"{job_id}:{attempt}".encode()).digest()
+    jitter = 0.8 + 0.4 * (digest[0] / 255.0)
+    return delay * jitter
 
 
 class JobStore:
     """Durable queue + archive + event log over one SQLite file."""
 
-    def __init__(self, path, max_attempts: int = DEFAULT_MAX_ATTEMPTS) -> None:
+    def __init__(
+        self,
+        path,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        backoff_seconds: float = DEFAULT_BACKOFF_SECONDS,
+        backoff_cap_seconds: float = DEFAULT_BACKOFF_CAP_SECONDS,
+    ) -> None:
         self.max_attempts = max_attempts
+        self.lease_seconds = lease_seconds
+        self.backoff_seconds = backoff_seconds
+        self.backoff_cap_seconds = backoff_cap_seconds
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._lock = threading.RLock()
@@ -182,6 +279,7 @@ class JobStore:
         # captured at enqueue whenever this process did the enqueueing;
         # jobs enqueued by a previous process fall back to wall-clock.
         self._enqueue_monotonic: Dict[str, float] = {}
+        self._event_write_delay = FaultPlan.from_env().store_write_delay()
         self._connection = sqlite3.connect(
             str(self.path), check_same_thread=False
         )
@@ -189,10 +287,26 @@ class JobStore:
         with self._lock:
             # WAL survives kill -9 with at most the last uncommitted
             # write lost; NORMAL sync is the standard pairing for it.
+            # busy_timeout makes concurrent replicas (and our own worker
+            # processes) queue on SQLite's write lock instead of
+            # erroring out with "database is locked".
             self._connection.execute("PRAGMA journal_mode=WAL")
             self._connection.execute("PRAGMA synchronous=NORMAL")
+            self._connection.execute("PRAGMA busy_timeout=10000")
             self._connection.executescript(_SCHEMA)
+            self._migrate_locked()
             self._connection.commit()
+
+    def _migrate_locked(self) -> None:
+        existing = {
+            row["name"]
+            for row in self._connection.execute("PRAGMA table_info(jobs)")
+        }
+        for name, column_type in _MIGRATED_COLUMNS:
+            if name not in existing:
+                self._connection.execute(
+                    f"ALTER TABLE jobs ADD COLUMN {name} {column_type}"
+                )
 
     def close(self) -> None:
         with self._lock:
@@ -236,6 +350,7 @@ class JobStore:
         """
         spec.validate()
         spec_json = json.dumps(spec.to_dict(), sort_keys=True)
+        max_attempts = spec.retry.get("max_attempts")
         now = time.time()
         job_id = uuid.uuid4().hex
         with self._lock:
@@ -256,7 +371,8 @@ class JobStore:
             try:
                 self._connection.execute(
                     "INSERT INTO jobs (id, state, priority, idempotency_key,"
-                    " spec, created_at, updated_at) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    " spec, created_at, updated_at, max_attempts)"
+                    " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
                     (
                         job_id,
                         STATE_QUEUED,
@@ -265,6 +381,7 @@ class JobStore:
                         spec_json,
                         now,
                         now,
+                        max_attempts,
                     ),
                 )
             except sqlite3.IntegrityError:
@@ -300,34 +417,54 @@ class JobStore:
         return self._record(row) if row is not None else None
 
     # ------------------------------------------------------------------
-    # worker side
+    # worker side: claim, heartbeat, finish
     # ------------------------------------------------------------------
-    def claim_next(self, worker: str) -> Optional[JobRecord]:
-        """Atomically move the best queued job to ``running``.
+    def claim_next(
+        self, worker: str, lease_seconds: Optional[float] = None
+    ) -> Optional[JobRecord]:
+        """Atomically lease the best queued job to ``worker``.
 
-        Best = highest priority, then oldest.  Returns None when the
-        queue is empty.  The store lock serialises claims within this
-        process; the ``state = queued`` guard on the UPDATE (with a
-        rowcount check) additionally protects against another *process*
-        sharing the database file — a job can only ever be claimed by
-        whoever flips it first.
+        Best = highest priority, then oldest, skipping jobs whose retry
+        backoff (``next_attempt_at``) has not elapsed.  Returns None
+        when nothing is claimable.  The claim stamps a fresh
+        ``lease_token`` — the fencing credential all of this attempt's
+        subsequent writes must present — and a ``lease_expires_at``
+        deadline the worker keeps pushing forward via :meth:`heartbeat`.
+
+        The store lock serialises claims within this process; the
+        ``state = queued`` guard on the UPDATE (with a rowcount check)
+        additionally protects against other *processes* sharing the
+        database file — worker processes and sibling replicas alike.
         """
+        lease = self.lease_seconds if lease_seconds is None else lease_seconds
         now = time.time()
+        token = uuid.uuid4().hex
         with self._lock:
             while True:
                 row = self._connection.execute(
-                    "SELECT id FROM jobs WHERE state = ? "
-                    "ORDER BY priority DESC, created_at ASC, id ASC LIMIT 1",
-                    (STATE_QUEUED,),
+                    "SELECT id FROM jobs WHERE state = ?"
+                    " AND (next_attempt_at IS NULL OR next_attempt_at <= ?)"
+                    " ORDER BY priority DESC, created_at ASC, id ASC LIMIT 1",
+                    (STATE_QUEUED, now),
                 ).fetchone()
                 if row is None:
                     return None
                 job_id = row["id"]
                 cursor = self._connection.execute(
                     "UPDATE jobs SET state = ?, worker = ?, started_at = ?,"
-                    " updated_at = ?, attempts = attempts + 1"
+                    " updated_at = ?, attempts = attempts + 1,"
+                    " lease_token = ?, lease_expires_at = ?, next_attempt_at = NULL"
                     " WHERE id = ? AND state = ?",
-                    (STATE_RUNNING, worker, now, now, job_id, STATE_QUEUED),
+                    (
+                        STATE_RUNNING,
+                        worker,
+                        now,
+                        now,
+                        token,
+                        now + lease,
+                        job_id,
+                        STATE_QUEUED,
+                    ),
                 )
                 if cursor.rowcount != 1:
                     # Lost the race to a foreign process; try the next
@@ -344,12 +481,17 @@ class JobStore:
                         "SELECT created_at FROM jobs WHERE id = ?", (job_id,)
                     ).fetchone()["created_at"]
                     claim_latency = max(0.0, now - created)
+                attempt = self._connection.execute(
+                    "SELECT attempts FROM jobs WHERE id = ?", (job_id,)
+                ).fetchone()["attempts"]
                 self._append_event_locked(
                     job_id,
                     "started",
                     {
                         "worker": worker,
+                        "attempt": attempt,
                         "claim_latency_seconds": round(claim_latency, 6),
+                        "lease_expires_at": round(now + lease, 6),
                     },
                 )
                 self._connection.commit()
@@ -360,6 +502,267 @@ class JobStore:
         ).observe(claim_latency)
         return self.get(job_id)
 
+    def heartbeat(
+        self, job_id: str, token: str, lease_seconds: Optional[float] = None
+    ) -> bool:
+        """Renew the job's lease; False means the worker has been fenced.
+
+        A False return is the signal a worker must obey *immediately*:
+        its lease expired (or was reclaimed) and the job may already be
+        running elsewhere — every further write it could make is
+        rejected by the token guards anyway.
+        """
+        lease = self.lease_seconds if lease_seconds is None else lease_seconds
+        now = time.time()
+        with self._lock:
+            cursor = self._connection.execute(
+                "UPDATE jobs SET lease_expires_at = ?, updated_at = ?"
+                " WHERE id = ? AND state = ? AND lease_token = ?",
+                (now + lease, now, job_id, STATE_RUNNING, token),
+            )
+            self._connection.commit()
+            return cursor.rowcount == 1
+
+    def finish_attempt(
+        self,
+        job_id: str,
+        token: str,
+        state: str,
+        error: Optional[str] = None,
+        result_dir: Optional[str] = None,
+    ) -> bool:
+        """Token-fenced terminal write for a *successful or cancelled* attempt.
+
+        Returns False (writing nothing) when the caller's lease is no
+        longer current — the fenced-zombie case; the reclaimed job's
+        next attempt owns the row now.
+        """
+        now = time.time()
+        with self._lock:
+            cursor = self._connection.execute(
+                "UPDATE jobs SET state = ?, error = ?, result_dir = ?,"
+                " finished_at = ?, updated_at = ?,"
+                " lease_token = NULL, lease_expires_at = NULL"
+                " WHERE id = ? AND state = ? AND lease_token = ?",
+                (state, error, result_dir, now, now, job_id, STATE_RUNNING, token),
+            )
+            if cursor.rowcount != 1:
+                self._connection.commit()
+                return False
+            payload: Dict[str, Any] = {}
+            if error:
+                payload["error"] = error
+            self._append_event_locked(job_id, state, payload)
+            self._connection.commit()
+            return True
+
+    def fail_attempt(
+        self,
+        job_id: str,
+        token: str,
+        error: str,
+        retryable: bool = True,
+    ) -> Optional[str]:
+        """Record a failed attempt; returns what happened to the job.
+
+        ``retryable=False`` (permanent errors — bad input, missing
+        files) goes straight to ``failed``.  Retryable failures requeue
+        with backoff until ``max_attempts``, then quarantine as
+        ``poisoned``.  Returns ``"failed"``, ``"requeued"``,
+        ``"poisoned"``, or None when the token was fenced (another
+        attempt owns the job; nothing was written).
+        """
+        now = time.time()
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT * FROM jobs WHERE id = ?", (job_id,)
+            ).fetchone()
+            if row is None:
+                raise JobNotFoundError(job_id)
+            if row["state"] != STATE_RUNNING or row["lease_token"] != token:
+                return None
+            if not retryable:
+                self._connection.execute(
+                    "UPDATE jobs SET state = ?, error = ?, finished_at = ?,"
+                    " updated_at = ?, lease_token = NULL, lease_expires_at = NULL"
+                    " WHERE id = ?",
+                    (STATE_FAILED, error, now, now, job_id),
+                )
+                self._append_event_locked(job_id, STATE_FAILED, {"error": error})
+                self._connection.commit()
+                return "failed"
+            outcome = self._retry_or_quarantine_locked(
+                row, error=error, event_type="retry-scheduled", now=now
+            )
+            self._connection.commit()
+        if outcome == "requeued":
+            get_registry().counter(
+                "repro_job_retries_total",
+                "Job attempts re-enqueued after a retryable failure or reclaim.",
+            ).inc()
+        return outcome
+
+    # ------------------------------------------------------------------
+    # lease reclamation
+    # ------------------------------------------------------------------
+    def reap_expired(
+        self, now: Optional[float] = None, reason: str = "lease-expired"
+    ) -> List[Reclaim]:
+        """Take back every running job whose lease has lapsed.
+
+        The scheduler's reaper loop calls this periodically — *not*
+        just at startup — so a worker that died without a supervisor
+        noticing (or a whole dead replica) leaks its jobs for at most
+        one lease duration.  Rows with a NULL lease (written by an
+        older service version) count as expired.
+        """
+        now = time.time() if now is None else now
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT * FROM jobs WHERE state = ?"
+                " AND (lease_expires_at IS NULL OR lease_expires_at < ?)",
+                (STATE_RUNNING, now),
+            ).fetchall()
+            reclaims = []
+            for row in rows:
+                outcome = self._retry_or_quarantine_locked(
+                    row,
+                    error=f"lease expired (held by {row['worker']}): {reason}",
+                    event_type="recovered",
+                    now=now,
+                    reason=reason,
+                )
+                reclaims.append(
+                    Reclaim(
+                        record=self.get(row["id"]),
+                        previous_owner=row["worker"],
+                        outcome=outcome,
+                    )
+                )
+            self._connection.commit()
+        for reclaim in reclaims:
+            get_registry().counter(
+                "repro_lease_reclaims_total",
+                "Running jobs taken back from expired or dead lease holders.",
+                labelnames=("reason",),
+            ).labels(reason).inc()
+        return reclaims
+
+    def reclaim_worker(
+        self, worker: str, reason: str = "worker-died"
+    ) -> List[Reclaim]:
+        """Take back every running job leased to ``worker``, immediately.
+
+        The supervisor calls this the moment it observes a worker
+        process die — no need to wait out the lease when the owner is
+        known dead.
+        """
+        now = time.time()
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT * FROM jobs WHERE state = ? AND worker = ?",
+                (STATE_RUNNING, worker),
+            ).fetchall()
+            reclaims = []
+            for row in rows:
+                outcome = self._retry_or_quarantine_locked(
+                    row,
+                    error=f"worker {worker} died mid-attempt",
+                    event_type="recovered",
+                    now=now,
+                    reason=reason,
+                )
+                reclaims.append(
+                    Reclaim(
+                        record=self.get(row["id"]),
+                        previous_owner=worker,
+                        outcome=outcome,
+                    )
+                )
+            self._connection.commit()
+        for reclaim in reclaims:
+            get_registry().counter(
+                "repro_lease_reclaims_total",
+                "Running jobs taken back from expired or dead lease holders.",
+                labelnames=("reason",),
+            ).labels(reason).inc()
+        return reclaims
+
+    def _retry_or_quarantine_locked(
+        self,
+        row: sqlite3.Row,
+        error: str,
+        event_type: str,
+        now: float,
+        reason: Optional[str] = None,
+    ) -> str:
+        """Requeue with backoff, or quarantine at the attempt limit.
+
+        The shared tail of every non-permanent attempt failure: lease
+        expiry, worker death, timeouts, and retryable exceptions all
+        converge here.  Returns ``"requeued"`` or ``"poisoned"``.
+        """
+        job_id = row["id"]
+        attempts = row["attempts"]
+        limit = row["max_attempts"] or self.max_attempts
+        if attempts >= limit:
+            self._connection.execute(
+                "UPDATE jobs SET state = ?, worker = NULL, error = ?,"
+                " finished_at = ?, updated_at = ?,"
+                " lease_token = NULL, lease_expires_at = NULL"
+                " WHERE id = ?",
+                (
+                    STATE_POISONED,
+                    f"poisoned after {attempts} attempts; last failure: {error}",
+                    now,
+                    now,
+                    job_id,
+                ),
+            )
+            payload = {"attempts": attempts, "error": error}
+            if reason:
+                payload["reason"] = reason
+            self._append_event_locked(job_id, STATE_POISONED, payload)
+            get_registry().counter(
+                "repro_jobs_poisoned_total",
+                "Jobs quarantined after exhausting their retry budget.",
+            ).inc()
+            return "poisoned"
+        retry = {}
+        try:
+            retry = json.loads(row["spec"]).get("retry", {})
+        except (json.JSONDecodeError, AttributeError):
+            pass
+        backoff = retry_backoff(
+            job_id,
+            attempts,
+            base=retry.get("backoff_seconds", self.backoff_seconds),
+            cap=retry.get("backoff_cap_seconds", self.backoff_cap_seconds),
+        )
+        next_attempt_at = now + backoff
+        self._connection.execute(
+            "UPDATE jobs SET state = ?, worker = NULL, updated_at = ?,"
+            " lease_token = NULL, lease_expires_at = NULL, next_attempt_at = ?"
+            " WHERE id = ?",
+            (STATE_QUEUED, now, next_attempt_at, job_id),
+        )
+        payload = {
+            "attempt": attempts,
+            "error": error,
+            "backoff_seconds": round(backoff, 6),
+            "next_attempt_at": round(next_attempt_at, 6),
+        }
+        if reason:
+            payload["reason"] = reason
+        self._append_event_locked(job_id, event_type, payload)
+        # Claim latency of the retry counts from when the job becomes
+        # claimable again (after backoff), not from the failure instant.
+        self._enqueue_monotonic[job_id] = time.monotonic() + backoff
+        return "requeued"
+
+    # ------------------------------------------------------------------
+    # unfenced terminal writes (single-owner callers, e.g. tests)
+    # ------------------------------------------------------------------
     def mark_succeeded(self, job_id: str, result_dir: Optional[str] = None) -> None:
         self._finish(job_id, STATE_SUCCEEDED, result_dir=result_dir)
 
@@ -386,7 +789,9 @@ class JobStore:
                 )
             self._connection.execute(
                 "UPDATE jobs SET state = ?, error = ?, result_dir = ?,"
-                " finished_at = ?, updated_at = ? WHERE id = ?",
+                " finished_at = ?, updated_at = ?,"
+                " lease_token = NULL, lease_expires_at = NULL"
+                " WHERE id = ?",
                 (state, error, result_dir, now, now, job_id),
             )
             payload: Dict[str, Any] = {}
@@ -411,7 +816,8 @@ class JobStore:
                 now = time.time()
                 self._connection.execute(
                     "UPDATE jobs SET state = ?, cancel_requested = 1,"
-                    " finished_at = ?, updated_at = ? WHERE id = ?",
+                    " finished_at = ?, updated_at = ?, next_attempt_at = NULL"
+                    " WHERE id = ?",
                     (STATE_CANCELLED, now, now, job_id),
                 )
                 self._append_event_locked(job_id, STATE_CANCELLED, {})
@@ -442,56 +848,20 @@ class JobStore:
     # crash recovery
     # ------------------------------------------------------------------
     def recover_interrupted(self) -> List[JobRecord]:
-        """Re-enqueue every ``running`` job; returns the recovered records.
+        """Startup-time sweep: reclaim jobs whose leases have lapsed.
 
-        Called once at service start-up: any job still marked running
-        belonged to a process that died mid-assembly.  Its per-job
-        checkpoint directory survives, so re-running it resumes from
-        the last completed stage bit-identically.  A job already
-        claimed ``max_attempts`` times is marked failed instead — if it
-        took the process down that often, handing it to a worker again
-        would crash-loop the service with no operator escape.
+        Called once at service start-up.  Jobs leased by a *live*
+        sibling replica keep running untouched — their leases are
+        current, and force-reclaiming them is exactly the double-run
+        bug leases exist to prevent.  Jobs from the process this
+        service is replacing (or from an older, lease-less schema) have
+        expired or NULL leases and re-enqueue for resume; at the
+        attempt limit they quarantine as ``poisoned``.
         """
-        with self._lock:
-            rows = self._connection.execute(
-                "SELECT id, attempts FROM jobs WHERE state = ?", (STATE_RUNNING,)
-            ).fetchall()
-            now = time.time()
-            recovered_ids = []
-            for row in rows:
-                if row["attempts"] >= self.max_attempts:
-                    self._connection.execute(
-                        "UPDATE jobs SET state = ?, worker = NULL, error = ?,"
-                        " finished_at = ?, updated_at = ? WHERE id = ?",
-                        (
-                            STATE_FAILED,
-                            f"gave up after {row['attempts']} interrupted "
-                            "attempts (the job may be crashing the service)",
-                            now,
-                            now,
-                            row["id"],
-                        ),
-                    )
-                    self._append_event_locked(
-                        row["id"],
-                        STATE_FAILED,
-                        {"reason": "attempt limit reached during recovery"},
-                    )
-                    continue
-                self._connection.execute(
-                    "UPDATE jobs SET state = ?, worker = NULL, updated_at = ?"
-                    " WHERE id = ?",
-                    (STATE_QUEUED, now, row["id"]),
-                )
-                self._append_event_locked(
-                    row["id"], "recovered", {"reason": "service restart"}
-                )
-                # Recovery re-enqueues: claim latency counts from here,
-                # not from the original (pre-crash) submission.
-                self._enqueue_monotonic[row["id"]] = time.monotonic()
-                recovered_ids.append(row["id"])
-            self._connection.commit()
-            return [self.get(job_id) for job_id in recovered_ids]
+        return [
+            reclaim.record
+            for reclaim in self.reap_expired(reason="service-restart")
+        ]
 
     # ------------------------------------------------------------------
     # queries
@@ -553,6 +923,8 @@ class JobStore:
     def _append_event_locked(
         self, job_id: str, type: str, payload: Dict[str, Any]
     ) -> None:
+        if self._event_write_delay:
+            time.sleep(self._event_write_delay)
         # Seq allocation and insert in ONE statement: atomic under
         # SQLite's write lock, so even two *processes* sharing the
         # database file (the scenario claim_next guards) cannot collide
@@ -614,4 +986,8 @@ class JobStore:
             worker=row["worker"],
             error=row["error"],
             result_dir=row["result_dir"],
+            lease_token=row["lease_token"],
+            lease_expires_at=row["lease_expires_at"],
+            next_attempt_at=row["next_attempt_at"],
+            max_attempts=row["max_attempts"],
         )

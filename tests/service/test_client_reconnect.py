@@ -1,0 +1,123 @@
+"""Client resilience: ``wait()`` must survive a service replica bounce.
+
+Jobs are durable, so the client's poll loop treats "nothing answered"
+(status 0) as retryable within a bounded reconnect window, while real
+HTTP answers (404, 409) still raise immediately.  Unit tests fake the
+transport; the integration test actually bounces a service under a
+live ``wait()``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServiceClientError
+from repro.service import AssemblyService, JobSpec, ServiceClient
+
+
+def make_spec(genome_length: int = 2_000, seed: int = 1, k: int = 15) -> JobSpec:
+    return JobSpec(
+        input={"mode": "simulate", "genome_length": genome_length, "seed": seed},
+        config={"k": k, "num_workers": 2},
+    )
+
+
+class FlakyClient(ServiceClient):
+    """Fails the first ``failures`` requests with a connection error."""
+
+    def __init__(self, base_url: str, failures: int) -> None:
+        super().__init__(base_url)
+        self.failures = failures
+        self.attempts = 0
+
+    def _request(self, method, path, payload=None, decode_json=True):
+        self.attempts += 1
+        if self.attempts <= self.failures:
+            raise ServiceClientError("could not reach the service", status=0)
+        return super()._request(method, path, payload, decode_json)
+
+
+def test_wait_retries_connection_failures(service, tiny_spec):
+    client = ServiceClient(service.base_url)
+    job = client.submit(tiny_spec)
+
+    flaky = FlakyClient(service.base_url, failures=3)
+    status = flaky.wait(job["id"], timeout=120, reconnect_backoff=0.05)
+    assert status["job"]["state"] == "succeeded"
+    assert flaky.attempts > 3  # it retried through the outage
+
+
+def test_wait_gives_up_after_the_reconnect_window(service, tiny_spec):
+    client = ServiceClient(service.base_url)
+    job = client.submit(tiny_spec)
+
+    always_down = FlakyClient(service.base_url, failures=10**9)
+    started = time.monotonic()
+    with pytest.raises(ServiceClientError) as excinfo:
+        always_down.wait(
+            job["id"], reconnect_window=0.3, reconnect_backoff=0.05
+        )
+    assert "unreachable" in str(excinfo.value)
+    assert time.monotonic() - started < 5.0  # bounded, not forever
+
+
+def test_wait_raises_real_http_errors_immediately(service):
+    # A 404 means the server answered; retrying would just repeat it.
+    client = ServiceClient(service.base_url)
+    with pytest.raises(ServiceClientError) as excinfo:
+        client.wait("0" * 32, timeout=5)
+    assert excinfo.value.status == 404
+
+
+def test_wait_survives_a_replica_bounce(tmp_path):
+    # Integration: kill the service mid-wait, restart it on the same
+    # port and data dir; the client keeps polling through the outage
+    # and sees the resumed job succeed.  submit --wait across a deploy.
+    spec = make_spec(genome_length=20_000, seed=13, k=17)
+    first = AssemblyService(
+        tmp_path / "bounce-data", num_workers=1, port=0, poll_interval=0.05,
+        lease_seconds=1.0, reap_interval=0.2,
+    )
+    first.start()
+    port = first.port
+    client = ServiceClient(first.base_url)
+    job = client.submit(spec)
+
+    outcome = {}
+
+    def waiter():
+        try:
+            outcome["status"] = client.wait(
+                job["id"], timeout=240, reconnect_backoff=0.05
+            )
+        except Exception as exc:  # noqa: BLE001 — surfaced by the assert below
+            outcome["error"] = exc
+
+    thread = threading.Thread(target=waiter)
+    thread.start()
+    try:
+        # Wait for the job to actually start, then bounce the replica.
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            if first.store.get(job["id"]).state == "running":
+                break
+            time.sleep(0.05)
+        first.stop(wait=False)
+
+        second = AssemblyService(
+            tmp_path / "bounce-data", num_workers=1, host="127.0.0.1",
+            port=port, poll_interval=0.05, lease_seconds=1.0, reap_interval=0.2,
+        )
+        second.start()
+        try:
+            thread.join(timeout=240)
+            assert not thread.is_alive(), "wait() never returned"
+            assert "error" not in outcome, outcome.get("error")
+            assert outcome["status"]["job"]["state"] == "succeeded"
+        finally:
+            second.stop(wait=True)
+    finally:
+        thread.join(timeout=5)

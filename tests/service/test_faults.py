@@ -1,0 +1,239 @@
+"""Chaos matrix: every fault injector against a live service.
+
+Each scenario starts a fresh process-plane service with a
+``REPRO_FAULTS`` plan in the environment (inherited by the spawned
+workers), submits one job, and asserts the full recovery contract from
+the outside: the job is reclaimed *without any service restart*,
+retried, and its contigs are byte-identical to an unfaulted direct
+library run — on both execution backends.
+
+The injectors are deterministic (exact stage/attempt matches), so a red
+run here is a reproducible bug, not flake.  Stage indices used below:
+0 = dbg-construction, 1 = contig-labeling/kmers,
+2 = contig-merging/first-round.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service import AssemblyService, JobSpec
+
+BACKENDS = ("serial", "multiprocess")
+
+#: Sized so a run takes several seconds on one core: long enough for a
+#: sub-second lease to expire mid-run, short enough for a tight matrix.
+GENOME_LENGTH = 20_000
+SEED = 13
+K = 17
+
+
+def chaos_spec(backend: str, **retry) -> JobSpec:
+    merged = {"max_attempts": 3, "backoff_seconds": 0.05}
+    merged.update(retry)
+    return JobSpec(
+        input={"mode": "simulate", "genome_length": GENOME_LENGTH, "seed": SEED},
+        config={"k": K, "backend": backend, "num_workers": 2},
+        retry=merged,
+    )
+
+
+@pytest.fixture(scope="module")
+def reference_contigs(tmp_path_factory):
+    """Unfaulted direct library runs: the byte-for-byte ground truth."""
+    from repro.assembler import PPAAssembler
+
+    directory = tmp_path_factory.mktemp("chaos-reference")
+    references = {}
+    for backend in BACKENDS:
+        spec = chaos_spec(backend)
+        result = PPAAssembler(spec.assembly_config()).assemble(
+            spec.materialize().reads
+        )
+        path = directory / f"{backend}.fasta"
+        result.write_fasta(path)
+        references[backend] = path.read_text()
+    return references
+
+
+def run_chaos(
+    tmp_path,
+    monkeypatch,
+    plan,
+    spec,
+    lease_seconds=0.6,
+    timeout=240.0,
+):
+    """Run one faulted job to a terminal state; no service restarts.
+
+    Returns ``(record, event_types, contigs_text)`` — contigs None
+    unless the job succeeded.
+    """
+    monkeypatch.setenv("REPRO_FAULTS", json.dumps(plan))
+    service = AssemblyService(
+        tmp_path / "chaos-data",
+        num_workers=1,
+        port=0,
+        poll_interval=0.05,
+        lease_seconds=lease_seconds,
+        reap_interval=0.1,
+        drain_timeout=10.0,
+    )
+    service.start()
+    try:
+        record = service.submit(spec)
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            current = service.store.get(record.id)
+            if current.is_terminal:
+                break
+            time.sleep(0.05)
+        else:
+            raise AssertionError(
+                f"chaos job stuck in {current.state} after {timeout}s; "
+                f"events: {[e.type for e in service.store.events(record.id)]}"
+            )
+        events = [event.type for event in service.store.events(record.id)]
+        contigs = None
+        if current.state == "succeeded":
+            contigs = (Path(current.result_dir) / "contigs.fasta").read_text()
+        return current, events, contigs
+    finally:
+        service.stop(wait=True)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_kill_worker_mid_job_reclaims_and_retries(
+    tmp_path, monkeypatch, backend, reference_contigs
+):
+    # SIGKILL the worker process as stage 2 of attempt 1 starts: the
+    # supervisor must notice the death, reclaim the lease immediately,
+    # respawn the slot, and the retry must resume from the surviving
+    # checkpoints to the exact same contigs.
+    plan = [{"kind": "kill_worker", "stage": 2, "attempts": [1]}]
+    record, events, contigs = run_chaos(
+        tmp_path, monkeypatch, plan, chaos_spec(backend)
+    )
+    assert record.state == "succeeded"
+    assert record.attempts == 2
+    assert "recovered" in events
+    assert "stage-skipped" in events  # the retry resumed, not recomputed
+    assert contigs == reference_contigs[backend]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_stalled_heartbeat_is_fenced_by_the_reaper(
+    tmp_path, monkeypatch, backend, reference_contigs
+):
+    # Attempt 1 computes but never renews its lease: the reaper must
+    # expire the lease mid-run, reclaim the job, and fence the stalled
+    # worker out (its late writes are refused); attempt 2 heartbeats
+    # normally and finishes.
+    plan = [{"kind": "stall_heartbeat", "attempts": [1]}]
+    record, events, contigs = run_chaos(
+        tmp_path, monkeypatch, plan, chaos_spec(backend), lease_seconds=0.5
+    )
+    assert record.state == "succeeded"
+    assert record.attempts >= 2
+    assert "recovered" in events
+    assert contigs == reference_contigs[backend]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_hung_stage_is_killed_by_the_watchdog(
+    tmp_path, monkeypatch, backend, reference_contigs
+):
+    # Attempt 1 wedges forever inside stage 1; the per-stage timeout
+    # must record the failure (with retry accounting) and kill the
+    # worker process — the only way out of a hung native call.  The
+    # timeout must clear the slowest *legitimate* stage (a couple of
+    # seconds here) while still ending the injected infinite hang.
+    plan = [{"kind": "hang_stage", "stage": 1, "attempts": [1]}]
+    record, events, contigs = run_chaos(
+        tmp_path,
+        monkeypatch,
+        plan,
+        chaos_spec(backend, stage_timeout_seconds=6.0),
+    )
+    assert record.state == "succeeded"
+    assert record.attempts == 2
+    assert "timeout" in events
+    assert "retry-scheduled" in events
+    assert contigs == reference_contigs[backend]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_corrupt_checkpoint_degrades_to_an_earlier_one(
+    tmp_path, monkeypatch, backend, reference_contigs
+):
+    # Attempt 1 corrupts the stage-1 checkpoint, then dies at stage 2.
+    # The retry must detect the corruption, fall back to the stage-0
+    # checkpoint, recompute stage 1 — and still land byte-identical.
+    plan = [
+        {
+            "kind": "corrupt_checkpoint",
+            "stage": "contig-labeling/kmers",
+            "attempts": [1],
+        },
+        {"kind": "kill_worker", "stage": 2, "attempts": [1]},
+    ]
+    record, events, contigs = run_chaos(
+        tmp_path, monkeypatch, plan, chaos_spec(backend)
+    )
+    assert record.state == "succeeded"
+    assert record.attempts == 2
+    assert "recovered" in events
+    assert contigs == reference_contigs[backend]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_transient_error_retries_in_place(
+    tmp_path, monkeypatch, backend, reference_contigs
+):
+    # A raised (not fatal) error must go through fail_attempt: the
+    # worker process survives, the job is requeued with backoff, and
+    # the same worker runs the successful retry.
+    plan = [{"kind": "raise_error", "stage": 1, "attempts": [1]}]
+    record, events, contigs = run_chaos(
+        tmp_path, monkeypatch, plan, chaos_spec(backend)
+    )
+    assert record.state == "succeeded"
+    assert record.attempts == 2
+    assert "retry-scheduled" in events
+    assert "recovered" not in events  # no lease was ever lost
+    assert contigs == reference_contigs[backend]
+
+
+def test_slow_store_writes_change_nothing(
+    tmp_path, monkeypatch, reference_contigs
+):
+    # Widening every event-write race window must not change results.
+    plan = [{"kind": "delay_store_writes", "seconds": 0.01}]
+    record, events, contigs = run_chaos(
+        tmp_path, monkeypatch, plan, chaos_spec("serial")
+    )
+    assert record.state == "succeeded"
+    assert record.attempts == 1
+    assert contigs == reference_contigs["serial"]
+
+
+def test_deterministic_failure_exhausts_the_budget_and_poisons(
+    tmp_path, monkeypatch
+):
+    # A fault on *every* attempt: the service must retry exactly
+    # max_attempts times, record the schedule, then quarantine the job
+    # as poisoned instead of crash-looping forever.
+    plan = [{"kind": "raise_error", "stage": 0}]
+    record, events, contigs = run_chaos(
+        tmp_path, monkeypatch, plan, chaos_spec("serial", max_attempts=2)
+    )
+    assert record.state == "poisoned"
+    assert record.attempts == 2
+    assert "poisoned after 2 attempts" in record.error
+    assert contigs is None
+    assert events.count("retry-scheduled") == 1
+    assert events[-1] == "poisoned"

@@ -8,12 +8,14 @@ events, recovery) is pinned at the layer that owns it.
 from __future__ import annotations
 
 import threading
+import time
 
 import pytest
 
 from repro.errors import JobNotFoundError, JobStateError
 from repro.service import (
     STATE_CANCELLED,
+    STATE_POISONED,
     STATE_QUEUED,
     STATE_RUNNING,
     STATE_SUCCEEDED,
@@ -190,41 +192,57 @@ def test_cancel_terminal_job_is_a_noop(store):
 
 def test_recovery_gives_up_after_the_attempt_limit(tmp_path):
     # A job that keeps taking the process down must not crash-loop the
-    # service forever: recovery marks it failed once the claim count
-    # reaches the store's max_attempts.
-    from repro.service.store import JobStore as Store
-
-    store = Store(tmp_path / "loop.sqlite3", max_attempts=2)
+    # service forever: recovery quarantines it as poisoned once the
+    # claim count reaches the store's max_attempts.
+    store = JobStore(tmp_path / "loop.sqlite3", max_attempts=2, backoff_seconds=0.0)
     try:
         record = store.submit(make_spec())
         for round_index in range(2):
-            claimed = store.claim_next("w")
+            claimed = store.claim_next("w", lease_seconds=0.0)
             assert claimed.id == record.id
+            time.sleep(0.01)  # let the zero-second lease lapse
             recovered = store.recover_interrupted()  # simulated crash
             if round_index == 0:
                 assert [r.id for r in recovered] == [record.id]
-        assert recovered == []
+                assert recovered[0].state == STATE_QUEUED
+        assert [r.id for r in recovered] == [record.id]
         final = store.get(record.id)
-        assert final.state == "failed"
-        assert "interrupted attempts" in final.error
+        assert final.state == STATE_POISONED
+        assert "poisoned after 2 attempts" in final.error
+        assert store.claim_next("w") is None  # quarantined, not crash-looping
     finally:
         store.close()
 
 
-def test_recover_interrupted_requeues_running_jobs(store):
-    interrupted = store.submit(make_spec(seed=1))
-    untouched = store.submit(make_spec(seed=2))
-    store.claim_next("w")  # interrupted goes running
+def test_recover_interrupted_requeues_running_jobs(tmp_path):
+    store = JobStore(tmp_path / "recover.sqlite3", backoff_seconds=0.0)
+    try:
+        interrupted = store.submit(make_spec(seed=1))
+        untouched = store.submit(make_spec(seed=2))
+        store.claim_next("w", lease_seconds=0.0)  # interrupted goes running
+        time.sleep(0.01)
 
-    recovered = store.recover_interrupted()
-    assert [record.id for record in recovered] == [interrupted.id]
-    assert store.get(interrupted.id).state == STATE_QUEUED
-    assert store.get(untouched.id).state == STATE_QUEUED
-    # The recovery is visible in the event log, and the next claim
-    # counts as a second attempt.
-    types = [event.type for event in store.events(interrupted.id)]
-    assert types == ["submitted", "started", "recovered"]
-    assert store.claim_next("w").attempts >= 1
+        recovered = store.recover_interrupted()
+        assert [record.id for record in recovered] == [interrupted.id]
+        assert store.get(interrupted.id).state == STATE_QUEUED
+        assert store.get(untouched.id).state == STATE_QUEUED
+        # The recovery is visible in the event log, and the next claim
+        # counts as a second attempt.
+        types = [event.type for event in store.events(interrupted.id)]
+        assert types == ["submitted", "started", "recovered"]
+        assert store.claim_next("w").attempts >= 1
+    finally:
+        store.close()
+
+
+def test_recover_interrupted_leaves_live_leases_alone(store):
+    # Startup recovery must be replica-safe: a job leased by a live
+    # sibling service keeps running.
+    leased = store.submit(make_spec(seed=1))
+    claimed = store.claim_next("sibling", lease_seconds=60.0)
+    assert claimed.id == leased.id
+    assert store.recover_interrupted() == []
+    assert store.get(leased.id).state == STATE_RUNNING
 
 
 def test_event_log_is_append_only_and_cursorable(store):
@@ -254,10 +272,130 @@ def test_list_jobs_filters_by_state(store):
 def test_counts_are_zero_filled(store):
     counts = store.counts()
     assert counts == {
-        "queued": 0, "running": 0, "succeeded": 0, "failed": 0, "cancelled": 0,
+        "queued": 0, "running": 0, "succeeded": 0, "failed": 0,
+        "cancelled": 0, "poisoned": 0,
     }
     store.submit(make_spec())
     assert store.counts()["queued"] == 1
+
+
+# ----------------------------------------------------------------------
+# leases, heartbeats and fencing
+# ----------------------------------------------------------------------
+def test_claim_grants_a_lease_and_heartbeat_renews_it(store):
+    record = store.submit(make_spec())
+    claimed = store.claim_next("w", lease_seconds=5.0)
+    assert claimed.lease_expires_at is not None
+    first_expiry = claimed.lease_expires_at
+    time.sleep(0.02)
+    assert store.heartbeat(record.id, claimed.lease_token) is True
+    assert store.get(record.id).lease_expires_at > first_expiry
+    # A stale token never renews: the worker has been fenced.
+    assert store.heartbeat(record.id, "not-the-token") is False
+
+
+def test_reap_expired_reclaims_only_lapsed_leases(store):
+    expired = store.submit(make_spec(seed=1))
+    live = store.submit(make_spec(seed=2))
+    store.claim_next("dead-worker", lease_seconds=0.0)   # FIFO: claims `expired`
+    store.claim_next("live-worker", lease_seconds=60.0)  # claims `live`
+    time.sleep(0.01)
+
+    reclaims = store.reap_expired()
+    assert [reclaim.record.id for reclaim in reclaims] == [expired.id]
+    assert reclaims[0].previous_owner == "dead-worker"
+    assert reclaims[0].outcome == "requeued"
+    assert store.get(expired.id).state == STATE_QUEUED
+    assert store.get(live.id).state == STATE_RUNNING
+
+
+def test_finish_attempt_is_fenced_by_the_lease_token(store):
+    record = store.submit(make_spec())
+    claimed = store.claim_next("zombie", lease_seconds=0.0)
+    time.sleep(0.01)
+    store.reap_expired()  # the lease lapses; the job goes back to queued
+    # The zombie's late success must not clobber the reclaimed job.
+    done = store.finish_attempt(record.id, claimed.lease_token, STATE_SUCCEEDED)
+    assert done is False
+    assert store.get(record.id).state == STATE_QUEUED
+
+
+def test_reclaim_worker_takes_back_only_that_workers_jobs(store):
+    mine = store.submit(make_spec(seed=1))
+    theirs = store.submit(make_spec(seed=2))
+    store.claim_next("worker-0@100", lease_seconds=60.0)
+    store.claim_next("worker-1@101", lease_seconds=60.0)
+
+    reclaims = store.reclaim_worker("worker-0@100", reason="worker-died")
+    assert [reclaim.record.id for reclaim in reclaims] == [mine.id]
+    assert store.get(mine.id).state == STATE_QUEUED
+    assert store.get(theirs.id).state == STATE_RUNNING
+
+
+# ----------------------------------------------------------------------
+# retry, backoff and quarantine
+# ----------------------------------------------------------------------
+def test_fail_attempt_requeues_then_poisons(tmp_path):
+    store = JobStore(tmp_path / "retry.sqlite3", max_attempts=2, backoff_seconds=0.0)
+    try:
+        record = store.submit(make_spec())
+        first = store.claim_next("w")
+        assert store.fail_attempt(record.id, first.lease_token, "boom") == "requeued"
+        assert store.get(record.id).state == STATE_QUEUED
+
+        second = store.claim_next("w")
+        assert second.attempts == 2
+        assert store.fail_attempt(record.id, second.lease_token, "boom") == "poisoned"
+        final = store.get(record.id)
+        assert final.state == STATE_POISONED
+        assert final.is_terminal
+        assert "poisoned after 2 attempts" in final.error
+        assert "boom" in final.error
+        types = [event.type for event in store.events(record.id)]
+        assert "retry-scheduled" in types
+        assert types[-1] == "poisoned"
+    finally:
+        store.close()
+
+
+def test_fail_attempt_non_retryable_fails_immediately(store):
+    record = store.submit(make_spec())
+    claimed = store.claim_next("w")
+    outcome = store.fail_attempt(
+        record.id, claimed.lease_token, "bad spec", retryable=False
+    )
+    assert outcome == "failed"
+    assert store.get(record.id).state == "failed"
+
+
+def test_requeued_job_waits_out_its_backoff(tmp_path):
+    store = JobStore(tmp_path / "backoff.sqlite3", max_attempts=5, backoff_seconds=30.0)
+    try:
+        record = store.submit(make_spec())
+        claimed = store.claim_next("w")
+        assert store.fail_attempt(record.id, claimed.lease_token, "flaky") == "requeued"
+        requeued = store.get(record.id)
+        assert requeued.state == STATE_QUEUED
+        assert requeued.next_attempt_at is not None
+        # The backoff gate keeps the hot job out of the claim loop.
+        assert store.claim_next("w") is None
+        events = {event.type: event.payload for event in store.events(record.id)}
+        assert events["retry-scheduled"]["backoff_seconds"] > 0
+    finally:
+        store.close()
+
+
+def test_spec_retry_budget_overrides_the_store_default(tmp_path):
+    store = JobStore(tmp_path / "override.sqlite3", max_attempts=3, backoff_seconds=0.0)
+    try:
+        spec = make_spec()
+        spec.retry = {"max_attempts": 1}
+        record = store.submit(spec)
+        claimed = store.claim_next("w")
+        assert store.fail_attempt(record.id, claimed.lease_token, "boom") == "poisoned"
+        assert store.get(record.id).state == STATE_POISONED
+    finally:
+        store.close()
 
 
 def test_store_survives_reopen(tmp_path):

@@ -114,17 +114,34 @@ def test_scaffolded_job_writes_scaffold_artifacts(service):
     assert progress["completed_stages"] == progress["total_stages"]
 
 
-def test_failing_job_is_marked_failed_with_the_error(service, tmp_path):
+def test_persistently_failing_job_retries_then_quarantines(service, tmp_path):
+    # A missing input file is not a ReproError, so the service treats it
+    # as possibly transient (unmounted volume, slow NFS): it burns the
+    # full attempt budget with backoff, then quarantines as poisoned
+    # instead of crash-looping.
     spec = JobSpec(
         input={"mode": "fastq", "path": str(tmp_path / "missing.fastq")},
         config={"k": 15},
+        retry={"max_attempts": 2, "backoff_seconds": 0.05},
     )
     record = service.submit(spec)
     (final,) = _wait_terminal(service, [record.id])
-    assert final.state == "failed"
+    assert final.state == "poisoned"
+    assert final.attempts == 2
     assert "missing.fastq" in final.error
+    assert "poisoned after 2 attempts" in final.error
     types = [event.type for event in service.store.events(record.id)]
-    assert types[-1] == "failed"
+    assert types[-1] == "poisoned"
+    assert "retry-scheduled" in types
+    # The retry schedule is auditable: the requeue event records the
+    # backoff and when the job became claimable again.
+    (retry_event,) = [
+        event for event in service.store.events(record.id)
+        if event.type == "retry-scheduled"
+    ]
+    assert retry_event.payload["backoff_seconds"] > 0
+    assert retry_event.payload["next_attempt_at"] > 0
+    assert retry_event.payload["attempt"] == 1
 
 
 def test_running_job_cancels_at_the_next_stage_boundary(service):
