@@ -21,6 +21,7 @@ from __future__ import annotations
 import json
 import logging
 import threading
+import time
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
@@ -259,10 +260,28 @@ class AssemblyService:
             )
         return record
 
+    def _artifact_path(self, record: JobRecord, name: str) -> Path:
+        """The artifact's path, waiting out the publish window.
+
+        The worker commits ``succeeded`` first and then renames the
+        staged artifacts into the job directory (staging is what keeps
+        a fenced zombie from clobbering a retry's files), so a tight
+        poller can observe the state a moment before the files land —
+        give the renames a grace period before declaring them missing.
+        """
+        path = Path(record.result_dir or "") / name
+        # Bounded by the finish timestamp: a job that finished long ago
+        # and has no such file (e.g. scaffolds for an unscaffolded run)
+        # fails immediately instead of stalling out the grace period.
+        deadline = (record.finished_at or 0.0) + 1.0
+        while not path.is_file() and time.time() < deadline:
+            time.sleep(0.01)
+        return path
+
     def result_payload(self, job_id: str) -> Dict[str, Any]:
         """The job's quality metrics JSON (written by its worker)."""
         record = self._succeeded(job_id)
-        path = Path(record.result_dir or "") / "metrics.json"
+        path = self._artifact_path(record, "metrics.json")
         try:
             return json.loads(path.read_text())
         except (OSError, json.JSONDecodeError) as exc:
@@ -273,7 +292,7 @@ class AssemblyService:
     def artifact_text(self, job_id: str, name: str) -> str:
         """A FASTA artifact (``contigs.fasta`` / ``scaffolds.fasta``)."""
         record = self._succeeded(job_id)
-        path = Path(record.result_dir or "") / name
+        path = self._artifact_path(record, name)
         if not path.is_file():
             raise JobStateError(f"job {job_id} produced no {name} artifact")
         return path.read_text()

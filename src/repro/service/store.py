@@ -582,12 +582,19 @@ class JobStore:
             if row["state"] != STATE_RUNNING or row["lease_token"] != token:
                 return None
             if not retryable:
-                self._connection.execute(
+                # The token guard is repeated on the UPDATE itself: the
+                # SELECT above runs outside the write transaction, so a
+                # cross-process reclaim can commit in between — the
+                # rowcount check is what actually refuses the late write.
+                cursor = self._connection.execute(
                     "UPDATE jobs SET state = ?, error = ?, finished_at = ?,"
                     " updated_at = ?, lease_token = NULL, lease_expires_at = NULL"
-                    " WHERE id = ?",
-                    (STATE_FAILED, error, now, now, job_id),
+                    " WHERE id = ? AND state = ? AND lease_token = ?",
+                    (STATE_FAILED, error, now, now, job_id, STATE_RUNNING, token),
                 )
+                if cursor.rowcount != 1:
+                    self._connection.commit()
+                    return None
                 self._append_event_locked(job_id, STATE_FAILED, {"error": error})
                 self._connection.commit()
                 return "failed"
@@ -632,6 +639,10 @@ class JobStore:
                     now=now,
                     reason=reason,
                 )
+                if outcome is None:
+                    # The worker finished (token-fenced) between our
+                    # SELECT and UPDATE; nothing was reclaimed.
+                    continue
                 reclaims.append(
                     Reclaim(
                         record=self.get(row["id"]),
@@ -672,6 +683,10 @@ class JobStore:
                     now=now,
                     reason=reason,
                 )
+                if outcome is None:
+                    # The dying worker's last token-fenced write landed
+                    # first; the job is already terminal. Leave it be.
+                    continue
                 reclaims.append(
                     Reclaim(
                         record=self.get(row["id"]),
@@ -695,30 +710,41 @@ class JobStore:
         event_type: str,
         now: float,
         reason: Optional[str] = None,
-    ) -> str:
+    ) -> Optional[str]:
         """Requeue with backoff, or quarantine at the attempt limit.
 
         The shared tail of every non-permanent attempt failure: lease
         expiry, worker death, timeouts, and retryable exceptions all
-        converge here.  Returns ``"requeued"`` or ``"poisoned"``.
+        converge here.  Returns ``"requeued"``, ``"poisoned"``, or None
+        when the row moved on under us — both UPDATEs are fenced on the
+        (state, lease_token) read by the caller's SELECT, because that
+        SELECT runs outside the write transaction: a worker process can
+        commit its own token-guarded finish in the gap, and flipping a
+        just-succeeded job back to queued would run it twice.  ``IS``
+        (not ``=``) so NULL leases from a pre-lease schema still match.
         """
         job_id = row["id"]
         attempts = row["attempts"]
+        token = row["lease_token"]
         limit = row["max_attempts"] or self.max_attempts
         if attempts >= limit:
-            self._connection.execute(
+            cursor = self._connection.execute(
                 "UPDATE jobs SET state = ?, worker = NULL, error = ?,"
                 " finished_at = ?, updated_at = ?,"
                 " lease_token = NULL, lease_expires_at = NULL"
-                " WHERE id = ?",
+                " WHERE id = ? AND state = ? AND lease_token IS ?",
                 (
                     STATE_POISONED,
                     f"poisoned after {attempts} attempts; last failure: {error}",
                     now,
                     now,
                     job_id,
+                    STATE_RUNNING,
+                    token,
                 ),
             )
+            if cursor.rowcount != 1:
+                return None
             payload = {"attempts": attempts, "error": error}
             if reason:
                 payload["reason"] = reason
@@ -740,12 +766,14 @@ class JobStore:
             cap=retry.get("backoff_cap_seconds", self.backoff_cap_seconds),
         )
         next_attempt_at = now + backoff
-        self._connection.execute(
+        cursor = self._connection.execute(
             "UPDATE jobs SET state = ?, worker = NULL, updated_at = ?,"
             " lease_token = NULL, lease_expires_at = NULL, next_attempt_at = ?"
-            " WHERE id = ?",
-            (STATE_QUEUED, now, next_attempt_at, job_id),
+            " WHERE id = ? AND state = ? AND lease_token IS ?",
+            (STATE_QUEUED, now, next_attempt_at, job_id, STATE_RUNNING, token),
         )
+        if cursor.rowcount != 1:
+            return None
         payload = {
             "attempt": attempts,
             "error": error,

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import shutil
 import signal
 import threading
 import time
@@ -132,14 +133,26 @@ class MetricsSpool:
         except OSError:
             return
         for path in paths:
+            # Claim by rename before reading: the API server is a
+            # ThreadingHTTPServer, so two concurrent /metrics scrapes
+            # can see the same file — whoever renames first owns it,
+            # the loser's rename fails, and no delta merges twice.
+            # (Leading dot keeps claimed files out of the glob above.)
+            claimed = path.with_name(
+                f".{path.name}.{os.getpid()}-{threading.get_ident()}.claim"
+            )
             try:
-                with open(path, "rb") as handle:
+                os.rename(path, claimed)
+            except OSError:
+                continue  # another scraper owns this file
+            try:
+                with open(claimed, "rb") as handle:
                     state = pickle.load(handle)
                 registry.merge_state(state)
             except Exception:  # noqa: BLE001 — a torn/stale file must not 500 /metrics
                 pass
             try:
-                path.unlink()
+                claimed.unlink()
             except OSError:
                 pass
 
@@ -338,15 +351,32 @@ def execute_attempt(
                 )
                 _abort_if_signalled()
                 wall_seconds = time.perf_counter() - started
-                result_dir = _write_artifacts(
-                    data_dir, job_id, record, result, material,
+                # Stage artifacts in a per-attempt directory and publish
+                # only after the token-fenced finish commits: a fenced
+                # zombie whose lease lapsed after the last
+                # _abort_if_signalled must not overwrite files the retry
+                # attempt is writing (open-ended window on the thread
+                # plane, where a timed-out attempt keeps running until
+                # its next stage boundary).
+                result_dir = job_dir(data_dir, job_id)
+                staging = result_dir / (
+                    f".staging-attempt{attempt:03d}"
+                    f"-{os.getpid()}-{threading.get_ident()}"
+                )
+                _write_artifacts(
+                    staging, job_id, record, result, material,
                     stage_seconds, wall_seconds,
                 )
                 if store.finish_attempt(
                     job_id, token, STATE_SUCCEEDED, result_dir=str(result_dir)
                 ):
+                    # The job is terminal and this attempt owns it: no
+                    # concurrent attempt can exist past this point, so
+                    # the per-file renames race with nobody.
+                    _publish_artifacts(staging, result_dir)
                     outcome = "succeeded"
                 else:
+                    shutil.rmtree(staging, ignore_errors=True)
                     outcome = "lease-lost"
             except _JobCancelled:
                 finished = _finish_quietly(
@@ -422,7 +452,7 @@ def _write_trace(data_dir, job_id: str, job_span) -> None:
 
 
 def _write_artifacts(
-    data_dir,
+    directory: Path,
     job_id: str,
     record: JobRecord,
     result,
@@ -430,10 +460,9 @@ def _write_artifacts(
     stage_seconds: Dict[str, float],
     wall_seconds: float,
 ) -> Path:
-    """Persist the job's deliverables next to its checkpoints."""
+    """Write the job's deliverables into ``directory`` (a staging dir)."""
     import json
 
-    directory = job_dir(data_dir, job_id)
     directory.mkdir(parents=True, exist_ok=True)
     result.write_fasta(directory / "contigs.fasta")
     if result.scaffolding is not None:
@@ -449,6 +478,17 @@ def _write_artifacts(
         json.dumps(payload, indent=2, sort_keys=True) + "\n"
     )
     return directory
+
+
+def _publish_artifacts(staging: Path, directory: Path) -> None:
+    """Atomically move each staged artifact into the job directory."""
+    directory.mkdir(parents=True, exist_ok=True)
+    for path in staging.iterdir():
+        os.replace(path, directory / path.name)
+    try:
+        staging.rmdir()
+    except OSError:
+        pass
 
 
 # ----------------------------------------------------------------------

@@ -39,94 +39,123 @@ LabelValues = Tuple[str, ...]
 
 
 class _Counter:
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     kind = "counter"
 
-    def __init__(self) -> None:
+    def __init__(self, lock: Optional["threading.RLock"] = None) -> None:
         self.value = 0.0
+        self._lock = lock if lock is not None else threading.RLock()
 
     def inc(self, amount: Union[int, float] = 1) -> None:
         if amount < 0:
             raise ValueError("counters only go up")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dump(self) -> float:
-        return self.value
+        with self._lock:
+            return self.value
 
     def merge(self, state: float) -> None:
-        self.value += state
+        with self._lock:
+            self.value += state
 
     def reset(self) -> None:
-        self.value = 0.0
+        with self._lock:
+            self.value = 0.0
 
 
 class _Gauge:
-    __slots__ = ("value", "callback")
+    __slots__ = ("value", "callback", "_lock")
 
     kind = "gauge"
 
-    def __init__(self, callback: Optional[Callable[[], float]] = None) -> None:
+    def __init__(
+        self,
+        callback: Optional[Callable[[], float]] = None,
+        lock: Optional["threading.RLock"] = None,
+    ) -> None:
         self.value = 0.0
         self.callback = callback
+        self._lock = lock if lock is not None else threading.RLock()
 
     def set(self, value: Union[int, float]) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def inc(self, amount: Union[int, float] = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: Union[int, float] = 1) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
     def read(self) -> float:
         if self.callback is not None:
             return float(self.callback())
-        return self.value
+        with self._lock:
+            return self.value
 
     def dump(self) -> float:
         return self.read()
 
     def merge(self, state: float) -> None:
-        self.value = state
+        with self._lock:
+            self.value = state
 
     def reset(self) -> None:
-        self.value = 0.0
+        with self._lock:
+            self.value = 0.0
 
 
 class _Histogram:
-    __slots__ = ("buckets", "counts", "total", "count")
+    __slots__ = ("buckets", "counts", "total", "count", "_lock")
 
     kind = "histogram"
 
-    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+    def __init__(
+        self,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        lock: Optional["threading.RLock"] = None,
+    ) -> None:
         self.buckets: Tuple[float, ...] = tuple(sorted(buckets))
         # one slot per finite bucket plus the +Inf overflow slot
         self.counts: List[int] = [0] * (len(self.buckets) + 1)
         self.total = 0.0
         self.count = 0
+        self._lock = lock if lock is not None else threading.RLock()
 
     def observe(self, value: Union[int, float]) -> None:
-        self.counts[bisect.bisect_left(self.buckets, value)] += 1
-        self.total += value
-        self.count += 1
+        with self._lock:
+            self.counts[bisect.bisect_left(self.buckets, value)] += 1
+            self.total += value
+            self.count += 1
 
     def dump(self) -> Dict[str, Any]:
-        return {"counts": list(self.counts), "total": self.total, "count": self.count}
+        with self._lock:
+            return {
+                "counts": list(self.counts),
+                "total": self.total,
+                "count": self.count,
+            }
 
     def merge(self, state: Dict[str, Any]) -> None:
         counts = state["counts"]
         if len(counts) != len(self.counts):
             raise ValueError("histogram bucket layouts differ; cannot merge")
-        for index, value in enumerate(counts):
-            self.counts[index] += value
-        self.total += state["total"]
-        self.count += state["count"]
+        with self._lock:
+            for index, value in enumerate(counts):
+                self.counts[index] += value
+            self.total += state["total"]
+            self.count += state["count"]
 
     def reset(self) -> None:
-        self.counts = [0] * (len(self.buckets) + 1)
-        self.total = 0.0
-        self.count = 0
+        with self._lock:
+            self.counts = [0] * (len(self.buckets) + 1)
+            self.total = 0.0
+            self.count = 0
 
 
 _CHILD_TYPES = {"counter": _Counter, "gauge": _Gauge, "histogram": _Histogram}
@@ -148,7 +177,7 @@ class _MetricFamily:
         help_text: str,
         kind: str,
         labelnames: Tuple[str, ...],
-        lock: threading.Lock,
+        lock: "threading.RLock",
         buckets: Sequence[float] = DEFAULT_BUCKETS,
     ) -> None:
         self.name = name
@@ -163,11 +192,15 @@ class _MetricFamily:
             self._children[()] = self._make_child()
 
     def _make_child(self, callback: Optional[Callable[[], float]] = None) -> Any:
+        # Children share the registry lock (reentrant, so dump/reset
+        # under drain_state's hold nests cleanly): an inc or observe on
+        # any thread serializes against snapshot-and-clear, which is
+        # what keeps cross-process delta sums exact.
         if self.kind == "histogram":
-            return _Histogram(self.buckets)
+            return _Histogram(self.buckets, self._lock)
         if self.kind == "gauge":
-            return _Gauge(callback)
-        return _Counter()
+            return _Gauge(callback, self._lock)
+        return _Counter(self._lock)
 
     def labels(self, *values: Union[str, int, float]) -> Any:
         """The child time series for this label-value tuple."""
@@ -228,7 +261,9 @@ class MetricsRegistry:
     enabled = True
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        # Reentrant: drain_state holds it while calling child dump and
+        # reset, which take the same lock.
+        self._lock = threading.RLock()
         self._families: Dict[str, _MetricFamily] = {}
 
     def _family(
@@ -298,21 +333,24 @@ class MetricsRegistry:
         Callback gauges are skipped — they are views over live local
         objects and make no sense in another process.
         """
-        state: Dict[str, Any] = {}
         with self._lock:
-            for name, family in self._families.items():
-                series = {}
-                for key, child in family._children.items():
-                    if family.kind == "gauge" and child.callback is not None:
-                        continue
-                    series["\x1f".join(key)] = child.dump()
-                state[name] = {
-                    "kind": family.kind,
-                    "help": family.help,
-                    "labelnames": list(family.labelnames),
-                    "buckets": list(family.buckets),
-                    "series": series,
-                }
+            return self._dump_state_locked()
+
+    def _dump_state_locked(self) -> Dict[str, Any]:
+        state: Dict[str, Any] = {}
+        for name, family in self._families.items():
+            series = {}
+            for key, child in family._children.items():
+                if family.kind == "gauge" and child.callback is not None:
+                    continue
+                series["\x1f".join(key)] = child.dump()
+            state[name] = {
+                "kind": family.kind,
+                "help": family.help,
+                "labelnames": list(family.labelnames),
+                "buckets": list(family.buckets),
+                "series": series,
+            }
         return state
 
     def merge_state(self, state: Dict[str, Any]) -> None:
@@ -336,10 +374,13 @@ class MetricsRegistry:
         """:meth:`dump_state`, then reset — an incremental delta.
 
         Workers call this at every superstep barrier so the same count
-        is never shipped twice.
+        is never shipped twice.  Snapshot and reset happen under one
+        lock acquisition: an increment from another thread (e.g. the
+        heartbeat ticker) lands either in this delta or the next one,
+        never in the gap between them.
         """
-        state = self.dump_state()
         with self._lock:
+            state = self._dump_state_locked()
             for family in self._families.values():
                 for child in family._children.values():
                     if family.kind == "gauge" and child.callback is not None:

@@ -320,6 +320,82 @@ def test_finish_attempt_is_fenced_by_the_lease_token(store):
     assert store.get(record.id).state == STATE_QUEUED
 
 
+def test_reaper_requeue_is_fenced_against_a_concurrent_finish(tmp_path):
+    # Two stores on one file model the reaper and a worker process.
+    # The reaper's SELECT snapshots the job as running with a lapsed
+    # lease; the worker's token-fenced finish commits before the
+    # reaper's UPDATE.  The guarded UPDATE must hit zero rows — not
+    # flip the just-succeeded job back to queued and run it twice.
+    path = tmp_path / "race.sqlite3"
+    reaper_store = JobStore(path)
+    worker_store = JobStore(path)
+    try:
+        record = reaper_store.submit(make_spec())
+        claimed = worker_store.claim_next("w@1", lease_seconds=0.0)
+        time.sleep(0.01)
+        with reaper_store._lock:
+            stale_row = reaper_store._connection.execute(
+                "SELECT * FROM jobs WHERE id = ?", (record.id,)
+            ).fetchone()
+        assert worker_store.finish_attempt(
+            record.id, claimed.lease_token, STATE_SUCCEEDED
+        )
+        with reaper_store._lock:
+            outcome = reaper_store._retry_or_quarantine_locked(
+                stale_row,
+                error="lease expired",
+                event_type="recovered",
+                now=time.time(),
+            )
+            reaper_store._connection.commit()
+        assert outcome is None
+        assert reaper_store.get(record.id).state == STATE_SUCCEEDED
+    finally:
+        worker_store.close()
+        reaper_store.close()
+
+
+def test_reaper_quarantine_is_fenced_against_a_concurrent_finish(tmp_path):
+    # Same interleaving as above, at the attempt limit: the stale
+    # snapshot would poison the job, but it already succeeded.
+    path = tmp_path / "race.sqlite3"
+    reaper_store = JobStore(path, max_attempts=1)
+    worker_store = JobStore(path, max_attempts=1)
+    try:
+        record = reaper_store.submit(make_spec())
+        claimed = worker_store.claim_next("w@1", lease_seconds=0.0)
+        time.sleep(0.01)
+        with reaper_store._lock:
+            stale_row = reaper_store._connection.execute(
+                "SELECT * FROM jobs WHERE id = ?", (record.id,)
+            ).fetchone()
+        assert worker_store.finish_attempt(
+            record.id, claimed.lease_token, STATE_SUCCEEDED
+        )
+        with reaper_store._lock:
+            outcome = reaper_store._retry_or_quarantine_locked(
+                stale_row,
+                error="lease expired",
+                event_type="recovered",
+                now=time.time(),
+            )
+            reaper_store._connection.commit()
+        assert outcome is None
+        assert reaper_store.get(record.id).state == STATE_SUCCEEDED
+    finally:
+        worker_store.close()
+        reaper_store.close()
+
+
+def test_reap_expired_reports_nothing_for_a_job_that_just_finished(store):
+    record = store.submit(make_spec())
+    claimed = store.claim_next("w", lease_seconds=0.0)
+    time.sleep(0.01)
+    assert store.finish_attempt(record.id, claimed.lease_token, STATE_SUCCEEDED)
+    assert store.reap_expired() == []
+    assert store.get(record.id).state == STATE_SUCCEEDED
+
+
 def test_reclaim_worker_takes_back_only_that_workers_jobs(store):
     mine = store.submit(make_spec(seed=1))
     theirs = store.submit(make_spec(seed=2))

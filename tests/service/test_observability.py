@@ -8,6 +8,7 @@ series, and walks a finished job's span tree.
 from __future__ import annotations
 
 import re
+import time
 from urllib import request
 
 import pytest
@@ -80,7 +81,18 @@ def test_unknown_routes_share_one_bounded_metric_label(service, client):
     for path in ("/nope", "/jobs/feedfacefeedfacefeedfacefeedface/nope"):
         with pytest.raises(ServiceClientError):
             client._request("GET", path)
-    text = client.metrics_text()
+    # A request's metrics land after its response is written, so a fast
+    # scrape can beat the bookkeeping of the requests above — re-scrape
+    # briefly until both route labels have landed.
+    deadline = time.monotonic() + 10.0
+    while True:
+        text = client.metrics_text()
+        if (
+            'route="<other>"' in text
+            and 'route="/jobs/<id><other>"' in text
+        ) or time.monotonic() >= deadline:
+            break
+        time.sleep(0.05)
     assert 'route="<other>"' in text
     assert 'route="/jobs/<id><other>"' in text
     assert "/nope" not in text

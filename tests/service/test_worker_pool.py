@@ -165,3 +165,44 @@ def test_running_job_cancels_at_the_next_stage_boundary(service):
     starts = sum(1 for t in types if t == "stage-start")
     ends = sum(1 for t in types if t == "stage-end")
     assert starts == ends
+
+
+def test_metrics_spool_concurrent_drains_never_double_merge(tmp_path):
+    # The API server is threaded, so two /metrics scrapes can drain the
+    # spool at once.  Claim-by-rename means every spooled delta merges
+    # into exactly one scraper's registry — the sum over all scrapers
+    # must equal what the workers pushed, never more.
+    import threading
+
+    from repro.service.worker import MetricsSpool
+    from repro.telemetry import MetricsRegistry
+
+    spool = MetricsSpool(tmp_path)
+    source = MetricsRegistry()
+    for _ in range(20):
+        source.counter("spooled_total", "help").inc(5)
+        spool.push(source)  # push drains, so each file carries a delta of 5
+
+    registries = [MetricsRegistry() for _ in range(4)]
+    barrier = threading.Barrier(len(registries))
+
+    def scrape(registry):
+        barrier.wait()
+        spool.drain_into(registry)
+
+    threads = [
+        threading.Thread(target=scrape, args=(registry,))
+        for registry in registries
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    total = sum(
+        registry.counter("spooled_total", "help").read()
+        for registry in registries
+    )
+    assert total == 100
+    # Every file was consumed, claim files included.
+    assert list(spool.directory.iterdir()) == []
