@@ -1,8 +1,10 @@
 """Execution-backend speedup — serial simulation vs real multiprocessing.
 
 Every other benchmark reports *simulated* cluster seconds from the BSP
-cost model; this one measures real wall-clock time of the two execution
-backends on the current host.  Two workloads:
+cost model; this one measures real wall-clock time of the execution
+backends on the current host, across the multiprocess backend's full
+transport/placement matrix (message plane shm vs queue, partitioner
+hash vs prefix_range).  Two workloads:
 
 * a compute-bound Pregel job (each vertex burns a fixed arithmetic
   budget per superstep and floods a small token ring) — the shape that
@@ -11,18 +13,31 @@ backends on the current host.  Two workloads:
   by many short Pregel jobs, so process start-up overhead matters and
   the multiprocess win only appears at larger scales.
 
-On a multi-core host the compute-bound workload must run measurably
-faster on the multiprocess backend; on a single-core host (CI smoke
-runs) the assertion degrades to "multiprocess produces identical
-results", since no wall-clock win is physically possible there.
+Results land in ``BENCH_backend_speedup.json`` (shared schema-v2
+envelope, see :mod:`repro.bench.schema`) with one row per
+workload × backend × plane × partitioner: wall-clock seconds, speedup
+against the serial run of the same partitioner, and the exact
+``cross_worker_messages`` / total message counters.
+
+Parity is always asserted — every combination must produce bit-identical
+results to the serial oracle of the same partitioner, and prefix_range
+must ship measurably fewer cross-worker messages than hash.  The
+wall-clock assertion (multiprocess+shm beats serial) only fires on a
+multi-core host with the serial run above a noise floor; the JSON
+records ``cpu_count`` and ``speedup_asserted`` so downstream tooling
+knows whether the numbers carry a parallelism signal.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import time
+from pathlib import Path
 
 from repro.bench import format_table, prepare_dataset, run_ppa_timed
+from repro.bench.harness import BENCH_K, bench_scale
+from repro.bench.schema import bench_report
 from repro.pregel import PregelEngine, PregelJob, Vertex
 
 #: Arithmetic iterations each vertex burns per superstep (scaled by
@@ -31,12 +46,28 @@ WORK_PER_SUPERSTEP = 12_000
 NUM_VERTICES = 240
 NUM_ROUNDS = 8
 NUM_WORKERS = 4
+DATASET = "hc2"
 
 #: Only assert a wall-clock win when the serial run is long enough for
 #: compute to dominate the multiprocess backend's fixed costs (process
 #: start-up, queue round-trips); below this the comparison is noise on
 #: small shared CI runners.
 MIN_SERIAL_SECONDS_FOR_ASSERT = 1.0
+
+#: The multiprocess transport/placement matrix measured per workload.
+MP_COMBOS = (
+    ("shm", "hash"),
+    ("shm", "prefix_range"),
+    ("queue", "hash"),
+    ("queue", "prefix_range"),
+)
+
+
+def _output_path() -> Path:
+    override = os.environ.get("REPRO_BENCH_OUTPUT_DIR")
+    root = Path(override) if override else Path(__file__).resolve().parents[1]
+    root.mkdir(parents=True, exist_ok=True)
+    return root / "BENCH_backend_speedup.json"
 
 
 class BusyRingVertex(Vertex):
@@ -70,69 +101,151 @@ def _build_ring(work: int):
     ]
 
 
-def _time_backend(backend: str, work: int):
-    engine = PregelEngine(NUM_WORKERS, backend=backend)
+def _time_ring(backend: str, work: int, message_plane: str, partitioner: str):
+    engine = PregelEngine(
+        NUM_WORKERS,
+        backend=backend,
+        message_plane=message_plane,
+        partitioner=partitioner,
+    )
     job = PregelJob(name="busy-ring", vertices=_build_ring(work))
     started = time.perf_counter()
     result = engine.run(job)
     return result, time.perf_counter() - started
 
 
-def _speedup_rows(scale_multiplier: float):
+def _row(workload, backend, plane, partitioner, seconds, serial_seconds, metrics):
+    return {
+        "workload": workload,
+        "backend": backend,
+        "message_plane": plane,
+        "partitioner": partitioner,
+        "seconds": round(seconds, 3),
+        "speedup_vs_serial": round(serial_seconds / seconds, 3) if seconds else None,
+        "cross_worker_messages": metrics.summary()["cross_worker_messages"],
+        "total_messages": metrics.summary()["messages"],
+    }
+
+
+def _measure_matrix(scale_multiplier: float):
+    """Run both workloads over the full matrix; returns (rows, headline)."""
+    rows = []
+
+    # -- compute-bound ring (hash partitioner; the ring's placement is
+    #    irrelevant to the compute cost, and one partitioner keeps the
+    #    serial baseline comparable across planes) ---------------------
     work = max(100, int(WORK_PER_SUPERSTEP * scale_multiplier))
-    serial_result, serial_seconds = _time_backend("serial", work)
-    multiprocess_result, multiprocess_seconds = _time_backend("multiprocess", work)
-    assert serial_result.vertex_values() == multiprocess_result.vertex_values()
-    assert serial_result.metrics.summary() == multiprocess_result.metrics.summary()
-
-    dataset = prepare_dataset("hc2", scale=0.05 * scale_multiplier)
-    _serial_asm, serial_asm_seconds = run_ppa_timed(
-        dataset, num_workers=NUM_WORKERS, backend="serial"
+    ring_oracle, ring_serial_seconds = _time_ring("serial", work, "queue", "hash")
+    rows.append(
+        _row("busy_ring", "serial", "-", "hash", ring_serial_seconds,
+             ring_serial_seconds, ring_oracle.metrics)
     )
-    _mp_asm, multiprocess_asm_seconds = run_ppa_timed(
-        dataset, num_workers=NUM_WORKERS, backend="multiprocess"
+    ring_shm_seconds = None
+    for plane in ("shm", "queue"):
+        result, seconds = _time_ring("multiprocess", work, plane, "hash")
+        assert result.vertex_values() == ring_oracle.vertex_values()
+        assert result.metrics.summary() == ring_oracle.metrics.summary()
+        rows.append(
+            _row("busy_ring", "multiprocess", plane, "hash", seconds,
+                 ring_serial_seconds, result.metrics)
+        )
+        if plane == "shm":
+            ring_shm_seconds = seconds
+
+    # -- end-to-end assembly across the full matrix --------------------
+    dataset = prepare_dataset(DATASET, scale=0.05 * scale_multiplier)
+    serial = {}
+    for partitioner in ("hash", "prefix_range"):
+        result, seconds = run_ppa_timed(
+            dataset, num_workers=NUM_WORKERS, backend="serial",
+            partitioner=partitioner,
+        )
+        serial[partitioner] = (result, seconds)
+        rows.append(
+            _row("assembly", "serial", "-", partitioner, seconds, seconds,
+                 result.metrics)
+        )
+    for plane, partitioner in MP_COMBOS:
+        oracle, serial_seconds = serial[partitioner]
+        result, seconds = run_ppa_timed(
+            dataset, num_workers=NUM_WORKERS, backend="multiprocess",
+            message_plane=plane, partitioner=partitioner,
+        )
+        # Parity against the serial oracle of the same partitioner is
+        # non-negotiable regardless of core count.
+        assert result.contigs == oracle.contigs
+        assert result.metrics.summary() == oracle.metrics.summary()
+        rows.append(
+            _row("assembly", "multiprocess", plane, partitioner, seconds,
+                 serial_seconds, result.metrics)
+        )
+
+    # The locality claim is wall-clock independent: prefix_range must
+    # ship fewer cross-worker messages than hash on the same workload.
+    hash_cross = serial["hash"][0].metrics.summary()["cross_worker_messages"]
+    range_cross = serial["prefix_range"][0].metrics.summary()["cross_worker_messages"]
+    assert range_cross < hash_cross, (
+        f"prefix_range cross traffic ({range_cross}) not below hash ({hash_cross})"
     )
 
-    rows = [
-        [
-            "busy-ring (compute-bound)",
-            f"{serial_seconds:.2f}",
-            f"{multiprocess_seconds:.2f}",
-            f"{serial_seconds / multiprocess_seconds:.2f}x",
-        ],
-        [
-            "hc2 assembly (many short jobs)",
-            f"{serial_asm_seconds:.2f}",
-            f"{multiprocess_asm_seconds:.2f}",
-            f"{serial_asm_seconds / multiprocess_asm_seconds:.2f}x",
-        ],
-    ]
-    return rows, serial_seconds, multiprocess_seconds
+    return rows, ring_serial_seconds, ring_shm_seconds
 
 
 def test_backend_wallclock_speedup(benchmark, scale_multiplier):
-    rows, serial_seconds, multiprocess_seconds = benchmark.pedantic(
-        _speedup_rows, args=(scale_multiplier,), rounds=1, iterations=1
+    rows, ring_serial_seconds, ring_shm_seconds = benchmark.pedantic(
+        _measure_matrix, args=(scale_multiplier,), rounds=1, iterations=1
     )
     cores = os.cpu_count() or 1
+    speedup_asserted = (
+        cores >= 2 and ring_serial_seconds >= MIN_SERIAL_SECONDS_FOR_ASSERT
+    )
+
+    report = bench_report(
+        benchmark="backend_speedup",
+        dataset=DATASET,
+        scale=bench_scale(),
+        k=BENCH_K,
+        cpu_count=cores,
+        num_workers=NUM_WORKERS,
+        speedup_asserted=speedup_asserted,
+        rows=rows,
+    )
+    output = _output_path()
+    output.write_text(json.dumps(report, indent=2) + "\n")
+
     print()
-    print(f"Backend wall-clock comparison ({cores} cores, {NUM_WORKERS} workers)")
+    print(
+        f"Backend wall-clock matrix ({cores} cores, {NUM_WORKERS} workers) "
+        f"-> {output.name}"
+    )
     print(
         format_table(
-            ["workload", "serial s", "multiprocess s", "speedup"],
-            rows,
+            ["workload", "backend", "plane", "partitioner", "s", "speedup", "cross"],
+            [
+                [
+                    row["workload"],
+                    row["backend"],
+                    row["message_plane"],
+                    row["partitioner"],
+                    f"{row['seconds']:.2f}",
+                    f"{row['speedup_vs_serial']:.2f}x",
+                    str(row["cross_worker_messages"]),
+                ]
+                for row in rows
+            ],
         )
     )
-    if cores >= 2 and serial_seconds >= MIN_SERIAL_SECONDS_FOR_ASSERT:
+    if speedup_asserted:
         # The whole point of the multiprocess backend: real speedup on
-        # real hardware for compute-bound supersteps.
-        assert multiprocess_seconds < serial_seconds, (
-            f"expected multiprocess ({multiprocess_seconds:.2f}s) to beat "
-            f"serial ({serial_seconds:.2f}s) on a {cores}-core host"
+        # real hardware for compute-bound supersteps, with the shm
+        # plane carrying the message traffic.
+        assert ring_shm_seconds < ring_serial_seconds, (
+            f"expected multiprocess+shm ({ring_shm_seconds:.2f}s) to beat "
+            f"serial ({ring_serial_seconds:.2f}s) on a {cores}-core host"
         )
     else:
         print(
-            f"speedup assertion skipped ({cores} cores, serial "
-            f"{serial_seconds:.2f}s < {MIN_SERIAL_SECONDS_FOR_ASSERT:.0f}s "
-            "floor on scaled-down runs); parity still checked"
+            f"speedup assertion skipped ({cores} cores, serial ring "
+            f"{ring_serial_seconds:.2f}s vs {MIN_SERIAL_SECONDS_FOR_ASSERT:.0f}s "
+            "floor); parity and locality still asserted"
         )

@@ -16,7 +16,9 @@ from typing import Optional
 
 from ..dna.encoding import MAX_K
 from ..errors import PipelineConfigError, UnknownBackendError
+from ..pregel.partitioner import ensure_partitioner
 from ..runtime import ensure_backend
+from ..runtime.base import ensure_message_plane
 
 #: Contig-labeling method names.
 LABELING_LIST_RANKING = "list_ranking"
@@ -57,6 +59,23 @@ class AssemblyConfig:
         reproduced from) or ``"multiprocess"`` (shared-nothing worker
         processes for wall-clock parallelism).  Both produce identical
         contigs and metrics.
+    message_plane:
+        Data plane for multiprocess superstep exchange: ``"shm"``
+        (default) writes columnar message batches into shared-memory
+        arenas and ships only descriptors through the queues, falling
+        back to ``"queue"`` automatically when ``/dev/shm`` is unusable;
+        ``"queue"`` always pickles batches through the queues.  Results
+        are bit-identical either way; the serial backend ignores the
+        flag (it has no process boundary).
+    partitioner:
+        Vertex-to-worker strategy for every Pregel stage: ``"hash"``
+        (default, the multiplicative hash the paper's numbers assume)
+        or ``"prefix_range"`` (contiguous k-mer-prefix ranges that keep
+        most DBG edges worker-local, shrinking the
+        ``cross_worker_messages`` counter).  Contig IDs embed the worker
+        that minted them, so runs with *different* partitioners label
+        contigs differently; serial and multiprocess runs with the
+        *same* partitioner stay bit-identical.
     use_vectorized:
         Run the NumPy batch kernels for the hot paths (DBG-construction
         phases and the columnar message plane).  Default on; contigs,
@@ -86,6 +105,8 @@ class AssemblyConfig:
     error_correction_rounds: int = 1
     num_workers: int = 4
     backend: str = "serial"
+    message_plane: str = "shm"
+    partitioner: str = "hash"
     use_vectorized: bool = True
     scaffold: bool = False
     scaffold_min_links: int = 2
@@ -135,6 +156,11 @@ class AssemblyConfig:
             ensure_backend(self.backend)
         except UnknownBackendError as exc:
             raise PipelineConfigError(str(exc)) from None
+        try:
+            ensure_message_plane(self.message_plane)
+            ensure_partitioner(self.partitioner)
+        except ValueError as exc:
+            raise PipelineConfigError(str(exc)) from None
 
     def paper_defaults(self) -> "AssemblyConfig":
         """The exact parameter values used in the paper's experiments."""
@@ -156,6 +182,14 @@ class AssemblyConfig:
     def with_backend(self, backend: str) -> "AssemblyConfig":
         """Copy of this config with a different execution backend."""
         return replace(self, backend=backend)
+
+    def with_message_plane(self, message_plane: str) -> "AssemblyConfig":
+        """Copy of this config with a different multiprocess data plane."""
+        return replace(self, message_plane=message_plane)
+
+    def with_partitioner(self, partitioner: str) -> "AssemblyConfig":
+        """Copy of this config with a different vertex partitioner."""
+        return replace(self, partitioner=partitioner)
 
     def with_vectorized(self, use_vectorized: bool) -> "AssemblyConfig":
         """Copy of this config toggling the NumPy batch kernels."""

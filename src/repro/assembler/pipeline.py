@@ -251,6 +251,8 @@ class PPAAssembler:
             num_workers=self.config.num_workers,
             backend=self.config.backend,
             columnar_messages=self.config.use_vectorized,
+            partitioner=self.config.partitioner,
+            message_plane=self.config.message_plane,
             checkpoint_dir=checkpoint_dir,
             hooks=hooks,
         )

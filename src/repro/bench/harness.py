@@ -200,6 +200,8 @@ def ppa_config(
     num_workers: int = 16,
     labeling_method: str = "list_ranking",
     backend: str = "serial",
+    message_plane: str = "shm",
+    partitioner: str = "hash",
 ) -> AssemblyConfig:
     """The PPA-assembler configuration used by every benchmark."""
     return AssemblyConfig(
@@ -210,6 +212,8 @@ def ppa_config(
         labeling_method=labeling_method,
         num_workers=num_workers,
         backend=backend,
+        message_plane=message_plane,
+        partitioner=partitioner,
     )
 
 
@@ -220,6 +224,8 @@ def run_ppa(
     backend: str = "serial",
     checkpoint_dir=None,
     resume: bool = False,
+    message_plane: str = "shm",
+    partitioner: str = "hash",
 ) -> AssemblyResult:
     """Run PPA-assembler over a prepared dataset.
 
@@ -230,7 +236,10 @@ def run_ppa(
     ``checkpoint_dir``/``resume`` let long benchmark runs at large
     scales survive interruption (checkpoints are per-stage pickles).
     """
-    return PPAAssembler(ppa_config(num_workers, labeling_method, backend)).assemble(
+    config = ppa_config(
+        num_workers, labeling_method, backend, message_plane, partitioner
+    )
+    return PPAAssembler(config).assemble(
         dataset.reads, checkpoint_dir=checkpoint_dir, resume=resume
     )
 
@@ -240,16 +249,26 @@ def run_ppa_timed(
     num_workers: int = 16,
     labeling_method: str = "list_ranking",
     backend: str = "serial",
+    message_plane: str = "shm",
+    partitioner: str = "hash",
 ) -> Tuple[AssemblyResult, float]:
     """Run PPA-assembler and measure real wall-clock seconds.
 
     The cost model estimates what a *simulated* cluster would take;
     this measures what the chosen execution backend actually took on
-    the current host, so backends can be compared side by side
+    the current host, so backends — and the multiprocess backend's data
+    planes/partitioners — can be compared side by side
     (``benchmarks/bench_backend_speedup.py``).
     """
     started = time.perf_counter()
-    result = run_ppa(dataset, num_workers, labeling_method, backend)
+    result = run_ppa(
+        dataset,
+        num_workers,
+        labeling_method,
+        backend,
+        message_plane=message_plane,
+        partitioner=partitioner,
+    )
     return result, time.perf_counter() - started
 
 

@@ -46,7 +46,9 @@ from .assembler import AssemblyConfig, PPAAssembler, build_assembly_workflow
 from .assembler.config import LABELING_LIST_RANKING, LABELING_SIMPLIFIED_SV
 from .errors import ReproError
 from .quality.stats import n50_value
+from .pregel.partitioner import PARTITIONER_NAMES
 from .runtime import available_backends
+from .runtime.base import MESSAGE_PLANES
 from .workflow import WorkflowHooks
 
 
@@ -108,6 +110,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--workers", type=int, default=4, help="number of Pregel workers (default 4)"
+    )
+    parser.add_argument(
+        "--message-plane",
+        choices=MESSAGE_PLANES,
+        default="shm",
+        help="multiprocess data plane: 'shm' exchanges message batches "
+        "through shared-memory arenas (default; auto-falls back to "
+        "'queue' when /dev/shm is unusable), 'queue' always pickles "
+        "batches through the queues; ignored by the serial backend",
+    )
+    parser.add_argument(
+        "--partitioner",
+        choices=PARTITIONER_NAMES,
+        default="hash",
+        help="vertex-to-worker strategy: 'hash' (default) or "
+        "'prefix_range' (k-mer-prefix ranges that keep most DBG edges "
+        "worker-local, reducing cross-worker messages)",
     )
     parser.add_argument(
         "--no-vectorized",
@@ -282,6 +301,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             labeling_method=args.labeling,
             num_workers=args.workers,
             backend=args.backend,
+            message_plane=args.message_plane,
+            partitioner=args.partitioner,
             use_vectorized=not args.no_vectorized,
             scaffold=scaffold,
             scaffold_min_links=args.min_links,
@@ -306,7 +327,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"assembling {len(reads)} reads from {material.description}")
         print(
             f"  k={config.k} workers={config.num_workers} "
-            f"backend={config.backend} labeling={config.labeling_method}"
+            f"backend={config.backend} labeling={config.labeling_method} "
+            f"plane={config.message_plane} partitioner={config.partitioner}"
         )
 
     stage_seconds: Dict[str, float] = {}

@@ -27,6 +27,10 @@ from .sv import GraphInput
 class HashMinVertex(Vertex):
     """``value`` is the smallest component label seen so far."""
 
+    # State is (int label, [int neighbour IDs]): partitions ship as
+    # arrays between multiprocess workers and the master.
+    columnar_state = True
+
     def compute(self, messages: List[int], ctx: ComputeContext) -> None:
         if ctx.superstep == 0:
             # Seed the flood with our own ID.

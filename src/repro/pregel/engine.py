@@ -121,6 +121,8 @@ class PregelEngine:
         num_workers: int = 4,
         backend: Union[str, "ExecutionBackend"] = DEFAULT_BACKEND,
         columnar_messages: Optional[bool] = None,
+        partitioner: Optional[str] = None,
+        message_plane: Optional[str] = None,
     ) -> None:
         if num_workers <= 0:
             raise InvalidJobError(f"num_workers must be positive, got {num_workers}")
@@ -128,7 +130,15 @@ class PregelEngine:
         # PregelJob/JobResult dataclasses.
         from ..runtime import create_backend
 
-        self._backend = create_backend(backend, num_workers=num_workers)
+        # None keeps each backend's own default ("hash" partitioning,
+        # "shm" message plane); explicit names are forwarded so config
+        # layers can pin a strategy by string.
+        backend_kwargs = {}
+        if partitioner is not None:
+            backend_kwargs["partitioner"] = partitioner
+        if message_plane is not None:
+            backend_kwargs["message_plane"] = message_plane
+        self._backend = create_backend(backend, num_workers=num_workers, **backend_kwargs)
         if columnar_messages is not None:
             # None keeps the backend's own setting (columnar by default);
             # an explicit flag — e.g. AssemblyConfig.use_vectorized —

@@ -229,10 +229,19 @@ class MessageRouter:
         self._pending_bytes: Dict[int, int] = defaultdict(int)
         self.raw_message_count = 0
         self.raw_byte_count = 0
+        # Raw messages whose destination worker differed from the
+        # posting worker (only charged when post() names a sender).
+        self.cross_message_count = 0
 
-    def post(self, messages: List[Tuple[int, Any]]) -> None:
+    def post(self, messages: List[Tuple[int, Any]], sender: Optional[int] = None) -> None:
         """Accept a batch of ``(target_id, message)`` pairs from one vertex
-        or worker outbox."""
+        or worker outbox.
+
+        ``sender`` optionally names the worker that produced the batch;
+        when given, messages routed to a different worker are charged to
+        ``cross_message_count`` (the boundary-crossing traffic the
+        locality metrics report).
+        """
         if not messages:
             return
         if self._columnar and self._mode != "py":
@@ -247,24 +256,28 @@ class MessageRouter:
                 if (
                     len(messages) >= COLUMNAR_MIN_BATCH
                     and combiner_vectorizable(self._combiner)
-                    and self._post_columnar(messages)
+                    and self._post_columnar(messages, sender)
                 ):
                     self._mode = "cols"
                     return
                 self._mode = "py"
             else:  # already columnar this superstep
-                if self._post_columnar(messages):
+                if self._post_columnar(messages, sender):
                     return
                 self._demote()
-        self._post_scalar(messages)
+        self._post_scalar(messages, sender)
 
     # ------------------------------------------------------------------
     # scalar path (reference implementation)
     # ------------------------------------------------------------------
-    def _post_scalar(self, messages: List[Tuple[int, Any]]) -> None:
+    def _post_scalar(
+        self, messages: List[Tuple[int, Any]], sender: Optional[int] = None
+    ) -> None:
         for target_id, message in messages:
             worker = self._partitioner.worker_for(target_id)
             self.raw_message_count += 1
+            if sender is not None and worker != sender:
+                self.cross_message_count += 1
             size = _estimate_size(message)
             self.raw_byte_count += size
             self._pending_messages[worker] += 1
@@ -281,7 +294,9 @@ class MessageRouter:
     # ------------------------------------------------------------------
     # columnar path
     # ------------------------------------------------------------------
-    def _post_columnar(self, messages: List[Tuple[int, Any]]) -> bool:
+    def _post_columnar(
+        self, messages: List[Tuple[int, Any]], sender: Optional[int] = None
+    ) -> bool:
         columns = columns_from_pairs(messages)
         if columns is None:
             return False
@@ -299,6 +314,10 @@ class MessageRouter:
         pending = np.bincount(destinations, minlength=self._partitioner.num_workers)
         self.raw_message_count += raw_count
         self.raw_byte_count += 8 * raw_count
+        if sender is not None:
+            self.cross_message_count += raw_count - int(
+                np.count_nonzero(destinations == sender)
+            )
         for worker in np.flatnonzero(pending).tolist():
             count = int(pending[worker])
             self._pending_messages[worker] += count
@@ -425,3 +444,4 @@ class MessageRouter:
     def reset_counters(self) -> None:
         self.raw_message_count = 0
         self.raw_byte_count = 0
+        self.cross_message_count = 0

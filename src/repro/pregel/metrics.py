@@ -23,6 +23,12 @@ class SuperstepMetrics:
     bytes_sent: int = 0
     compute_calls: int = 0
     compute_ops: int = 0
+    # Raw (pre-combine) messages whose destination worker differs from
+    # the sending worker — the traffic that actually crosses a process
+    # (or, on a cluster, network) boundary.  messages_sent minus this
+    # is the worker-local delivery count; the locality-aware
+    # prefix_range partitioner exists to shrink this number.
+    cross_worker_messages: int = 0
     # Per-worker breakdowns; index == worker id.
     worker_compute_ops: List[int] = field(default_factory=list)
     worker_messages_sent: List[int] = field(default_factory=list)
@@ -66,6 +72,10 @@ class JobMetrics:
     def total_compute_ops(self) -> int:
         return sum(step.compute_ops for step in self.supersteps)
 
+    @property
+    def total_cross_worker_messages(self) -> int:
+        return sum(step.cross_worker_messages for step in self.supersteps)
+
     def add(self, step: SuperstepMetrics) -> None:
         self.supersteps.append(step)
 
@@ -78,6 +88,7 @@ class JobMetrics:
             "messages": self.total_messages,
             "bytes": self.total_bytes,
             "compute_ops": self.total_compute_ops,
+            "cross_worker_messages": self.total_cross_worker_messages,
         }
 
 
@@ -109,9 +120,14 @@ class PipelineMetrics:
     def total_messages(self) -> int:
         return sum(job.total_messages for job in self.jobs)
 
+    @property
+    def total_cross_worker_messages(self) -> int:
+        return sum(job.total_cross_worker_messages for job in self.jobs)
+
     def summary(self) -> Dict[str, int]:
         return {
             "jobs": len(self.jobs),
             "supersteps": self.total_supersteps,
             "messages": self.total_messages,
+            "cross_worker_messages": self.total_cross_worker_messages,
         }

@@ -132,9 +132,20 @@ class Vertex(Generic[ValueT, MessageT]):
 
     ``halted`` implements vote-to-halt: a halted vertex is skipped by
     the engine until a message arrives for it, which reactivates it.
+
+    ``columnar_state`` (class attribute, default False) marks vertex
+    classes whose entire state is small non-negative integers —
+    ``value`` an int and ``edges`` a plain list of ints.  Partitions of
+    such vertices are shipped between multiprocess workers and the
+    master as a few ndarrays instead of per-object pickles; results are
+    identical, only the transfer is cheaper.  Opting in is a promise
+    that ``cls(vertex_id, value, edges)`` reconstructs the vertex.
     """
 
     __slots__ = ("vertex_id", "value", "edges", "halted")
+
+    #: Opt-in for the columnar vertex-state transfer (see class docstring).
+    columnar_state = False
 
     def __init__(self, vertex_id: int, value: ValueT = None, edges: Any = None) -> None:
         self.vertex_id = vertex_id

@@ -23,10 +23,25 @@ from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING, Dict, Iterable, List, Type, Union
 
 from ..errors import InvalidJobError, UnknownBackendError
-from ..pregel.partitioner import HashPartitioner
+from ..pregel.partitioner import HashPartitioner, ensure_partitioner, make_partitioner
 from ..pregel.vertex import Vertex
 from ..pregel.worker import Worker
 from ..telemetry import get_registry
+
+#: Message-plane names accepted by the multiprocess backend ("shm"
+#: falls back to "queue" when shared memory is unusable; the serial
+#: backend has no process boundary, so the flag is accepted for config
+#: uniformity and has no effect there).
+MESSAGE_PLANES = ("shm", "queue")
+
+
+def ensure_message_plane(name: str) -> str:
+    """Validate a message-plane name (shared by every config layer)."""
+    if name not in MESSAGE_PLANES:
+        raise ValueError(
+            f"unknown message plane {name!r}; choose from {', '.join(MESSAGE_PLANES)}"
+        )
+    return name
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..pregel.engine import JobResult, PregelJob
@@ -83,6 +98,13 @@ class SuperstepInstruments:
             "(delivered/sent is the combine ratio).",
             labelnames=labels,
         ).labels(job_name)
+        self._cross = registry.counter(
+            "repro_pregel_cross_worker_messages_total",
+            "Raw messages routed to a different worker than their "
+            "sender, by job (the traffic that crosses a process or "
+            "network boundary; partitioner locality shrinks it).",
+            labelnames=labels,
+        ).labels(job_name)
         self._active = registry.gauge(
             "repro_pregel_active_vertices",
             "Active vertices after the most recent superstep, by job.",
@@ -100,6 +122,7 @@ class SuperstepInstruments:
         self._supersteps.inc()
         self._messages.inc(step.messages_sent)
         self._bytes.inc(step.bytes_sent)
+        self._cross.inc(step.cross_worker_messages)
         self._delivered.inc(sum(step.worker_messages_received))
         self._active.set(step.active_vertices)
         self._seconds.observe(elapsed_seconds)
@@ -115,13 +138,13 @@ class SuperstepInstruments:
 class ExecutionBackend(ABC):
     """Runs one Pregel job to termination on ``num_workers`` workers.
 
-    A backend owns partitioning (all backends use the same
-    :class:`~repro.pregel.partitioner.HashPartitioner` so that per-worker
-    load and message routing are identical regardless of runtime) and
-    the BSP loop itself.  Implementations must preserve the engine's
-    observable semantics: superstep counts, aggregate histories, the
-    per-superstep metrics, and the final vertex states must not depend
-    on which backend executed the job.
+    A backend owns partitioning (all backends build the partitioner
+    from the same named strategy — ``"hash"`` by default — so that
+    per-worker load and message routing are identical regardless of
+    runtime) and the BSP loop itself.  Implementations must preserve
+    the engine's observable semantics: superstep counts, aggregate
+    histories, the per-superstep metrics, and the final vertex states
+    must not depend on which backend executed the job.
     """
 
     #: Registry key; subclasses override and register via :func:`register_backend`.
@@ -132,12 +155,20 @@ class ExecutionBackend(ABC):
     #: flag exists so parity tests can pin the scalar reference path).
     columnar_messages: bool = True
 
-    def __init__(self, num_workers: int = 4, columnar_messages: bool = True) -> None:
+    def __init__(
+        self,
+        num_workers: int = 4,
+        columnar_messages: bool = True,
+        partitioner: str = "hash",
+        message_plane: str = "shm",
+    ) -> None:
         if num_workers <= 0:
             raise InvalidJobError(f"num_workers must be positive, got {num_workers}")
         self.num_workers = num_workers
         self.columnar_messages = bool(columnar_messages)
-        self.partitioner = HashPartitioner(num_workers)
+        self.partitioner_name = ensure_partitioner(partitioner)
+        self.message_plane = ensure_message_plane(message_plane)
+        self.partitioner = make_partitioner(partitioner, num_workers)
 
     @abstractmethod
     def run(self, job: "PregelJob") -> "JobResult":
@@ -146,11 +177,24 @@ class ExecutionBackend(ABC):
     # ------------------------------------------------------------------
     # shared helpers
     # ------------------------------------------------------------------
-    def partition_into_workers(self, vertices: Iterable[Vertex]) -> List[Worker]:
-        """Assign vertices to per-worker partitions by hashed vertex ID."""
+    def job_partitioner(self, vertices: Iterable[Vertex]):
+        """The partitioner instance to use for one job.
+
+        Range partitioning calibrates its ID-space width to the job's
+        initial vertex IDs (a deterministic function of the job, so
+        every backend computes the same calibration); hash partitioning
+        returns the shared instance unchanged.
+        """
+        return self.partitioner.for_job(vertex.vertex_id for vertex in vertices)
+
+    def partition_into_workers(
+        self, vertices: Iterable[Vertex], partitioner=None
+    ) -> List[Worker]:
+        """Assign vertices to per-worker partitions by partitioned vertex ID."""
+        partitioner = partitioner or self.partitioner
         workers = [Worker(worker_id) for worker_id in range(self.num_workers)]
         for vertex in vertices:
-            workers[self.partitioner.worker_for(vertex.vertex_id)].add_vertex(vertex)
+            workers[partitioner.worker_for(vertex.vertex_id)].add_vertex(vertex)
         return workers
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -8,8 +8,12 @@ cluster slot:
   whole job (vertices never migrate);
 * outgoing messages are grouped into per-destination-worker batches,
   combined sender-side when the job has a combiner (so the bytes that
-  cross the process boundary are the combined ones), pickled, and
-  pushed into the destination worker's data queue;
+  cross the process boundary are the combined ones), and shipped
+  either through the destination worker's data queue (pickled) or —
+  for columnar batches on the default ``shm`` message plane — written
+  into the sender's shared-memory arena with only a
+  ``(name, offset, count)`` descriptor crossing the queue (see
+  :mod:`repro.runtime.shm`);
 * per-worker aggregator partials are shipped to the master at the
   superstep barrier as plain ``(value, touched)`` state pairs and
   merged in worker-id order, mirroring how Pregel ships partial
@@ -50,13 +54,14 @@ from ..pregel.message import (
     columns_from_pairs,
     combine_columns,
     combiner_vectorizable,
+    group_columns,
 )
 from ..pregel.metrics import JobMetrics, SuperstepMetrics
-from ..pregel.partitioner import HashPartitioner
 from ..pregel.vertex import Vertex, VertexFactory
 from ..pregel.worker import Worker
 from ..telemetry import get_registry, remote_context, span, start_remote_span
 from ..telemetry.metrics import MetricsRegistry
+from . import shm as shm_plane
 from .base import ExecutionBackend, SuperstepInstruments, register_backend, worker_messages_counter
 
 try:  # pragma: no cover - exercised implicitly by every import
@@ -101,10 +106,11 @@ class _WorkerFailure(Exception):
 # ----------------------------------------------------------------------
 def _route_outbox(
     outbox: List[Tuple[int, Any]],
-    partitioner: HashPartitioner,
+    partitioner,
     combiner: Optional[Combiner],
     columnar: bool = True,
-) -> Dict[int, Any]:
+    sender: Optional[int] = None,
+) -> Tuple[Dict[int, Any], int]:
     """Group an outbox into per-destination batches, combining sender-side.
 
     With a combiner, each destination batch carries at most one message
@@ -116,11 +122,23 @@ def _route_outbox(
     ``("cols", targets, values)`` — two ndarrays pickle orders of
     magnitude faster than millions of tuples — preserving the scalar
     batches' first-occurrence ordering so receivers fold identically.
+
+    Returns ``(batches, cross)`` where ``cross`` counts the raw
+    (pre-combine) outbox messages routed to a worker other than
+    ``sender`` (0 when ``sender`` is None).
     """
+    cross = 0
     if columnar and np is not None and len(outbox) >= COLUMNAR_MIN_BATCH and combiner_vectorizable(combiner):
         columns = columns_from_pairs(outbox)
         if columns is not None:
             targets, values = columns
+            # Cross-worker accounting is charged on the *raw* outbox,
+            # before combining shrinks it (matching the serial router).
+            if sender is not None:
+                raw_destinations = partitioner.worker_for_array(targets)
+                cross = int(targets.size) - int(
+                    np.count_nonzero(raw_destinations == sender)
+                )
             if combiner is not None:
                 combined = combine_columns(targets, values, combiner.kind)
                 if combined is None:
@@ -128,29 +146,61 @@ def _route_outbox(
                 else:
                     targets, values = combined
             if columns is not None:
-                destinations = partitioner.worker_for_array(targets)
+                # Shipping destinations are computed on the (possibly
+                # combined) targets; the raw array is only reusable when
+                # combining removed nothing.
+                if sender is not None and targets.size == raw_destinations.size:
+                    destinations = raw_destinations
+                else:
+                    destinations = partitioner.worker_for_array(targets)
                 batches: Dict[int, Any] = {}
                 for destination in np.unique(destinations).tolist():
                     selector = destinations == destination
                     batches[destination] = (_COLS, targets[selector], values[selector])
-                return batches
+                return batches, cross
+    cross = 0
     if combiner is None:
         batches: Dict[int, List[Tuple[int, Any]]] = {}
         for target_id, message in outbox:
-            batches.setdefault(partitioner.worker_for(target_id), []).append(
-                (target_id, message)
-            )
-        return batches
+            destination = partitioner.worker_for(target_id)
+            if sender is not None and destination != sender:
+                cross += 1
+            batches.setdefault(destination, []).append((target_id, message))
+        return batches, cross
     combined: Dict[int, Dict[int, Any]] = {}
     for target_id, message in outbox:
-        slot = combined.setdefault(partitioner.worker_for(target_id), {})
+        destination = partitioner.worker_for(target_id)
+        if sender is not None and destination != sender:
+            cross += 1
+        slot = combined.setdefault(destination, {})
         if target_id in slot:
             slot[target_id] = combiner.combine(slot[target_id], message)
         else:
             slot[target_id] = message
     return {
         destination: list(slot.items()) for destination, slot in combined.items()
-    }
+    }, cross
+
+
+def _is_cols(batch) -> bool:
+    return isinstance(batch, tuple) and len(batch) == 3 and batch[0] == _COLS
+
+
+def _resolve_batch(batch, reader):
+    """Materialise a shared-memory descriptor into a columnar batch.
+
+    Queue batches (scalar lists and ``("cols", ...)`` tuples) pass
+    through unchanged; ``("shmb", name, offset, count)`` descriptors
+    are read out of the named arena segment.
+    """
+    if (
+        isinstance(batch, tuple)
+        and len(batch) == 4
+        and batch[0] == shm_plane.SHM_BATCH
+    ):
+        targets, values = reader.read(batch[1], batch[2], batch[3])
+        return (_COLS, targets, values)
+    return batch
 
 
 def _batch_pairs(batch):
@@ -160,7 +210,7 @@ def _batch_pairs(batch):
     ``("cols", targets, values)`` format; columnar values come back as
     plain Python ints, so folding is identical either way.
     """
-    if isinstance(batch, tuple) and len(batch) == 3 and batch[0] == _COLS:
+    if _is_cols(batch):
         return zip(batch[1].tolist(), batch[2].tolist())
     return iter(batch)
 
@@ -175,15 +225,119 @@ def _merge_batches(
     The fixed sender order makes the fold sequence a deterministic
     function of the job, so results match the serial backend for any
     associative combine function.
+
+    When every non-empty batch is columnar and the combiner has an
+    exact array reduction, the fold itself is vectorized: the batches
+    are concatenated in sender-id order and segment-reduced, which
+    preserves the scalar fold's first-occurrence key order and (for
+    ``min``/``sum`` without uint64 overflow) its exact values.
     """
+    ordered = [batches_by_sender.get(sender, ()) for sender in range(num_workers)]
+    if np is not None and combiner_vectorizable(combiner):
+        columnar_parts = []
+        all_columnar = True
+        for batch in ordered:
+            if _is_cols(batch):
+                columnar_parts.append(batch)
+            elif len(batch):
+                all_columnar = False
+                break
+        if all_columnar and columnar_parts:
+            targets = np.concatenate([batch[1] for batch in columnar_parts])
+            values = np.concatenate([batch[2] for batch in columnar_parts])
+            if combiner is None:
+                return {
+                    target: messages
+                    for target, messages in group_columns(targets, values)
+                }
+            combined = combine_columns(targets, values, combiner.kind)
+            if combined is not None:
+                return {
+                    target: [message]
+                    for target, message in zip(
+                        combined[0].tolist(), combined[1].tolist()
+                    )
+                }
+            # A sum could wrap the uint64 lane: fold exactly in Python.
     inbox: Dict[int, List[Any]] = {}
-    for sender in range(num_workers):
-        for target_id, message in _batch_pairs(batches_by_sender.get(sender, ())):
+    for batch in ordered:
+        for target_id, message in _batch_pairs(batch):
             if combiner is not None and target_id in inbox:
                 inbox[target_id] = [combiner.combine(inbox[target_id][0], message)]
             else:
                 inbox.setdefault(target_id, []).append(message)
     return inbox
+
+
+def _pack_partition(vertices: List[Vertex]):
+    """Pack a finished partition for the result queue.
+
+    Partitions whose vertex class opted into ``columnar_state`` and
+    whose state is uniformly small non-negative integers are shipped as
+    a handful of ndarrays (IDs, values, halted flags, CSR adjacency) —
+    orders of magnitude cheaper to pickle than per-object state.  Any
+    vertex that does not conform drops the whole partition back to the
+    plain object list, so the fast path is purely an optimisation.
+    """
+    if np is None or not vertices:
+        return ("objs", vertices)
+    cls = type(vertices[0])
+    if not getattr(cls, "columnar_state", False):
+        return ("objs", vertices)
+    ids: List[int] = []
+    values: List[int] = []
+    halted: List[bool] = []
+    offsets: List[int] = [0]
+    edge_ids: List[int] = []
+    for vertex in vertices:
+        value = vertex.value
+        edges = vertex.edges
+        if (
+            type(vertex) is not cls
+            or type(vertex.vertex_id) is not int
+            or type(value) is not int
+            or vertex.vertex_id < 0
+            or value < 0
+            or type(edges) is not list
+        ):
+            return ("objs", vertices)
+        for edge in edges:
+            if type(edge) is not int or edge < 0:
+                return ("objs", vertices)
+        ids.append(vertex.vertex_id)
+        values.append(value)
+        halted.append(vertex.halted)
+        edge_ids.extend(edges)
+        offsets.append(len(edge_ids))
+    try:
+        packed = (
+            "vcols",
+            cls,
+            np.array(ids, dtype=np.uint64),
+            np.array(values, dtype=np.uint64),
+            np.array(halted, dtype=bool),
+            np.array(offsets, dtype=np.int64),
+            np.array(edge_ids, dtype=np.uint64),
+        )
+    except (OverflowError, ValueError):
+        return ("objs", vertices)
+    return packed
+
+
+def _unpack_partition(payload) -> List[Vertex]:
+    """Reverse :func:`_pack_partition`, preserving vertex order."""
+    if payload[0] == "objs":
+        return payload[1]
+    _tag, cls, ids, values, halted, offsets, edge_ids = payload
+    edge_list = edge_ids.tolist()
+    bounds = offsets.tolist()
+    halted_list = halted.tolist()
+    vertices: List[Vertex] = []
+    for index, (vertex_id, value) in enumerate(zip(ids.tolist(), values.tolist())):
+        vertex = cls(vertex_id, value, edge_list[bounds[index] : bounds[index + 1]])
+        vertex.halted = halted_list[index]
+        vertices.append(vertex)
+    return vertices
 
 
 def _worker_main(
@@ -195,6 +349,7 @@ def _worker_main(
     aggregator_template: Dict[str, Aggregator],
     num_vertices: int,
     columnar: bool,
+    partitioner,
     job_name: str,
     metrics_enabled: bool,
     command_queue,
@@ -203,12 +358,14 @@ def _worker_main(
     result_queue,
 ) -> None:
     """Superstep loop of one shared-nothing worker process."""
+    arena_writer = None
+    arena_reader = None
     try:
         worker = Worker(worker_id)
         for vertex in vertices:
             worker.add_vertex(vertex)
-        partitioner = HashPartitioner(num_workers)
         own_queue = data_queues[worker_id]
+        arena_reader = shm_plane.ArenaReader()
         # Batches this worker sent to itself stay local (no pickling).
         local_batches: Dict[int, List[Tuple[int, Any]]] = {}
         # Batches received early for a future superstep, keyed by superstep.
@@ -228,9 +385,15 @@ def _worker_main(
             command = command_queue.get()
             if command[0] == _STOP:
                 if command[1]:  # collect: ship the final partition back
-                    result_queue.put((worker_id, list(worker.vertices.values())))
+                    result_queue.put(
+                        (worker_id, _pack_partition(list(worker.vertices.values())))
+                    )
                 break
-            _, superstep, previous_aggregates, trace_ctx = command
+            _, superstep, previous_aggregates, trace_ctx, arena_names = command
+            if arena_names is not None:
+                if arena_writer is None:
+                    arena_writer = shm_plane.ArenaWriter(worker_id)
+                arena_writer.begin_superstep(superstep, arena_names)
 
             if superstep == 0:
                 inbox: Dict[int, List[Any]] = {}
@@ -243,6 +406,8 @@ def _worker_main(
                     arrived = staged.setdefault(superstep, {})
                 batches = staged.pop(superstep)
                 batches[worker_id] = local_batches.pop(superstep, [])
+                for sender in list(batches):
+                    batches[sender] = _resolve_batch(batches[sender], arena_reader)
                 inbox = _merge_batches(batches, num_workers, combiner)
 
             aggregator_copies = {
@@ -273,13 +438,23 @@ def _worker_main(
             if worker_messages is not None:
                 worker_messages.inc(counters["messages_sent"])
 
-            batches = _route_outbox(outbox, partitioner, combiner, columnar)
+            batches, cross_messages = _route_outbox(
+                outbox, partitioner, combiner, columnar, sender=worker_id
+            )
+            counters["messages_cross"] = cross_messages
             for destination in range(num_workers):
                 batch = batches.get(destination, [])
                 if destination == worker_id:
                     local_batches[superstep + 1] = batch
                 else:
+                    if arena_writer is not None and _is_cols(batch):
+                        descriptor = arena_writer.try_write(batch[1], batch[2])
+                        if descriptor is not None:
+                            batch = descriptor
                     data_queues[destination].put((superstep + 1, worker_id, batch))
+            counters["arena_wanted"] = (
+                arena_writer.wanted_bytes if arena_writer is not None else 0
+            )
 
             aggregator_states = {
                 name: copy.dump_state() for name, copy in aggregator_copies.items()
@@ -310,6 +485,13 @@ def _worker_main(
             shipped = BackendExecutionError(repr(exc))
         control_queue.put((_FAILED, worker_id, shipped, traceback.format_exc()))
     finally:
+        # Workers only *attach* to arena segments — closing the local
+        # mappings is all that is required here; the master owns the
+        # unlink.
+        if arena_writer is not None:
+            arena_writer.close()
+        if arena_reader is not None:
+            arena_reader.close()
         # Undelivered final-superstep batches are intentionally discarded;
         # don't let their feeder threads block process exit.
         for data_queue in data_queues:
@@ -330,12 +512,21 @@ class MultiprocessBackend(ExecutionBackend):
         num_workers: int = 4,
         start_method: Optional[str] = None,
         columnar_messages: bool = True,
+        partitioner: str = "hash",
+        message_plane: str = "shm",
+        shm_arena_bytes: int = shm_plane.DEFAULT_ARENA_BYTES,
     ) -> None:
-        super().__init__(num_workers, columnar_messages=columnar_messages)
+        super().__init__(
+            num_workers,
+            columnar_messages=columnar_messages,
+            partitioner=partitioner,
+            message_plane=message_plane,
+        )
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
         self.start_method = start_method
+        self.shm_arena_bytes = shm_arena_bytes
         self._context = multiprocessing.get_context(start_method)
 
     # ------------------------------------------------------------------
@@ -349,9 +540,11 @@ class MultiprocessBackend(ExecutionBackend):
         # job state through queues instead, restricting jobs to
         # picklable state — revisit if per-job start-up cost ever
         # dominates a workload that can accept that restriction.
+        initial_vertices = list(job.vertices)
+        partitioner = self.job_partitioner(initial_vertices)
         partitions: List[List[Vertex]] = [[] for _ in range(self.num_workers)]
-        for vertex in job.vertices:
-            partitions[self.partitioner.worker_for(vertex.vertex_id)].append(vertex)
+        for vertex in initial_vertices:
+            partitions[partitioner.worker_for(vertex.vertex_id)].append(vertex)
         num_vertices = sum(len(partition) for partition in partitions)
         if num_vertices == 0:
             raise InvalidJobError(f"job {job.name!r} has no vertices")
@@ -369,6 +562,26 @@ class MultiprocessBackend(ExecutionBackend):
         control_queue = context.Queue()
         result_queue = context.Queue()
 
+        # The shared-memory plane needs the columnar path (descriptors
+        # only describe array batches) and a host whose /dev/shm works;
+        # anything else degrades to the pickled queue plane, which is
+        # bit-identical, just slower.
+        arena_pool = None
+        if (
+            self.message_plane == "shm"
+            and self.columnar_messages
+            and shm_plane.shm_plane_usable()
+        ):
+            try:
+                arena_pool = shm_plane.ArenaPool(
+                    self.num_workers, self.shm_arena_bytes
+                )
+                arena_pool.create_all()
+            except Exception:
+                if arena_pool is not None:
+                    arena_pool.unlink_all()
+                arena_pool = None
+
         processes = [
             context.Process(
                 target=_worker_main,
@@ -381,6 +594,7 @@ class MultiprocessBackend(ExecutionBackend):
                     aggregator_template,
                     num_vertices,
                     self.columnar_messages,
+                    partitioner,
                     job.name,
                     get_registry().enabled,
                     command_queues[worker_id],
@@ -420,9 +634,17 @@ class MultiprocessBackend(ExecutionBackend):
                 step_started = time.perf_counter()
                 with span(f"superstep-{superstep}") as step_span:
                     trace_ctx = remote_context()
-                    for command_queue in command_queues:
+                    for worker_id, command_queue in enumerate(command_queues):
                         command_queue.put(
-                            (_STEP, superstep, previous_aggregates, trace_ctx)
+                            (
+                                _STEP,
+                                superstep,
+                                previous_aggregates,
+                                trace_ctx,
+                                arena_pool.names(worker_id)
+                                if arena_pool is not None
+                                else None,
+                            )
                         )
 
                     reports = self._collect_control(control_queue, processes)
@@ -446,6 +668,11 @@ class MultiprocessBackend(ExecutionBackend):
                         step.compute_ops += counters["compute_ops"]
                         step.messages_sent += counters["messages_sent"]
                         step.bytes_sent += counters["bytes_sent"]
+                        step.cross_worker_messages += counters.get("messages_cross", 0)
+                        if arena_pool is not None:
+                            arena_pool.request(
+                                worker_id, counters.get("arena_wanted", 0)
+                            )
                         step.worker_compute_ops.append(counters["compute_ops"])
                         step.worker_messages_sent.append(counters["messages_sent"])
                         step.worker_bytes_sent.append(counters["bytes_sent"])
@@ -463,6 +690,11 @@ class MultiprocessBackend(ExecutionBackend):
                     step, time.perf_counter() - step_started
                 )
                 metrics.add(step)
+                if arena_pool is not None:
+                    # The buffers read during this superstep are idle
+                    # until superstep + 1 starts writing them: the only
+                    # window where an undersized buffer may be replaced.
+                    arena_pool.grow_idle(superstep % 2)
 
                 snapshot = registry.finish_superstep()
                 aggregate_history.append(snapshot)
@@ -474,14 +706,29 @@ class MultiprocessBackend(ExecutionBackend):
 
             vertices = self._collect_vertices(command_queues, result_queue, processes)
         except _WorkerFailure as failure:
-            self._abort(command_queues, [control_queue, result_queue] + data_queues, processes)
+            self._abort(
+                command_queues,
+                [control_queue, result_queue] + data_queues,
+                processes,
+                arena_pool,
+            )
             original = failure.original
             original.remote_traceback = failure.remote_traceback  # type: ignore[attr-defined]
             raise original from None
         except BaseException:
-            self._abort(command_queues, [control_queue, result_queue] + data_queues, processes)
+            self._abort(
+                command_queues,
+                [control_queue, result_queue] + data_queues,
+                processes,
+                arena_pool,
+            )
             raise
-        self._shutdown(command_queues, [control_queue, result_queue] + data_queues, processes)
+        self._shutdown(
+            command_queues,
+            [control_queue, result_queue] + data_queues,
+            processes,
+            arena_pool,
+        )
         return JobResult(
             job_name=job.name,
             vertices=vertices,
@@ -540,10 +787,10 @@ class MultiprocessBackend(ExecutionBackend):
         collected: Dict[int, List[Vertex]] = {}
         while len(collected) < self.num_workers:
             waiting_on = set(range(self.num_workers)) - set(collected)
-            worker_id, worker_vertices = self._get_checked(
+            worker_id, payload = self._get_checked(
                 result_queue, processes, waiting_on
             )
-            collected[worker_id] = worker_vertices
+            collected[worker_id] = _unpack_partition(payload)
         # Worker-id order matches how the serial backend concatenates
         # partitions, so downstream iteration order is identical.
         vertices: Dict[int, Vertex] = {}
@@ -552,16 +799,16 @@ class MultiprocessBackend(ExecutionBackend):
                 vertices[vertex.vertex_id] = vertex
         return vertices
 
-    def _abort(self, command_queues, drain_queues, processes) -> None:
+    def _abort(self, command_queues, drain_queues, processes, arena_pool=None) -> None:
         """Best-effort stop after an error: never raise from here."""
         for command_queue in command_queues:
             try:
                 command_queue.put_nowait((_STOP, False))
             except Exception:
                 pass
-        self._shutdown(command_queues, drain_queues, processes)
+        self._shutdown(command_queues, drain_queues, processes, arena_pool)
 
-    def _shutdown(self, command_queues, drain_queues, processes) -> None:
+    def _shutdown(self, command_queues, drain_queues, processes, arena_pool=None) -> None:
         for source_queue in drain_queues:
             while True:
                 try:
@@ -578,3 +825,9 @@ class MultiprocessBackend(ExecutionBackend):
             command_queue.cancel_join_thread()
         for source_queue in drain_queues:
             source_queue.cancel_join_thread()
+        # Unlink the arena segments last: every worker process has been
+        # joined or terminated by now, so no attachment can outlive
+        # this (and a worker that died mid-superstep could not have
+        # unlinked anything itself — workers never own segments).
+        if arena_pool is not None:
+            arena_pool.unlink_all()

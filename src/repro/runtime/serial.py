@@ -30,7 +30,9 @@ class SerialBackend(ExecutionBackend):
     name = "serial"
 
     def run(self, job: PregelJob) -> JobResult:
-        workers = self.partition_into_workers(job.vertices)
+        initial_vertices = list(job.vertices)
+        partitioner = self.job_partitioner(initial_vertices)
+        workers = self.partition_into_workers(initial_vertices, partitioner)
         num_vertices = sum(len(worker) for worker in workers)
         if num_vertices == 0:
             raise InvalidJobError(f"job {job.name!r} has no vertices")
@@ -39,7 +41,7 @@ class SerialBackend(ExecutionBackend):
         for aggregator in job.aggregators:
             registry.register(aggregator)
 
-        router = MessageRouter(self.partitioner, job.combiner, columnar=self.columnar_messages)
+        router = MessageRouter(partitioner, job.combiner, columnar=self.columnar_messages)
         metrics = JobMetrics(job_name=job.name, num_workers=self.num_workers)
         aggregate_history: List[Dict[str, Any]] = []
         instruments = SuperstepInstruments(job.name)
@@ -106,6 +108,7 @@ class SerialBackend(ExecutionBackend):
     ) -> SuperstepMetrics:
         step = SuperstepMetrics(superstep=superstep)
         previous_aggregates = registry.previous_values()
+        cross_before = router.cross_message_count
 
         for worker in workers:
             inbox = inboxes.get(worker.worker_id, {})
@@ -125,7 +128,7 @@ class SerialBackend(ExecutionBackend):
                 )
             instruments.record_worker(worker.worker_id, counters)
             registry.merge_from(aggregator_copies)
-            router.post(outbox)
+            router.post(outbox, sender=worker.worker_id)
 
             step.compute_calls += counters["compute_calls"]
             step.compute_ops += counters["compute_ops"]
@@ -137,5 +140,6 @@ class SerialBackend(ExecutionBackend):
             step.worker_messages_received.append(counters["messages_received"])
             step.worker_bytes_received.append(counters["bytes_received"])
 
+        step.cross_worker_messages = router.cross_message_count - cross_before
         step.active_vertices = sum(worker.active_count() for worker in workers)
         return step

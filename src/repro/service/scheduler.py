@@ -136,6 +136,14 @@ class WorkerPool(_PoolBase):
     # lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
+        try:
+            # Same start-up reclamation as the process plane: a prior
+            # incarnation killed wholesale cannot unlink its own arenas.
+            from ..runtime.shm import sweep_dead_masters
+
+            sweep_dead_masters()
+        except Exception:  # pragma: no cover - sweep must never block start-up
+            pass
         if self._threads and not self._stopping:
             return  # already running
         # Threads left over from a stop(wait=False) still honour the
@@ -218,6 +226,15 @@ class WorkerPool(_PoolBase):
                 self._count_reclaims(self.store.reap_expired())
             except Exception:  # noqa: BLE001 — the reaper must outlive store hiccups
                 pass
+            try:
+                # An orphaned master from a killed prior incarnation may
+                # outlive our start-up sweep (it self-fences only after
+                # noticing orphanhood); reclaim its arenas once it dies.
+                from ..runtime.shm import sweep_dead_masters
+
+                sweep_dead_masters()
+            except Exception:  # noqa: BLE001 — sweep must never break reaping
+                pass
 
 
 class ProcessWorkerPool(_PoolBase):
@@ -256,6 +273,16 @@ class ProcessWorkerPool(_PoolBase):
     # lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
+        try:
+            # A previous service incarnation SIGKILLed wholesale (the
+            # crash-recovery path) strands the arena segments of worker
+            # processes nobody observed dying; reclaim them before
+            # spawning fresh workers.
+            from ..runtime.shm import sweep_dead_masters
+
+            sweep_dead_masters()
+        except Exception:  # pragma: no cover - sweep must never block start-up
+            pass
         with self._lock:
             if self._slots and not self._stopping:
                 return  # already running
@@ -335,8 +362,20 @@ class ProcessWorkerPool(_PoolBase):
         process = slot["process"]
         reason = _death_reason(process.exitcode)
         incarnation = slot["incarnation"]
+        dead_pid = process.pid
         process.join()
         slot["process"] = None
+        # A SIGKILLed worker was the Pregel *master* of whatever backend
+        # it was running and never reached the unlink path of its
+        # shared-memory arenas; sweep them by the PID baked into their
+        # segment names so /dev/shm cannot accumulate leaks.
+        if dead_pid is not None:
+            try:
+                from ..runtime.shm import sweep_master_segments
+
+                sweep_master_segments(dead_pid)
+            except Exception:  # noqa: BLE001 — supervision must survive sweep hiccups
+                pass
         get_registry().counter(
             "repro_worker_deaths_total",
             "Worker processes that exited, by reason.",
@@ -364,6 +403,15 @@ class ProcessWorkerPool(_PoolBase):
         slot["respawn_after"] = now + slot["backoff"]
 
     def _reap_once(self) -> None:
+        try:
+            # Same late reclamation as the thread plane's reaper: a
+            # prior incarnation's orphaned master often dies only after
+            # our start-up sweep already ran.
+            from ..runtime.shm import sweep_dead_masters
+
+            sweep_dead_masters()
+        except Exception:  # noqa: BLE001 — sweep must never break reaping
+            pass
         try:
             reclaims = self.store.reap_expired()
         except Exception:  # noqa: BLE001

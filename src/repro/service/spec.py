@@ -55,6 +55,8 @@ CONFIG_FIELDS = (
     "error_correction_rounds",
     "num_workers",
     "backend",
+    "message_plane",
+    "partitioner",
     "use_vectorized",
     "scaffold",
     "scaffold_min_links",

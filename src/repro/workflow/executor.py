@@ -61,16 +61,25 @@ class StageExecutor:
         backend: str = "serial",
         columnar_messages: Optional[bool] = None,
         pipeline_metrics: Optional[PipelineMetrics] = None,
+        partitioner: Optional[str] = None,
+        message_plane: Optional[str] = None,
     ) -> None:
         self.num_workers = num_workers
         self.backend = backend
         self.columnar_messages = columnar_messages
+        self.partitioner_name = partitioner
+        self.message_plane = message_plane
         self.engine = PregelEngine(
             num_workers=num_workers,
             backend=backend,
             columnar_messages=columnar_messages,
+            partitioner=partitioner,
+            message_plane=message_plane,
         )
         self.pipeline_metrics = pipeline_metrics or PipelineMetrics()
+        # Shuffle keys (mini-MapReduce, conversions) are labels rather
+        # than dense k-mer IDs, so the shuffle partitioner stays the
+        # hash strategy regardless of the Pregel vertex partitioner.
         self._partitioner = HashPartitioner(num_workers)
 
     @property

@@ -200,6 +200,8 @@ class WorkflowRunner:
         checkpoint_dir=None,
         hooks: Optional[WorkflowHooks] = None,
         executor: Optional[StageExecutor] = None,
+        partitioner: Optional[str] = None,
+        message_plane: Optional[str] = None,
     ) -> None:
         if executor is not None:
             self._executor = executor
@@ -208,6 +210,8 @@ class WorkflowRunner:
                 num_workers=num_workers,
                 backend=backend,
                 columnar_messages=columnar_messages,
+                partitioner=partitioner,
+                message_plane=message_plane,
             )
         self.hooks = hooks or WorkflowHooks()
         # The legacy hooks object is simply the first event subscriber;
@@ -468,6 +472,8 @@ class WorkflowRunner:
                 backend=backend,
                 columnar_messages=getattr(self._executor, "columnar_messages", None),
                 pipeline_metrics=self._executor.pipeline_metrics,
+                partitioner=getattr(self._executor, "partitioner_name", None),
+                message_plane=getattr(self._executor, "message_plane", None),
             )
             self._override_executors[key] = executor
         return executor
