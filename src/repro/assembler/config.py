@@ -95,6 +95,15 @@ class AssemblyConfig:
         The paired-end library's insert size.  ``None`` (default) lets
         the stage estimate it from pairs whose mates map to the same
         contig, which is what real scaffolders do.
+    memory_budget_mb:
+        Soft cap, in megabytes, on the live bytes the assembly holds in
+        memory at once.  ``None`` (default) is unlimited.  When set,
+        DBG construction streams reads in bounded chunks and spills
+        sorted k-mer runs, and the Pregel runtime spills idle worker
+        partitions and staged message batches to disk
+        (:mod:`repro.store`).  Results are bit-identical at any budget;
+        only peak memory and wall-clock change.  A float so tests can
+        force heavy spilling on tiny datasets (e.g. ``0.05``).
     """
 
     k: int = 21
@@ -111,6 +120,7 @@ class AssemblyConfig:
     scaffold: bool = False
     scaffold_min_links: int = 2
     scaffold_insert_size: Optional[float] = None
+    memory_budget_mb: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not 1 <= self.k <= MAX_K:
@@ -151,6 +161,10 @@ class AssemblyConfig:
         if self.scaffold_insert_size is not None and self.scaffold_insert_size <= 0:
             raise PipelineConfigError(
                 f"scaffold_insert_size must be positive, got {self.scaffold_insert_size}"
+            )
+        if self.memory_budget_mb is not None and self.memory_budget_mb <= 0:
+            raise PipelineConfigError(
+                f"memory_budget_mb must be positive, got {self.memory_budget_mb}"
             )
         try:
             ensure_backend(self.backend)
@@ -194,6 +208,19 @@ class AssemblyConfig:
     def with_vectorized(self, use_vectorized: bool) -> "AssemblyConfig":
         """Copy of this config toggling the NumPy batch kernels."""
         return replace(self, use_vectorized=use_vectorized)
+
+    def with_memory_budget(
+        self, memory_budget_mb: Optional[float]
+    ) -> "AssemblyConfig":
+        """Copy of this config with a different memory budget (MB)."""
+        return replace(self, memory_budget_mb=memory_budget_mb)
+
+    @property
+    def memory_budget_bytes(self) -> Optional[int]:
+        """The budget in bytes, or None when unlimited."""
+        if self.memory_budget_mb is None:
+            return None
+        return int(self.memory_budget_mb * 1024 * 1024)
 
     def with_scaffolding(
         self,

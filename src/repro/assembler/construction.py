@@ -26,15 +26,17 @@ canonical writing, which keeps them consistent with Property 1.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple
+from typing import Any, Dict, Iterable, List, Tuple
 
 from ..dbg.bitmap import AdjacencyBitmap
 from ..dbg.graph import DeBruijnGraph
 from ..dbg.kmer_vertex import KmerVertexData
 from ..dna import vectorized
 from ..dna.encoding import canonical_encoded
-from ..dna.io_fastq import Read
+from ..dna.io_fastq import Read, read_chunks
 from ..dna.kmer import extract_kplus1mers, validate_k
+from ..store.ledger import MemoryLedger, estimate_nbytes
+from ..store.spill import SpillManager, process_spill_stats
 from ..workflow.executor import StageExecutor
 from ..pregel.metrics import JobMetrics, SuperstepMetrics
 from .config import AssemblyConfig
@@ -126,10 +128,13 @@ def build_dbg(
     way (asserted by ``tests/dna/test_vectorized_parity.py``).
     """
     validate_k(config.k)
-    reads = list(reads)
 
+    # The vectorized path streams the reads in bounded chunks and never
+    # needs the whole dataset at once; only the scalar path (whose
+    # MapReduce harness indexes records) materialises a list.
     if config.use_vectorized and vectorized.numpy_available():
         return _build_dbg_vectorized(reads, config, chain)
+    reads = list(reads)
 
     phase1 = chain.run_mapreduce(
         name="dbg-construction/phase1-count-kplus1mers",
@@ -178,6 +183,51 @@ def build_dbg(
 _PHASE2_OUT_BYTES = 4 + 2 + 3 + 8 + 8
 _PHASE2_IN_BYTES = 4 + 2 + 2 + 8 + 8
 
+#: Bounds on the streaming-ingest chunk size (reads per batch).  The
+#: upper bound is also the default when no memory budget is set; the
+#: lower bound keeps the per-chunk numpy kernels from degenerating
+#: into per-read calls under tiny test budgets.
+_MIN_CHUNK_READS = 256
+_MAX_CHUNK_READS = 8192
+
+#: Rough working-set cost of one read inside the window-extraction
+#: kernels (codes + window IDs + canonical copy for a short read).
+#: Only the chunk-size derivation uses this; results never depend on it.
+_CHUNK_BYTES_PER_READ = 4096
+
+
+def _chunk_reads_for_budget(budget_bytes) -> int:
+    """Reads per ingest chunk under ``budget_bytes`` (None = unlimited)."""
+    if budget_bytes is None:
+        return _MAX_CHUNK_READS
+    derived = int(budget_bytes) // _CHUNK_BYTES_PER_READ
+    return max(_MIN_CHUNK_READS, min(_MAX_CHUNK_READS, derived))
+
+
+def _merge_sorted_runs(np, runs):
+    """External merge of per-chunk ``np.unique`` runs.
+
+    Each run is a ``(edges, counts)`` pair with ``edges`` sorted and
+    unique within the run.  Concatenating the runs, stable-sorting, and
+    segment-summing counts at key boundaries reproduces exactly what
+    one global ``np.unique(..., return_counts=True)`` over the full
+    window stream would return.
+    """
+    if not runs:
+        return np.zeros(0, dtype=np.uint64), np.zeros(0, dtype=np.int64)
+    if len(runs) == 1:
+        edges, counts = runs[0]
+        return edges, counts.astype(np.int64, copy=False)
+    all_edges = np.concatenate([edges for edges, _ in runs])
+    all_counts = np.concatenate([counts for _, counts in runs]).astype(np.int64)
+    order = np.argsort(all_edges, kind="stable")
+    sorted_edges = all_edges[order]
+    sorted_counts = all_counts[order]
+    starts = np.flatnonzero(
+        np.concatenate(([True], sorted_edges[1:] != sorted_edges[:-1]))
+    )
+    return sorted_edges[starts], np.add.reduceat(sorted_counts, starts)
+
 
 def _worker_sums(np, workers, num_workers, weights=None):
     """Exact per-worker integer sums (bincount; float weights are exact
@@ -222,31 +272,75 @@ def _mapreduce_metrics(
 
 
 def _build_dbg_vectorized(
-    reads: List[Read],
+    reads: Iterable[Read],
     config: AssemblyConfig,
     chain: StageExecutor,
 ) -> ConstructionResult:
-    """Operation ① with both phases as batch kernels."""
+    """Operation ① with both phases as batch kernels.
+
+    Phase (i) is *streaming*: reads arrive in bounded chunks, each
+    chunk is pre-aggregated with a local ``np.unique``, and the sorted
+    runs are merged at the end — under a memory budget the idle runs
+    spill to disk, so peak memory is bounded by the chunk size plus
+    the distinct-edge working set rather than the raw read volume.
+    """
     import numpy as np
 
     k = config.k
     num_workers = chain.num_workers
     partitioner = chain.partitioner
+    budget_bytes = config.memory_budget_bytes
 
     # ---- phase (i): count canonical (k+1)-mers ------------------------
-    sequences = [read.sequence for read in reads]
-    observed, per_read = vectorized.extract_window_ids(sequences, k + 1)
-    canonical, _ = vectorized.canonical_ids(observed, k + 1)
-    total_pairs = int(observed.size)
+    total_pairs = 0
+    read_index = 0
+    map_ops = np.zeros(num_workers, dtype=np.int64)
+    shuffle_counts = np.zeros(num_workers, dtype=np.int64)
+    runs: List[Tuple[Any, Any]] = []
+    spilled_runs: Dict[int, None] = {}
+    ledger = MemoryLedger(budget_bytes, name="construction")
+    manager = SpillManager(owner="construction")
+    try:
+        for chunk in read_chunks(reads, _chunk_reads_for_budget(budget_bytes)):
+            sequences = [read.sequence for read in chunk]
+            observed, per_read = vectorized.extract_window_ids(sequences, k + 1)
+            canonical, _ = vectorized.canonical_ids(observed, k + 1)
+            total_pairs += int(observed.size)
 
-    sources = np.arange(len(sequences), dtype=np.int64) % num_workers
-    map_ops = _worker_sums(np, sources, num_workers) + _worker_sums(
-        np, sources, num_workers, weights=per_read
-    )
-    destinations = partitioner.worker_for_array(canonical)
-    shuffle_bytes = 8 * _worker_sums(np, destinations, num_workers)
+            sources = (
+                np.arange(read_index, read_index + len(sequences), dtype=np.int64)
+                % num_workers
+            )
+            read_index += len(sequences)
+            map_ops += _worker_sums(np, sources, num_workers) + _worker_sums(
+                np, sources, num_workers, weights=per_read
+            )
+            destinations = partitioner.worker_for_array(canonical)
+            shuffle_counts += _worker_sums(np, destinations, num_workers)
 
-    unique_edges, edge_counts = np.unique(canonical, return_counts=True)
+            run = np.unique(canonical, return_counts=True)
+            run_id = len(runs)
+            runs.append(run)
+            ledger.track(f"run:{run_id}", estimate_nbytes(run))
+            # Spill older runs (LRU) until back under budget; the run
+            # just built stays resident — it is the merge frontier.
+            if ledger.over_budget:
+                for name, _ in ledger.victims({f"run:{run_id}"}):
+                    if not ledger.over_budget:
+                        break
+                    victim = int(name.split(":", 1)[1])
+                    if manager.spill(name, runs[victim]):
+                        runs[victim] = None
+                        spilled_runs[victim] = None
+                        ledger.release(name)
+
+        for victim in spilled_runs:
+            runs[victim] = manager.load(f"run:{victim}")
+        unique_edges, edge_counts = _merge_sorted_runs(np, runs)
+    finally:
+        process_spill_stats().record_ledger_peak(ledger.peak_bytes)
+        manager.close()
+    shuffle_bytes = 8 * shuffle_counts
     unique_destinations = partitioner.worker_for_array(unique_edges)
     survives = edge_counts > config.coverage_threshold
     reduce_ops = _worker_sums(

@@ -253,6 +253,7 @@ class PPAAssembler:
             columnar_messages=self.config.use_vectorized,
             partitioner=self.config.partitioner,
             message_plane=self.config.message_plane,
+            memory_budget_mb=self.config.memory_budget_mb,
             checkpoint_dir=checkpoint_dir,
             hooks=hooks,
         )

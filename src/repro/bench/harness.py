@@ -17,7 +17,6 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
-import tempfile
 import time
 from dataclasses import dataclass
 from functools import lru_cache
@@ -35,6 +34,7 @@ from ..baselines import (
 from ..dna.datasets import DatasetProfile, get_profile
 from ..dna.io_fastq import Read, ReadPair, reads_from_pairs
 from ..pregel.cost_model import ClusterProfile
+from ..store.content import ContentStore
 
 #: k-mer size used by every benchmark (the paper uses 31; the scaled
 #: datasets use 21 so that repeats still create ambiguous vertices).
@@ -114,29 +114,48 @@ def dataset_cache_dir() -> Optional[Path]:
     return root / "ppa-assembler-repro" / "datasets"
 
 
-def _dataset_cache_path(profile: DatasetProfile) -> Optional[Path]:
-    directory = dataset_cache_dir()
-    if directory is None:
-        return None
+def _dataset_cache_name(profile: DatasetProfile) -> str:
     # The frozen profile's repr covers every generation input (name,
     # genome length after scaling, read length, coverage, error rate,
     # repeat fraction, seed), so any change invalidates the key.
     digest = hashlib.sha256(
         repr((_DATASET_CACHE_VERSION, profile)).encode("utf-8")
     ).hexdigest()[:16]
-    return directory / f"{profile.name}-{digest}.pkl"
+    return f"{profile.name}-{digest}"
+
+
+def _dataset_cache_store() -> Optional[ContentStore]:
+    """The content store backing the dataset cache, or None when disabled.
+
+    Cached datasets live as named blobs (the name is the profile
+    digest, acting as a GC root); identical payloads dedup across
+    profiles for free.  The pre-content-store layout kept one
+    ``<name>-<digest>.pkl`` per profile at the directory top level —
+    any such leftovers are swept on first use.
+    """
+    directory = dataset_cache_dir()
+    if directory is None:
+        return None
+    store = ContentStore(directory)
+    try:
+        for stale in directory.glob("*.pkl"):
+            stale.unlink()
+    except OSError:
+        pass
+    return store
 
 
 def _load_dataset_cache(profile: DatasetProfile):
     """Return ``(reference, reads)`` from disk, or None on any miss."""
-    path = _dataset_cache_path(profile)
-    if path is None:
+    store = _dataset_cache_store()
+    if store is None:
+        return None
+    payload = store.get_named(_dataset_cache_name(profile))
+    if payload is None:
         return None
     try:
-        with open(path, "rb") as handle:
-            stored_profile, reference, reads = pickle.load(handle)
+        stored_profile, reference, reads = pickle.loads(payload)
     except (
-        OSError,
         pickle.UnpicklingError,
         EOFError,
         ValueError,
@@ -150,23 +169,17 @@ def _load_dataset_cache(profile: DatasetProfile):
 
 
 def _store_dataset_cache(profile: DatasetProfile, reference, reads) -> None:
-    """Best-effort atomic write; caching must never break a benchmark."""
-    path = _dataset_cache_path(profile)
-    if path is None:
+    """Best-effort atomic publish; caching must never break a benchmark."""
+    store = _dataset_cache_store()
+    if store is None:
         return
     try:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        descriptor, temp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(descriptor, "wb") as handle:
-                pickle.dump((profile, reference, reads), handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(temp_name, path)
-        except BaseException:
-            try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
-            raise
+        store.put_named(
+            _dataset_cache_name(profile),
+            pickle.dumps(
+                (profile, reference, reads), protocol=pickle.HIGHEST_PROTOCOL
+            ),
+        )
     except OSError:
         pass
 

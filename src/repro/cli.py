@@ -129,6 +129,16 @@ def build_parser() -> argparse.ArgumentParser:
         "worker-local, reducing cross-worker messages)",
     )
     parser.add_argument(
+        "--memory-budget-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="bound the assembly's working memory: reads stream in "
+        "bounded chunks and idle graph partitions / message batches "
+        "spill to disk once the budget is exceeded (results stay "
+        "bit-identical; default unlimited)",
+    )
+    parser.add_argument(
         "--no-vectorized",
         action="store_true",
         help="disable the NumPy batch kernels and run the scalar "
@@ -307,6 +317,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             scaffold=scaffold,
             scaffold_min_links=args.min_links,
             scaffold_insert_size=args.insert_size,
+            memory_budget_mb=args.memory_budget_mb,
         )
     except ReproError as exc:
         parser.error(str(exc))
@@ -380,6 +391,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         )
 
+    from .store.spill import process_spill_stats
+
+    spill_before = process_spill_stats().snapshot()
     started = time.perf_counter()
     try:
         result = PPAAssembler(config).assemble(
@@ -439,6 +453,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             wall_seconds=wall_seconds,
             reference_length=reference_length,
         )
+        spill = process_spill_stats().delta_since(spill_before)
+        payload["memory"] = {
+            "memory_budget_mb": config.memory_budget_mb,
+            "spill_events_total": spill["spill_events"],
+            "spill_bytes_total": spill["spill_bytes"],
+            "load_events_total": spill["load_events"],
+            "load_bytes_total": spill["load_bytes"],
+            "ledger_peak_bytes": spill["ledger_peak_bytes"],
+        }
         with open(args.metrics_json, "w") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")

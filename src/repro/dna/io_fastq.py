@@ -124,6 +124,41 @@ def parse_fastq(source: PathOrHandle, validate: bool = True) -> Iterator[Read]:
             handle.close()
 
 
+def read_chunks(reads: Iterable[Read], chunk_reads: int) -> Iterator[List[Read]]:
+    """Yield ``reads`` in bounded batches of at most ``chunk_reads``.
+
+    The streaming-ingest entry point: consumers that can process reads
+    batch by batch (the vectorized k-mer kernels) iterate chunks rather
+    than materialising the whole dataset, so peak memory is bounded by
+    the chunk size instead of the input size.  Works on any iterable —
+    lists pass through in order, generators are drained lazily.
+    """
+    if chunk_reads <= 0:
+        raise ValueError(f"chunk_reads must be positive, got {chunk_reads}")
+    chunk: List[Read] = []
+    for read in reads:
+        chunk.append(read)
+        if len(chunk) >= chunk_reads:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+def parse_fastq_chunks(
+    source: PathOrHandle,
+    chunk_reads: int,
+    validate: bool = True,
+) -> Iterator[List[Read]]:
+    """Parse a FASTQ file in bounded batches of at most ``chunk_reads``.
+
+    Equivalent to ``read_chunks(parse_fastq(source), chunk_reads)`` —
+    the file is read incrementally, never holding more than one chunk
+    of records in memory.
+    """
+    return read_chunks(parse_fastq(source, validate=validate), chunk_reads)
+
+
 def write_fastq(reads: Iterable[Read], target: PathOrHandle) -> int:
     """Write reads in FASTQ format; returns the number of records written."""
     handle, owns_handle = _open_for_writing(target)

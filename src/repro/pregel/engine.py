@@ -123,6 +123,7 @@ class PregelEngine:
         columnar_messages: Optional[bool] = None,
         partitioner: Optional[str] = None,
         message_plane: Optional[str] = None,
+        memory_budget_mb: Optional[float] = None,
     ) -> None:
         if num_workers <= 0:
             raise InvalidJobError(f"num_workers must be positive, got {num_workers}")
@@ -138,6 +139,8 @@ class PregelEngine:
             backend_kwargs["partitioner"] = partitioner
         if message_plane is not None:
             backend_kwargs["message_plane"] = message_plane
+        if memory_budget_mb is not None:
+            backend_kwargs["memory_budget_mb"] = memory_budget_mb
         self._backend = create_backend(backend, num_workers=num_workers, **backend_kwargs)
         if columnar_messages is not None:
             # None keeps the backend's own setting (columnar by default);

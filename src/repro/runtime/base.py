@@ -161,14 +161,24 @@ class ExecutionBackend(ABC):
         columnar_messages: bool = True,
         partitioner: str = "hash",
         message_plane: str = "shm",
+        memory_budget_mb: "Union[int, float, None]" = None,
     ) -> None:
         if num_workers <= 0:
             raise InvalidJobError(f"num_workers must be positive, got {num_workers}")
+        if memory_budget_mb is not None and memory_budget_mb <= 0:
+            raise InvalidJobError(
+                f"memory_budget_mb must be positive, got {memory_budget_mb}"
+            )
         self.num_workers = num_workers
         self.columnar_messages = bool(columnar_messages)
         self.partitioner_name = ensure_partitioner(partitioner)
         self.message_plane = ensure_message_plane(message_plane)
         self.partitioner = make_partitioner(partitioner, num_workers)
+        self.memory_budget_mb = memory_budget_mb
+        #: Soft cap on live bytes; None disables the spill plane entirely.
+        self.memory_budget_bytes = (
+            None if memory_budget_mb is None else int(memory_budget_mb * 1024 * 1024)
+        )
 
     @abstractmethod
     def run(self, job: "PregelJob") -> "JobResult":

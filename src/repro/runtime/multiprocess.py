@@ -61,8 +61,10 @@ from ..pregel.vertex import Vertex, VertexFactory
 from ..pregel.worker import Worker
 from ..telemetry import get_registry, remote_context, span, start_remote_span
 from ..telemetry.metrics import MetricsRegistry
+from ..store.spill import process_spill_stats
 from . import shm as shm_plane
 from .base import ExecutionBackend, SuperstepInstruments, register_backend, worker_messages_counter
+from .spilling import WorkerBatchSpiller
 
 try:  # pragma: no cover - exercised implicitly by every import
     import numpy as np
@@ -352,6 +354,7 @@ def _worker_main(
     partitioner,
     job_name: str,
     metrics_enabled: bool,
+    budget_bytes: Optional[int],
     command_queue,
     data_queues,
     control_queue,
@@ -360,6 +363,7 @@ def _worker_main(
     """Superstep loop of one shared-nothing worker process."""
     arena_writer = None
     arena_reader = None
+    spiller = None
     try:
         worker = Worker(worker_id)
         for vertex in vertices:
@@ -380,6 +384,18 @@ def _worker_main(
             if local_registry is not None
             else None
         )
+        if budget_bytes is not None:
+            # Each worker polices an equal share of the job budget;
+            # staged future-superstep batches spill once the share is
+            # exceeded.  Spill totals ride the counter dict to the
+            # master at each barrier.
+            spiller = WorkerBatchSpiller(
+                max(1, budget_bytes // num_workers),
+                worker_id,
+                job_name,
+                registry=local_registry,
+            )
+            spiller.account_partition(worker.vertices)
 
         while True:
             command = command_queue.get()
@@ -402,12 +418,17 @@ def _worker_main(
                 arrived = staged.setdefault(superstep, {})
                 while set(arrived) != expected:
                     for_superstep, sender, batch = own_queue.get()
+                    if spiller is not None and for_superstep > superstep:
+                        batch = spiller.stash(for_superstep, sender, batch)
                     staged.setdefault(for_superstep, {})[sender] = batch
                     arrived = staged.setdefault(superstep, {})
                 batches = staged.pop(superstep)
                 batches[worker_id] = local_batches.pop(superstep, [])
                 for sender in list(batches):
-                    batches[sender] = _resolve_batch(batches[sender], arena_reader)
+                    batch = batches[sender]
+                    if spiller is not None:
+                        batch = spiller.resolve(superstep, sender, batch)
+                    batches[sender] = _resolve_batch(batch, arena_reader)
                 inbox = _merge_batches(batches, num_workers, combiner)
 
             aggregator_copies = {
@@ -445,6 +466,8 @@ def _worker_main(
             for destination in range(num_workers):
                 batch = batches.get(destination, [])
                 if destination == worker_id:
+                    if spiller is not None:
+                        batch = spiller.stash(superstep + 1, worker_id, batch)
                     local_batches[superstep + 1] = batch
                 else:
                     if arena_writer is not None and _is_cols(batch):
@@ -455,6 +478,10 @@ def _worker_main(
             counters["arena_wanted"] = (
                 arena_writer.wanted_bytes if arena_writer is not None else 0
             )
+            if spiller is not None:
+                # The factory may have grown the partition this superstep.
+                spiller.account_partition(worker.vertices)
+                counters["spill_stats"] = spiller.drain_stats()
 
             aggregator_states = {
                 name: copy.dump_state() for name, copy in aggregator_copies.items()
@@ -494,6 +521,8 @@ def _worker_main(
             arena_reader.close()
         # Undelivered final-superstep batches are intentionally discarded;
         # don't let their feeder threads block process exit.
+        if spiller is not None:
+            spiller.close()
         for data_queue in data_queues:
             data_queue.cancel_join_thread()
 
@@ -515,12 +544,14 @@ class MultiprocessBackend(ExecutionBackend):
         partitioner: str = "hash",
         message_plane: str = "shm",
         shm_arena_bytes: int = shm_plane.DEFAULT_ARENA_BYTES,
+        memory_budget_mb: Optional[float] = None,
     ) -> None:
         super().__init__(
             num_workers,
             columnar_messages=columnar_messages,
             partitioner=partitioner,
             message_plane=message_plane,
+            memory_budget_mb=memory_budget_mb,
         )
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
@@ -597,6 +628,7 @@ class MultiprocessBackend(ExecutionBackend):
                     partitioner,
                     job.name,
                     get_registry().enabled,
+                    self.memory_budget_bytes,
                     command_queues[worker_id],
                     data_queues,
                     control_queue,
@@ -664,6 +696,9 @@ class MultiprocessBackend(ExecutionBackend):
                             step_span.add_child(span_dict)
                         if metrics_state is not None:
                             metrics_registry.merge_state(metrics_state)
+                        spill_delta = counters.get("spill_stats")
+                        if spill_delta is not None:
+                            process_spill_stats().merge(spill_delta)
                         step.compute_calls += counters["compute_calls"]
                         step.compute_ops += counters["compute_ops"]
                         step.messages_sent += counters["messages_sent"]

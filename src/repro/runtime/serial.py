@@ -21,6 +21,7 @@ from ..pregel.metrics import JobMetrics, SuperstepMetrics
 from ..pregel.worker import Worker
 from ..telemetry import span
 from .base import ExecutionBackend, SuperstepInstruments, register_backend
+from .spilling import SerialSpillPlane
 
 
 @register_backend
@@ -37,6 +38,18 @@ class SerialBackend(ExecutionBackend):
         if num_vertices == 0:
             raise InvalidJobError(f"job {job.name!r} has no vertices")
 
+        # With a memory budget, the spill plane takes custody of the
+        # partitions: workers are loaded just-in-time and idle ones may
+        # live on disk between supersteps.  Dropping the flat vertex
+        # list matters — it would otherwise pin every vertex in memory
+        # regardless of what the plane evicts.
+        plane = None
+        if self.memory_budget_bytes is not None:
+            plane = SerialSpillPlane(self.memory_budget_bytes, job.name)
+            plane.adopt(workers)
+            workers = None
+            del initial_vertices
+
         registry = AggregatorRegistry()
         for aggregator in job.aggregators:
             registry.register(aggregator)
@@ -46,45 +59,56 @@ class SerialBackend(ExecutionBackend):
         aggregate_history: List[Dict[str, Any]] = []
         instruments = SuperstepInstruments(job.name)
 
-        superstep = 0
-        inboxes: Dict[int, Dict[int, List[Any]]] = {}
-        while True:
-            if superstep >= job.max_supersteps:
-                raise SuperstepLimitExceededError(job.max_supersteps)
+        try:
+            superstep = 0
+            inboxes: Dict[int, Dict[int, List[Any]]] = {}
+            while True:
+                if superstep >= job.max_supersteps:
+                    raise SuperstepLimitExceededError(job.max_supersteps)
 
-            active = sum(worker.active_count() for worker in workers)
-            pending = any(inboxes.get(w, {}) for w in range(self.num_workers))
-            if active == 0 and not pending:
-                break
+                if plane is None:
+                    active = sum(worker.active_count() for worker in workers)
+                else:
+                    active = plane.active_total()
+                pending = any(inboxes.get(w, {}) for w in range(self.num_workers))
+                if active == 0 and not pending:
+                    break
 
-            step_started = time.perf_counter()
-            with span(f"superstep-{superstep}") as step_span:
-                step_metrics = self._run_superstep(
-                    superstep, job, workers, inboxes, router, registry,
-                    num_vertices, instruments,
+                step_started = time.perf_counter()
+                with span(f"superstep-{superstep}") as step_span:
+                    step_metrics = self._run_superstep(
+                        superstep, job, workers, inboxes, router, registry,
+                        num_vertices, instruments, plane,
+                    )
+                    step_span.set(
+                        messages_sent=step_metrics.messages_sent,
+                        bytes_sent=step_metrics.bytes_sent,
+                        active_vertices=step_metrics.active_vertices,
+                    )
+                instruments.record_superstep(
+                    step_metrics, time.perf_counter() - step_started
                 )
-                step_span.set(
-                    messages_sent=step_metrics.messages_sent,
-                    bytes_sent=step_metrics.bytes_sent,
-                    active_vertices=step_metrics.active_vertices,
-                )
-            instruments.record_superstep(
-                step_metrics, time.perf_counter() - step_started
-            )
-            metrics.add(step_metrics)
+                metrics.add(step_metrics)
 
-            snapshot = registry.finish_superstep()
-            aggregate_history.append(snapshot)
+                snapshot = registry.finish_superstep()
+                aggregate_history.append(snapshot)
 
-            inboxes = router.deliver()
-            superstep += 1
+                inboxes = router.deliver()
+                if plane is not None:
+                    inboxes = plane.stash_inboxes(inboxes)
+                superstep += 1
 
-            if job.halt_condition is not None and job.halt_condition(snapshot):
-                break
+                if job.halt_condition is not None and job.halt_condition(snapshot):
+                    break
 
-        vertices = {}
-        for worker in workers:
-            vertices.update(worker.vertices)
+            if plane is not None:
+                workers = plane.restore_all()
+            vertices = {}
+            for worker in workers:
+                vertices.update(worker.vertices)
+        finally:
+            if plane is not None:
+                plane.close()
         return JobResult(
             job_name=job.name,
             vertices=vertices,
@@ -105,13 +129,19 @@ class SerialBackend(ExecutionBackend):
         registry: AggregatorRegistry,
         num_vertices: int,
         instruments: SuperstepInstruments,
+        plane: "SerialSpillPlane | None" = None,
     ) -> SuperstepMetrics:
         step = SuperstepMetrics(superstep=superstep)
         previous_aggregates = registry.previous_values()
         cross_before = router.cross_message_count
 
-        for worker in workers:
-            inbox = inboxes.get(worker.worker_id, {})
+        for worker_id in range(self.num_workers):
+            if plane is None:
+                worker = workers[worker_id]
+                inbox = inboxes.get(worker_id, {})
+            else:
+                worker = plane.worker(worker_id)
+                inbox = plane.take_inbox(worker_id, inboxes)
             aggregator_copies = registry.current_copies()
             with span(f"worker-{worker.worker_id}", worker=worker.worker_id) as wspan:
                 outbox, counters = worker.execute_superstep(
@@ -140,6 +170,17 @@ class SerialBackend(ExecutionBackend):
             step.worker_messages_received.append(counters["messages_received"])
             step.worker_bytes_received.append(counters["bytes_received"])
 
+            if plane is not None:
+                # Execution mutated the partition (values, factory-made
+                # vertices): refresh its ledger entry, then shed memory
+                # before the next worker loads.  The just-executed
+                # partition is excluded — it is still on this frame.
+                plane.reaccount(worker)
+                plane.rebalance(exclude_worker=worker_id)
+
         step.cross_worker_messages = router.cross_message_count - cross_before
-        step.active_vertices = sum(worker.active_count() for worker in workers)
+        if plane is None:
+            step.active_vertices = sum(worker.active_count() for worker in workers)
+        else:
+            step.active_vertices = plane.active_total()
         return step

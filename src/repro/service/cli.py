@@ -142,6 +142,10 @@ def build_service_parser() -> argparse.ArgumentParser:
         help="execution backend for the job's Pregel stages",
     )
     submit.add_argument("--workers", type=int, default=None, help="Pregel workers for the job")
+    submit.add_argument(
+        "--memory-budget-mb", type=float, default=None, metavar="MB",
+        help="bound the job's working memory (streaming ingest + disk spill)",
+    )
     submit.add_argument("--no-vectorized", action="store_true")
     submit.add_argument("--scaffold", action="store_true", help="run paired-end scaffolding")
     submit.add_argument("--insert-size", type=float, default=None)
@@ -287,6 +291,8 @@ def _build_spec(args: argparse.Namespace) -> JobSpec:
         config["backend"] = args.backend
     if args.workers is not None:
         config["num_workers"] = args.workers
+    if args.memory_budget_mb is not None:
+        config["memory_budget_mb"] = args.memory_budget_mb
     if args.no_vectorized:
         config["use_vectorized"] = False
     if args.scaffold:

@@ -61,6 +61,7 @@ CONFIG_FIELDS = (
     "scaffold",
     "scaffold_min_links",
     "scaffold_insert_size",
+    "memory_budget_mb",
 )
 
 #: Fields a spec's optional ``retry`` block may set.  They tune the

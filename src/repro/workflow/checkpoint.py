@@ -19,17 +19,15 @@ silently producing a hybrid run.
 
 from __future__ import annotations
 
-import os
 import pickle
 import re
-import tempfile
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from ..errors import CheckpointError
 from ..pregel.metrics import PipelineMetrics
+from ..store.atomic import ORPHAN_TMP_AGE_SECONDS, atomic_writer, sweep_orphan_tmps
 
 #: Bump when the checkpoint payload layout changes; old checkpoints are
 #: then refused (a format mismatch is a mismatch, not a silent skip).
@@ -44,15 +42,17 @@ _FILE_PATTERN = re.compile(r"^checkpoint-(\d{3,})-(.+)\.pkl$")
 #: Prefix of in-flight checkpoint temp files.  Distinguishes this
 #: module's own temporaries from any other ``*.tmp`` a shared directory
 #: might contain, so the orphan sweep never deletes a foreign file.
+#: (``ORPHAN_TMP_AGE_SECONDS`` is re-exported from
+#: :mod:`repro.store.atomic`, where the shared sweep now lives.)
 _TMP_PREFIX = ".ckpt-"
 
-#: How old (seconds since mtime) a temp file must be before the orphan
-#: sweep may delete it.  An in-flight write lives for milliseconds; a
-#: temp file this stale can only be the leftover of a killed process.
-#: The age guard is what makes several stores sharing one directory
-#: (e.g. concurrent jobs of the service) safe: one store's sweep cannot
-#: race another store's write-in-progress out from under it.
-ORPHAN_TMP_AGE_SECONDS = 60.0
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "ORPHAN_TMP_AGE_SECONDS",
+    "Checkpoint",
+    "CheckpointStore",
+    "state_fingerprint",
+]
 
 
 def _slug(name: str) -> str:
@@ -117,24 +117,14 @@ class CheckpointStore:
         A crash between ``mkstemp`` and ``os.replace`` (exactly the
         failure mode checkpoints exist for) orphans the temp file;
         nothing ever reads those, so the first write of a new store
-        instance sweeps them before they accumulate.  Two guards keep
-        the sweep safe when several stores share one directory: only
-        files carrying this module's temp prefix are candidates (a
-        sibling process's unrelated ``*.tmp`` is not ours to judge),
-        and only files older than :data:`ORPHAN_TMP_AGE_SECONDS` are
-        deleted (a *fresh* prefix-matching temp file is a sibling
-        store's write in flight, not an orphan).
+        instance sweeps them before they accumulate.  The prefix and
+        age guards that keep the sweep safe in a shared directory live
+        in :func:`repro.store.atomic.sweep_orphan_tmps`.
         """
         if self._swept_orphans or not self.directory.is_dir():
             return
         self._swept_orphans = True
-        cutoff = time.time() - ORPHAN_TMP_AGE_SECONDS
-        for entry in self.directory.glob(_TMP_PREFIX + "*.tmp"):
-            try:
-                if entry.stat().st_mtime <= cutoff:
-                    entry.unlink()
-            except OSError:
-                pass
+        sweep_orphan_tmps(self.directory, _TMP_PREFIX, ORPHAN_TMP_AGE_SECONDS)
 
     # ------------------------------------------------------------------
     # writing
@@ -154,21 +144,10 @@ class CheckpointStore:
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
             self._sweep_orphans()
-            descriptor, temp_name = tempfile.mkstemp(
-                dir=self.directory, prefix=_TMP_PREFIX, suffix=".tmp"
-            )
-            try:
-                with os.fdopen(descriptor, "wb") as handle:
-                    pickle.dump(
-                        checkpoint.payload(), handle, protocol=pickle.HIGHEST_PROTOCOL
-                    )
-                os.replace(temp_name, path)
-            except BaseException:
-                try:
-                    os.unlink(temp_name)
-                except OSError:
-                    pass
-                raise
+            with atomic_writer(path, tmp_prefix=_TMP_PREFIX) as handle:
+                pickle.dump(
+                    checkpoint.payload(), handle, protocol=pickle.HIGHEST_PROTOCOL
+                )
         except (OSError, pickle.PicklingError) as exc:
             raise CheckpointError(
                 f"could not write checkpoint after stage {stage!r} "

@@ -63,18 +63,21 @@ class StageExecutor:
         pipeline_metrics: Optional[PipelineMetrics] = None,
         partitioner: Optional[str] = None,
         message_plane: Optional[str] = None,
+        memory_budget_mb: Optional[float] = None,
     ) -> None:
         self.num_workers = num_workers
         self.backend = backend
         self.columnar_messages = columnar_messages
         self.partitioner_name = partitioner
         self.message_plane = message_plane
+        self.memory_budget_mb = memory_budget_mb
         self.engine = PregelEngine(
             num_workers=num_workers,
             backend=backend,
             columnar_messages=columnar_messages,
             partitioner=partitioner,
             message_plane=message_plane,
+            memory_budget_mb=memory_budget_mb,
         )
         self.pipeline_metrics = pipeline_metrics or PipelineMetrics()
         # Shuffle keys (mini-MapReduce, conversions) are labels rather

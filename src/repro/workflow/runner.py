@@ -202,6 +202,7 @@ class WorkflowRunner:
         executor: Optional[StageExecutor] = None,
         partitioner: Optional[str] = None,
         message_plane: Optional[str] = None,
+        memory_budget_mb: Optional[float] = None,
     ) -> None:
         if executor is not None:
             self._executor = executor
@@ -212,6 +213,7 @@ class WorkflowRunner:
                 columnar_messages=columnar_messages,
                 partitioner=partitioner,
                 message_plane=message_plane,
+                memory_budget_mb=memory_budget_mb,
             )
         self.hooks = hooks or WorkflowHooks()
         # The legacy hooks object is simply the first event subscriber;
@@ -474,6 +476,7 @@ class WorkflowRunner:
                 pipeline_metrics=self._executor.pipeline_metrics,
                 partitioner=getattr(self._executor, "partitioner_name", None),
                 message_plane=getattr(self._executor, "message_plane", None),
+                memory_budget_mb=getattr(self._executor, "memory_budget_mb", None),
             )
             self._override_executors[key] = executor
         return executor

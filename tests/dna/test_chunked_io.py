@@ -1,0 +1,70 @@
+"""Chunked FASTQ ingest: bounded batches, same records, lazy draining."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.dna.io_fastq import (
+    parse_fastq,
+    parse_fastq_chunks,
+    read_chunks,
+    reads_from_strings,
+    write_fastq,
+)
+
+
+def _fastq_text(reads):
+    buffer = io.StringIO()
+    write_fastq(reads, buffer)
+    return buffer.getvalue()
+
+
+def test_read_chunks_preserves_order_and_content():
+    reads = reads_from_strings(["ACGT"] * 10)
+    chunks = list(read_chunks(reads, 3))
+    assert [len(chunk) for chunk in chunks] == [3, 3, 3, 1]
+    assert [read for chunk in chunks for read in chunk] == reads
+
+
+def test_read_chunks_exact_multiple_has_no_empty_tail():
+    reads = reads_from_strings(["ACGT"] * 6)
+    chunks = list(read_chunks(reads, 3))
+    assert [len(chunk) for chunk in chunks] == [3, 3]
+
+
+def test_read_chunks_of_empty_input():
+    assert list(read_chunks([], 4)) == []
+
+
+def test_read_chunks_rejects_nonpositive_size():
+    with pytest.raises(ValueError):
+        list(read_chunks(reads_from_strings(["ACGT"]), 0))
+
+
+def test_read_chunks_drains_generators_lazily():
+    pulled = []
+
+    def source():
+        for read in reads_from_strings(["ACGT"] * 9):
+            pulled.append(read.name)
+            yield read
+
+    iterator = read_chunks(source(), 4)
+    first = next(iterator)
+    assert len(first) == 4
+    # Only one chunk's worth (plus nothing extra) has been pulled.
+    assert len(pulled) == 4
+
+
+def test_parse_fastq_chunks_matches_parse_fastq():
+    reads = reads_from_strings(["ACGTACGT", "TTTTCCCC", "GGGGAAAA"])
+    text = _fastq_text(reads)
+    whole = list(parse_fastq(io.StringIO(text)))
+    chunked = [
+        read
+        for chunk in parse_fastq_chunks(io.StringIO(text), chunk_reads=2)
+        for read in chunk
+    ]
+    assert chunked == whole

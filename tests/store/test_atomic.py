@@ -1,0 +1,73 @@
+"""Atomic write discipline shared by checkpoints, blobs, and spills."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.store.atomic import (
+    ORPHAN_TMP_AGE_SECONDS,
+    atomic_write_bytes,
+    atomic_writer,
+    sweep_orphan_tmps,
+)
+
+
+def test_atomic_writer_publishes_on_clean_exit(tmp_path):
+    target = tmp_path / "nested" / "file.bin"
+    with atomic_writer(target) as handle:
+        handle.write(b"payload")
+        # Not visible until the context exits.
+        assert not target.exists()
+    assert target.read_bytes() == b"payload"
+    # No temp litter once published.
+    assert list(target.parent.iterdir()) == [target]
+
+
+def test_atomic_writer_cleans_up_on_failure(tmp_path):
+    target = tmp_path / "file.bin"
+    with pytest.raises(RuntimeError):
+        with atomic_writer(target) as handle:
+            handle.write(b"half")
+            raise RuntimeError("crash mid-write")
+    assert not target.exists()
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_atomic_writer_replaces_existing_file(tmp_path):
+    target = tmp_path / "file.bin"
+    atomic_write_bytes(target, b"old")
+    atomic_write_bytes(target, b"new")
+    assert target.read_bytes() == b"new"
+
+
+def test_failed_write_leaves_previous_content(tmp_path):
+    target = tmp_path / "file.bin"
+    atomic_write_bytes(target, b"durable")
+    with pytest.raises(RuntimeError):
+        with atomic_writer(target) as handle:
+            handle.write(b"doomed")
+            raise RuntimeError("boom")
+    assert target.read_bytes() == b"durable"
+
+
+def test_sweep_respects_prefix_and_age(tmp_path):
+    old = tmp_path / ".atomic-stale.tmp"
+    old.write_bytes(b"")
+    ancient = ORPHAN_TMP_AGE_SECONDS * 10
+    os.utime(old, (old.stat().st_mtime - ancient, old.stat().st_mtime - ancient))
+    fresh = tmp_path / ".atomic-fresh.tmp"
+    fresh.write_bytes(b"")
+    unrelated = tmp_path / "data.tmp"
+    unrelated.write_bytes(b"")
+
+    removed = sweep_orphan_tmps(tmp_path)
+    assert removed == 1
+    assert not old.exists()
+    assert fresh.exists()  # too young: may belong to a live writer
+    assert unrelated.exists()  # different prefix: not ours to delete
+
+
+def test_sweep_of_missing_directory_is_zero(tmp_path):
+    assert sweep_orphan_tmps(tmp_path / "nope") == 0

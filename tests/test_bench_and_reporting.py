@@ -53,11 +53,18 @@ def test_dataset_disk_cache_roundtrip(monkeypatch, tmp_path):
 
     monkeypatch.setenv("REPRO_BENCH_CACHE_DIR", str(tmp_path))
     profile = get_profile("hc2", scale=0.05)
+    # A leftover from the pre-content-store flat-file layout is swept
+    # the first time the cache is touched.
+    legacy = tmp_path / "hc2-deadbeefdeadbeef.pkl"
+    legacy.write_bytes(b"stale")
 
     assert harness._load_dataset_cache(profile) is None
+    assert not legacy.exists()
     reference, reads = profile.generate()
     harness._store_dataset_cache(profile, reference, reads)
-    assert harness._dataset_cache_path(profile).exists()
+    store = harness._dataset_cache_store()
+    name = harness._dataset_cache_name(profile)
+    assert store.resolve_name(name) is not None
 
     cached = harness._load_dataset_cache(profile)
     assert cached is not None
@@ -71,17 +78,16 @@ def test_dataset_disk_cache_roundtrip(monkeypatch, tmp_path):
     assert harness._load_dataset_cache(other) is None
 
     # Corrupt payloads regenerate instead of crashing.
-    harness._dataset_cache_path(profile).write_bytes(b"not a pickle")
+    store.put_named(name, b"not a pickle")
     assert harness._load_dataset_cache(profile) is None
 
 
 def test_dataset_disk_cache_can_be_disabled(monkeypatch):
     from repro.bench import harness
-    from repro.dna.datasets import get_profile
 
     monkeypatch.setenv("REPRO_BENCH_CACHE_DIR", "off")
     assert harness.dataset_cache_dir() is None
-    assert harness._dataset_cache_path(get_profile("hc2", scale=0.05)) is None
+    assert harness._dataset_cache_store() is None
 
 
 def test_ppa_config_factory():
