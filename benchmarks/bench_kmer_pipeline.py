@@ -106,6 +106,7 @@ def _bench_stages(sequences, reads):
 def _output_path() -> Path:
     override = os.environ.get("REPRO_BENCH_OUTPUT_DIR")
     root = Path(override) if override else Path(__file__).resolve().parents[1]
+    root.mkdir(parents=True, exist_ok=True)
     return root / "BENCH_kmer_pipeline.json"
 
 

@@ -41,6 +41,7 @@ INSERT_SIZE_STD = 60.0
 def _output_path() -> Path:
     override = os.environ.get("REPRO_BENCH_OUTPUT_DIR")
     root = Path(override) if override else Path(__file__).resolve().parents[1]
+    root.mkdir(parents=True, exist_ok=True)
     return root / "BENCH_scaffolding.json"
 
 

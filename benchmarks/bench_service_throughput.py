@@ -217,6 +217,7 @@ def _bench_all():
 def _output_path() -> Path:
     override = os.environ.get("REPRO_BENCH_OUTPUT_DIR")
     root = Path(override) if override else Path(__file__).resolve().parents[1]
+    root.mkdir(parents=True, exist_ok=True)
     return root / "BENCH_service.json"
 
 

@@ -1,20 +1,32 @@
-"""Telemetry overhead benchmark: assembly with tracing+metrics off vs on.
+"""Telemetry overhead benchmark: assembly with telemetry off vs on.
 
 The telemetry plane's contract is *zero-cost when disabled and cheap
-when enabled*: the hot paths call module-level ``span()``/registry
-accessors that dispatch to no-op singletons by default, and the real
-``Tracer``/``MetricsRegistry`` only do O(1) work per superstep/stage.
-This benchmark pins the "cheap when enabled" half with a number: it
-runs the same full assembly (simulated reads, serial backend — no
-fork-timing noise) with telemetry disabled and enabled, alternating
-``ROUNDS`` times, compares the **min** wall-clock of each mode (min-of-N
-discards scheduler noise, the usual microbenchmark practice), asserts
-the relative overhead stays under :data:`MAX_OVERHEAD`, and writes
-``BENCH_telemetry.json`` so CI can track the trajectory over time.
+when enabled*: the hot paths call module-level ``span()``/registry/
+timeline accessors that dispatch to no-op singletons by default, and
+the real instruments only do O(1) work per superstep/stage.  This
+benchmark pins the "cheap when enabled" half with a number, across
+three arms of the same full assembly (simulated reads, serial backend
+— no fork-timing noise):
+
+* **disabled** — all telemetry off (the baseline);
+* **enabled** — tracer + metrics registry installed;
+* **timeline** — tracer + metrics + a :class:`TimelineRecorder` fed by
+  boundary events and a live :class:`ResourceSampler` thread.
+
+The arms alternate round-robin so drift (thermal, page cache, GC) hits
+all of them equally, and the gate compares the **median of per-round
+paired ratios**: each round's arms run back-to-back under the same
+machine state, so their ratio cancels drift that an unpaired
+min-of-N (the previous scheme) turned into nonsense like negative
+overhead.  Each arm's median is reported alongside for trend-watching.
+Fractions are floored at 0.0: any measured "speedup" of an arm that
+does strictly more work is noise by construction, and reporting it as
+such keeps the regression gate's baseline meaningful.
 
 The enabled runs are also checked to have actually recorded telemetry
-(spans produced, superstep counters populated) so a wiring regression
-cannot silently turn this into a disabled-vs-disabled comparison.
+(spans produced, superstep counters populated, timeline events
+captured) so a wiring regression cannot silently turn this into a
+disabled-vs-disabled comparison.
 
 Output location: the repository root by default, overridable with
 ``REPRO_BENCH_OUTPUT_DIR``.
@@ -24,6 +36,7 @@ from __future__ import annotations
 
 import json
 import os
+import statistics
 import time
 from pathlib import Path
 
@@ -31,8 +44,11 @@ from repro.assembler import AssemblyConfig, PPAAssembler
 from repro.bench import bench_report, bench_scale, format_table, prepare_dataset
 from repro.telemetry import (
     MetricsRegistry,
+    ResourceSampler,
+    TimelineRecorder,
     Tracer,
     use_registry,
+    use_timeline,
     use_tracer,
 )
 
@@ -40,10 +56,10 @@ DATASET = "hc2"
 K = 21
 NUM_WORKERS = 4
 
-#: Alternating off/on repetitions; the minimum of each side is compared.
+#: Round-robin repetitions per arm; each arm's median is compared.
 ROUNDS = 7
 
-#: Acceptance ceiling for the enabled-telemetry slowdown.
+#: Acceptance ceiling for each enabled arm's slowdown vs disabled.
 MAX_OVERHEAD = 0.03
 
 
@@ -58,22 +74,34 @@ def _timed_assembly(reads) -> float:
     return time.perf_counter() - started
 
 
+def _paired_overhead(baseline_rounds, measured_rounds) -> float:
+    """Median of the per-round relative slowdowns, floored at zero.
+
+    Pairing each round's arms (they ran back-to-back, sharing thermal
+    and cache state) cancels between-round drift; the median discards
+    outlier rounds; the zero floor acknowledges that an arm doing
+    strictly more work cannot genuinely be faster.
+    """
+    ratios = [
+        measured / baseline - 1.0
+        for baseline, measured in zip(baseline_rounds, measured_rounds)
+    ]
+    return max(0.0, statistics.median(ratios))
+
+
 def _bench_overhead(reads) -> dict:
     _assemble(reads)  # warmup: page cache, NumPy init, allocator growth
-    disabled, enabled = [], []
-    spans = messages = 0
+    disabled, enabled, timeline_arm = [], [], []
+    spans = messages = timeline_events = 0
     for _ in range(ROUNDS):
-        # Alternate the modes so drift (thermal, page cache, GC) hits
-        # both sides equally instead of biasing whichever ran last.
+        # Round-robin the arms so drift (thermal, page cache, GC) hits
+        # every side equally instead of biasing whichever ran last.
         disabled.append(_timed_assembly(reads))
 
         tracer, registry = Tracer(), MetricsRegistry()
         with use_tracer(tracer), use_registry(registry):
             with tracer.span("bench-root") as root:
-                started = time.perf_counter()
-                _assemble(reads)
-                elapsed = time.perf_counter() - started
-        enabled.append(elapsed)
+                enabled.append(_timed_assembly(reads))
         spans = _span_count(root.to_dict())
         messages = sum(
             child.value
@@ -84,18 +112,34 @@ def _bench_overhead(reads) -> dict:
             ).series()
         )
 
+        tracer, registry = Tracer(), MetricsRegistry()
+        recorder = TimelineRecorder()
+        with use_tracer(tracer), use_registry(registry), use_timeline(recorder):
+            with tracer.span("bench-root"):
+                sampler = ResourceSampler(recorder, source="bench").start()
+                try:
+                    timeline_arm.append(_timed_assembly(reads))
+                finally:
+                    sampler.stop()
+        timeline_events = len(recorder)
+
     # A run that recorded nothing is measuring the wrong thing.
     assert spans > 1, "enabled run produced no spans: telemetry not wired"
     assert messages > 0, "enabled run recorded no Pregel messages"
+    assert timeline_events > 0, "timeline run captured no events: not wired"
 
-    disabled_min, enabled_min = min(disabled), min(enabled)
     return {
         "rounds": ROUNDS,
-        "disabled_seconds": round(disabled_min, 6),
-        "enabled_seconds": round(enabled_min, 6),
-        "overhead_fraction": round(enabled_min / disabled_min - 1.0, 6),
+        "disabled_seconds": round(statistics.median(disabled), 6),
+        "enabled_seconds": round(statistics.median(enabled), 6),
+        "timeline_seconds": round(statistics.median(timeline_arm), 6),
+        "overhead_fraction": round(_paired_overhead(disabled, enabled), 6),
+        "timeline_overhead_fraction": round(
+            _paired_overhead(disabled, timeline_arm), 6
+        ),
         "spans_per_run": spans,
         "pregel_messages_per_run": int(messages),
+        "timeline_events_per_run": timeline_events,
     }
 
 
@@ -106,6 +150,7 @@ def _span_count(tree) -> int:
 def _output_path() -> Path:
     override = os.environ.get("REPRO_BENCH_OUTPUT_DIR")
     root = Path(override) if override else Path(__file__).resolve().parents[1]
+    root.mkdir(parents=True, exist_ok=True)
     return root / "BENCH_telemetry.json"
 
 
@@ -131,19 +176,19 @@ def test_telemetry_overhead(benchmark):
 
     print()
     print(
-        f"Telemetry overhead: full assembly off vs on "
-        f"({DATASET}, scale {scale}, k={K}, min of {ROUNDS})"
+        f"Telemetry overhead: full assembly off vs on vs on+timeline "
+        f"({DATASET}, scale {scale}, k={K}, median of {ROUNDS})"
     )
     print(
         format_table(
-            ["disabled s", "enabled s", "overhead", "spans", "messages"],
+            ["disabled s", "enabled s", "timeline s", "overhead", "tl overhead"],
             [
                 [
                     f"{results['disabled_seconds']:.3f}",
                     f"{results['enabled_seconds']:.3f}",
+                    f"{results['timeline_seconds']:.3f}",
                     f"{results['overhead_fraction'] * 100:.2f}%",
-                    results["spans_per_run"],
-                    results["pregel_messages_per_run"],
+                    f"{results['timeline_overhead_fraction'] * 100:.2f}%",
                 ]
             ],
         )
@@ -152,5 +197,10 @@ def test_telemetry_overhead(benchmark):
 
     assert results["overhead_fraction"] < MAX_OVERHEAD, (
         f"telemetry overhead {results['overhead_fraction'] * 100:.2f}% "
+        f"exceeds the {MAX_OVERHEAD * 100:.0f}% ceiling"
+    )
+    assert results["timeline_overhead_fraction"] < MAX_OVERHEAD, (
+        f"timeline+sampler overhead "
+        f"{results['timeline_overhead_fraction'] * 100:.2f}% "
         f"exceeds the {MAX_OVERHEAD * 100:.0f}% ceiling"
     )

@@ -162,6 +162,48 @@ name, outcome = root["name"], root["attributes"]["outcome"]
 print(f"trace OK (root {name}, outcome {outcome})")
 '
 
+echo "== fetch the run timeline: superstep series present and sorted =="
+curl -fsS "$URL/jobs/$JOB/timeline" | python -c '
+import json, sys
+events = json.load(sys.stdin)["events"]
+kinds = {}
+for event in events:
+    kinds[event["kind"]] = kinds.get(event["kind"], 0) + 1
+for kind in ("superstep", "stage-start", "stage-end", "sample"):
+    assert kinds.get(kind, 0) > 0, f"no {kind} events in timeline: {kinds}"
+timestamps = [event["ts"] for event in events]
+assert timestamps == sorted(timestamps), "timeline not sorted by ts"
+print(f"timeline OK ({len(events)} events: {kinds})")
+'
+
+echo "== render the ops report (kept for CI artifact upload) =="
+REPORT_PATH="${SMOKE_REPORT:-/tmp/service_smoke_report.html}"
+curl -fsS "$URL/jobs/$JOB/report" > "$REPORT_PATH"
+python - "$REPORT_PATH" <<'PYEOF'
+import sys, xml.etree.ElementTree as ET
+path = sys.argv[1]
+with open(path, encoding="utf-8") as handle:
+    html = handle.read()
+root = ET.fromstring(html)  # no DOCTYPE, void tags closed: XML-parseable
+assert root.tag == "html", root.tag
+for needle in ("Span waterfall", "Resident set size"):
+    assert needle in html, f"missing report section: {needle}"
+print(f"report OK ({len(html)} bytes -> {path})")
+PYEOF
+
+echo "== render the dashboard =="
+curl -fsS "$URL/dashboard" > "$DATA_DIR/dashboard.html"
+python - "$JOB" "$DATA_DIR/dashboard.html" <<'PYEOF'
+import sys, xml.etree.ElementTree as ET
+job_id, path = sys.argv[1], sys.argv[2]
+with open(path, encoding="utf-8") as handle:
+    html = handle.read()
+ET.fromstring(html)
+assert job_id[:12] in html, "finished job missing from dashboard"
+assert f'href="/jobs/{job_id}/report"' in html, "dashboard does not link the report"
+print(f"dashboard OK ({len(html)} bytes)")
+PYEOF
+
 echo "== chaos: kill -9 a worker process mid-job; NO server restart =="
 CHAOS_JOB=$(curl -fsS -X POST "$URL/jobs" -H 'Content-Type: application/json' \
     -d "{\"input\": {\"mode\": \"simulate\", \"genome_length\": $GENOME, \"seed\": $SEED},

@@ -49,7 +49,7 @@ from .assembler import (
 from .errors import ReproError
 from .workflow import Workflow, WorkflowHooks, WorkflowRunner
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "AssemblyConfig",

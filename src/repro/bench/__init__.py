@@ -42,4 +42,23 @@ __all__ = [
     "BENCH_SCHEMA_VERSION",
     "bench_report",
     "scaffold_metrics",
+    "Comparison",
+    "DEFAULT_RULES",
+    "Rule",
+    "compare",
+    "gate",
 ]
+
+#: Regression-gate names resolved lazily (PEP 562) so that running
+#: ``python -m repro.bench.regression`` does not import the module
+#: twice (once via the package, once as ``__main__``'s target) and
+#: warn about it.
+_REGRESSION_EXPORTS = ("Comparison", "DEFAULT_RULES", "Rule", "compare", "gate")
+
+
+def __getattr__(name):
+    if name in _REGRESSION_EXPORTS:
+        from . import regression
+
+        return getattr(regression, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,252 @@
+"""Bench regression gate: compare fresh bench JSON against a baseline.
+
+The committed ``BENCH_*.json`` files are the repo's performance
+contract; this module is the comparator that CI runs against a fresh
+measurement (``python -m repro.bench.regression <baseline> <fresh>``)
+so a perf regression fails the build instead of silently rotting the
+baselines.
+
+Only *rule-matched* numeric keys are compared — a bench payload is
+full of environment-dependent values (counts, sizes, metadata) that
+must not gate anything.  Each :class:`Rule` names a key pattern, a
+direction (is lower or higher better?) and a tolerance.  Tolerances
+are deliberately loose: CI runners are noisy shared machines, so the
+gate is tuned to catch *algorithmic* regressions (a 2x slowdown),
+not 10% jitter.
+
+Exit codes: 0 when every matched metric is within tolerance, 1 when
+at least one regressed, 2 on usage errors (missing/unparseable files).
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One gating rule: which keys, which direction, how much slack.
+
+    ``pattern`` is an :mod:`fnmatch` glob matched against the metric's
+    *leaf key name* (not its path).  ``direction`` is ``"lower"`` or
+    ``"higher"`` (which way is better).  Exactly one tolerance is set:
+    ``rel_tol`` allows ``baseline * (1 + rel_tol)`` worth of drift in
+    the bad direction; ``abs_tol`` allows ``baseline + abs_tol``.
+    """
+
+    pattern: str
+    direction: str
+    rel_tol: Optional[float] = None
+    abs_tol: Optional[float] = None
+
+    def matches(self, key: str) -> bool:
+        return fnmatch.fnmatchcase(key, self.pattern)
+
+    def limit(self, baseline: float) -> float:
+        """The worst acceptable fresh value for ``baseline``."""
+        if self.abs_tol is not None:
+            slack = self.abs_tol
+        else:
+            slack = abs(baseline) * (self.rel_tol or 0.0)
+        if self.direction == "lower":
+            return baseline + slack
+        return baseline - slack
+
+    def regressed(self, baseline: float, fresh: float) -> bool:
+        if self.direction == "lower":
+            return fresh > self.limit(baseline)
+        return fresh < self.limit(baseline)
+
+
+#: The default gate.  Key-name globs, deliberately coarse:
+#: * wall-clock style metrics (``*_seconds``) may drift up to +75%
+#:   before failing — loose enough for shared CI runners, tight
+#:   enough that a 2x algorithmic slowdown always trips it;
+#: * telemetry overhead is an absolute contract (< 3 percentage
+#:   points of drift) because it is a ratio, already noise-normalised;
+#: * throughput-style metrics (higher is better) may lose up to half.
+DEFAULT_RULES: Tuple[Rule, ...] = (
+    Rule("overhead_fraction", "lower", abs_tol=0.03),
+    Rule("*_overhead_fraction", "lower", abs_tol=0.03),
+    Rule("*_seconds", "lower", rel_tol=0.75),
+    Rule("jobs_per_sec*", "higher", rel_tol=0.5),
+    Rule("*speedup*", "higher", rel_tol=0.5),
+)
+
+#: Leaf keys never gated even when a rule pattern matches: per-stage
+#: timing breakdowns vary too much run to run to gate individually
+#: (the total they sum to is gated instead).
+SKIP_KEYS = ("created_at", "recorded_seconds")
+
+#: Top-level keys that identify the measured *workload*.  When a
+#: baseline and a fresh run disagree on any of these (e.g. the
+#: baseline was recorded at ``REPRO_BENCH_SCALE=1.0`` but CI runs at
+#: 0.3), their numbers measure different problems and comparing them
+#: would produce spurious verdicts in both directions — the gate
+#: skips with exit 0 instead.
+CONTEXT_KEYS = ("benchmark", "dataset", "scale", "k")
+
+
+def numeric_leaves(payload: Any, prefix: str = "") -> Iterator[Tuple[str, str, float]]:
+    """Yield ``(path, leaf_key, value)`` for every numeric leaf.
+
+    Booleans are excluded (they are ints to ``isinstance``); lists are
+    walked with their index in the path but the leaf key of their
+    parent, so ``worker_seconds: [1.2, 1.3]`` gates each element under
+    the ``worker_seconds`` rules.
+    """
+    if isinstance(payload, dict):
+        for key in sorted(payload):
+            path = f"{prefix}.{key}" if prefix else str(key)
+            value = payload[key]
+            if isinstance(value, bool):
+                continue
+            if isinstance(value, (int, float)):
+                yield path, str(key), float(value)
+            else:
+                yield from numeric_leaves(value, path)
+    elif isinstance(payload, (list, tuple)):
+        leaf = prefix.rsplit(".", 1)[-1] if prefix else ""
+        for index, value in enumerate(payload):
+            if isinstance(value, bool):
+                continue
+            if isinstance(value, (int, float)):
+                yield f"{prefix}[{index}]", leaf, float(value)
+            else:
+                yield from numeric_leaves(value, f"{prefix}[{index}]")
+
+
+def rule_for(key: str, rules: Tuple[Rule, ...] = DEFAULT_RULES) -> Optional[Rule]:
+    """The first rule whose pattern matches ``key`` (first match wins,
+    so specific patterns must precede broad ones in the tuple)."""
+    if key in SKIP_KEYS:
+        return None
+    for rule in rules:
+        if rule.matches(key):
+            return rule
+    return None
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One gated metric's verdict."""
+
+    path: str
+    baseline: float
+    fresh: float
+    rule: Rule
+    regressed: bool
+
+    def describe(self) -> str:
+        arrow = "<=" if self.rule.direction == "lower" else ">="
+        verdict = "REGRESSED" if self.regressed else "ok"
+        return (
+            f"{self.path}: baseline={self.baseline:g} fresh={self.fresh:g} "
+            f"(need {arrow} {self.rule.limit(self.baseline):g}) {verdict}"
+        )
+
+
+def context_mismatches(
+    baseline: Dict[str, Any], fresh: Dict[str, Any]
+) -> List[Tuple[str, Any, Any]]:
+    """Workload-identity keys present in both payloads but unequal."""
+    return [
+        (key, baseline[key], fresh[key])
+        for key in CONTEXT_KEYS
+        if key in baseline and key in fresh and baseline[key] != fresh[key]
+    ]
+
+
+def compare(
+    baseline: Dict[str, Any],
+    fresh: Dict[str, Any],
+    rules: Tuple[Rule, ...] = DEFAULT_RULES,
+) -> List[Comparison]:
+    """Gate every rule-matched metric present in *both* payloads.
+
+    Metrics present on only one side are ignored — a bench gaining or
+    losing a field is a schema change reviewed in the diff, not a
+    runtime regression.
+    """
+    fresh_values = {path: value for path, _key, value in numeric_leaves(fresh)}
+    results: List[Comparison] = []
+    for path, key, base_value in numeric_leaves(baseline):
+        rule = rule_for(key, rules)
+        if rule is None or path not in fresh_values:
+            continue
+        fresh_value = fresh_values[path]
+        results.append(
+            Comparison(
+                path=path,
+                baseline=base_value,
+                fresh=fresh_value,
+                rule=rule,
+                regressed=rule.regressed(base_value, fresh_value),
+            )
+        )
+    return results
+
+
+def load_payload(path) -> Dict[str, Any]:
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: bench payload must be a JSON object")
+    return data
+
+
+def gate(baseline_path, fresh_path, out=sys.stdout) -> int:
+    """Compare two bench JSON files; print verdicts; return exit code."""
+    try:
+        baseline = load_payload(baseline_path)
+        fresh = load_payload(fresh_path)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"regression gate: cannot load payloads: {exc}", file=sys.stderr)
+        return 2
+    name = baseline.get("benchmark", Path(str(baseline_path)).name)
+    mismatches = context_mismatches(baseline, fresh)
+    if mismatches:
+        detail = ", ".join(f"{key}: {base!r} vs {new!r}" for key, base, new in mismatches)
+        print(f"{name}: workload context differs ({detail}); not comparable, skipping", file=out)
+        return 0
+    results = compare(baseline, fresh)
+    if not results:
+        print(f"{name}: no gated metrics in common; nothing to compare", file=out)
+        return 0
+    failures = [result for result in results if result.regressed]
+    for result in results:
+        print(f"  {result.describe()}", file=out)
+    if failures:
+        print(
+            f"{name}: {len(failures)}/{len(results)} gated metrics regressed",
+            file=out,
+        )
+        return 1
+    print(f"{name}: {len(results)} gated metrics within tolerance", file=out)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.regression",
+        description=(
+            "Gate a fresh bench JSON against a committed baseline; exits "
+            "1 when a gated metric regressed beyond tolerance."
+        ),
+    )
+    parser.add_argument("baseline", help="committed BENCH_*.json baseline")
+    parser.add_argument("fresh", help="freshly measured bench JSON")
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return 2 if exc.code else 0
+    return gate(args.baseline, args.fresh)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -30,7 +30,10 @@ The assembly is a declared workflow (:mod:`repro.workflow`):
 When the first argument is a service verb (``serve``, ``submit``,
 ``status``, ``result``, ``cancel``, ``jobs``), the CLI instead drives
 the durable assembly job service (:mod:`repro.service`) — see
-:mod:`repro.service.cli`.
+:mod:`repro.service.cli`.  ``repro-assemble report`` renders a
+self-contained HTML ops report from a run's telemetry artefacts
+(``trace.json`` / ``timeline.jsonl`` / ``metrics.json``) — see
+:mod:`repro.telemetry.report`.
 """
 
 from __future__ import annotations
@@ -42,6 +45,7 @@ import time
 from contextlib import ExitStack
 from typing import Dict, List, Optional
 
+from . import __version__
 from .assembler import AssemblyConfig, PPAAssembler, build_assembly_workflow
 from .assembler.config import LABELING_LIST_RANKING, LABELING_SIMPLIFIED_SV
 from .errors import ReproError
@@ -56,6 +60,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-assemble",
         description="De novo genome assembly with the PPA-assembler reproduction.",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro-assemble {__version__}",
+        help="print the package version and exit",
     )
     source = parser.add_mutually_exclusive_group()
     source.add_argument(
@@ -234,6 +244,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace the assembly and write the span tree (workflow -> "
         "stages -> supersteps -> workers) to this JSON file",
     )
+    telemetry.add_argument(
+        "--timeline-out",
+        metavar="PATH",
+        help="record a run timeline (periodic RSS/CPU samples plus "
+        "superstep and stage boundary events, merged across worker "
+        "processes) and write it as JSONL to this file",
+    )
+    telemetry.add_argument(
+        "--profile",
+        metavar="PATH",
+        help="profile the run with cProfile (per stage, and per worker "
+        "process on the multiprocess backend) and write merged "
+        "collapsed stacks (flamegraph.pl / speedscope compatible) to "
+        "this file; --metrics-json additionally gains a hotspot table",
+    )
     parser.add_argument(
         "--quiet", action="store_true", help="print only the final statistics line"
     )
@@ -274,6 +299,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .service.cli import service_main
 
         return service_main(argv)
+    if argv and argv[0] == "report":
+        return _report_main(argv[1:])
 
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -372,9 +399,14 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     # --trace-out installs a real tracer for the run and opens a root
     # span; the tree is written even when the assembly fails, so an
-    # aborted run can still be profiled.
+    # aborted run can still be profiled.  --timeline-out and --profile
+    # follow the same pattern with the timeline recorder (plus a
+    # background resource sampler) and the cProfile collector.
     trace_stack = ExitStack()
     root_span = None
+    timeline = None
+    sampler = None
+    profiler = None
     if args.trace_out:
         from .telemetry import Tracer
         from .telemetry import span as telemetry_span
@@ -390,6 +422,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                 workers=config.num_workers,
             )
         )
+    if args.timeline_out:
+        from .telemetry import ResourceSampler, TimelineRecorder, use_timeline
+
+        timeline = TimelineRecorder()
+        trace_stack.enter_context(use_timeline(timeline))
+        sampler = ResourceSampler(timeline).start()
+    if args.profile:
+        from .telemetry import ProfileCollector, use_profiler
+
+        profiler = ProfileCollector()
+        trace_stack.enter_context(use_profiler(profiler))
 
     from .store.spill import process_spill_stats
 
@@ -407,6 +450,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"repro-assemble: assembly failed: {exc}", file=sys.stderr)
         return 1
     finally:
+        if sampler is not None:
+            sampler.stop()
         trace_stack.close()
         if root_span is not None:
             from .telemetry import write_trace
@@ -414,6 +459,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             write_trace(root_span.finish(), args.trace_out)
             if not args.quiet:
                 print(f"wrote trace to {args.trace_out}")
+        if timeline is not None:
+            from .telemetry import write_timeline
+
+            write_timeline(timeline, args.timeline_out)
+            if not args.quiet:
+                print(f"wrote timeline to {args.timeline_out}")
+        if profiler is not None:
+            profiler.write_folded(args.profile)
+            if not args.quiet:
+                print(f"wrote collapsed profile stacks to {args.profile}")
     wall_seconds = time.perf_counter() - started
 
     if scaffold and result.scaffolding is None:
@@ -453,6 +508,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             wall_seconds=wall_seconds,
             reference_length=reference_length,
         )
+        from .telemetry import peak_rss_bytes
+
         spill = process_spill_stats().delta_since(spill_before)
         payload["memory"] = {
             "memory_budget_mb": config.memory_budget_mb,
@@ -461,7 +518,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             "load_events_total": spill["load_events"],
             "load_bytes_total": spill["load_bytes"],
             "ledger_peak_bytes": spill["ledger_peak_bytes"],
+            "peak_rss_bytes": peak_rss_bytes(),
         }
+        if profiler is not None:
+            payload["profile"] = profiler.payload()
         with open(args.metrics_json, "w") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
@@ -476,6 +536,89 @@ def main(argv: Optional[List[str]] = None) -> int:
         written = result.write_scaffold_fasta(args.scaffold_output)
         if not args.quiet:
             print(f"wrote {written} scaffolds to {args.scaffold_output}")
+    return 0
+
+
+def _report_main(argv: List[str]) -> int:
+    """``repro-assemble report``: render an HTML ops report offline.
+
+    Reads whatever telemetry artefacts a run left behind — either a
+    directory (a service job dir, or wherever ``--trace-out`` /
+    ``--timeline-out`` / ``--metrics-json`` wrote) or explicit file
+    paths — and writes one self-contained HTML page.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-assemble report",
+        description="Render a self-contained HTML ops report (span "
+        "waterfall, RSS/message-rate timelines, hotspot table) from a "
+        "run's telemetry artefacts.",
+    )
+    parser.add_argument(
+        "run_dir",
+        nargs="?",
+        metavar="RUN_DIR",
+        help="directory holding trace.json / timeline.jsonl / "
+        "metrics.json (any subset); --trace/--timeline/--metrics "
+        "override individual files",
+    )
+    parser.add_argument("--trace", metavar="PATH", help="span tree JSON (trace.json)")
+    parser.add_argument(
+        "--timeline", metavar="PATH", help="timeline JSONL (timeline.jsonl)"
+    )
+    parser.add_argument(
+        "--metrics", metavar="PATH", help="assembly metrics JSON (metrics.json)"
+    )
+    parser.add_argument("--title", default=None, help="report heading")
+    parser.add_argument(
+        "-o",
+        "--output",
+        metavar="HTML",
+        default="report.html",
+        help="output file (default report.html)",
+    )
+    args = parser.parse_args(argv)
+
+    from .telemetry import load_run_artifacts, read_timeline, render_report
+
+    artifacts = (
+        load_run_artifacts(args.run_dir)
+        if args.run_dir
+        else {"trace": None, "timeline": [], "metrics": None}
+    )
+    try:
+        if args.trace:
+            with open(args.trace, "r", encoding="utf-8") as handle:
+                artifacts["trace"] = json.load(handle)
+        if args.timeline:
+            artifacts["timeline"] = read_timeline(args.timeline)
+        if args.metrics:
+            with open(args.metrics, "r", encoding="utf-8") as handle:
+                artifacts["metrics"] = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"repro-assemble report: failed to load artefacts: {exc}", file=sys.stderr)
+        return 1
+    if (
+        artifacts["trace"] is None
+        and not artifacts["timeline"]
+        and artifacts["metrics"] is None
+    ):
+        parser.error(
+            "nothing to report on: give a RUN_DIR containing trace.json / "
+            "timeline.jsonl / metrics.json, or --trace/--timeline/--metrics"
+        )
+
+    title = args.title or (
+        f"assembly run {args.run_dir}" if args.run_dir else "assembly run"
+    )
+    html = render_report(
+        title,
+        trace=artifacts["trace"],
+        timeline=artifacts["timeline"],
+        metrics=artifacts["metrics"],
+    )
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(html)
+    print(f"wrote report to {args.output}")
     return 0
 
 

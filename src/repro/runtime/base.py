@@ -26,7 +26,7 @@ from ..errors import InvalidJobError, UnknownBackendError
 from ..pregel.partitioner import HashPartitioner, ensure_partitioner, make_partitioner
 from ..pregel.vertex import Vertex
 from ..pregel.worker import Worker
-from ..telemetry import get_registry
+from ..telemetry import get_registry, get_timeline
 
 #: Message-plane names accepted by the multiprocess backend ("shm"
 #: falls back to "queue" when shared memory is unusable; the serial
@@ -116,6 +116,16 @@ class SuperstepInstruments:
             labelnames=labels,
         ).labels(job_name)
         self._worker_messages = worker_messages_counter(registry)
+        # Timeline events are recorded at the same barrier point on
+        # every backend, so serial and multiprocess runs of the same
+        # job emit identical superstep event sequences.  Spill totals
+        # are reported relative to job start (the process counters are
+        # cumulative).
+        self._timeline = get_timeline()
+        if self._timeline.enabled:
+            from ..store.spill import process_spill_stats
+
+            self._spill_base = process_spill_stats().snapshot()
 
     def record_superstep(self, step: "SuperstepMetrics", elapsed_seconds: float) -> None:
         """Charge one finished superstep's counters to the registry."""
@@ -126,6 +136,24 @@ class SuperstepInstruments:
         self._delivered.inc(sum(step.worker_messages_received))
         self._active.set(step.active_vertices)
         self._seconds.observe(elapsed_seconds)
+        if self._timeline.enabled:
+            from ..store.spill import process_spill_stats
+
+            spill = process_spill_stats().delta_since(self._spill_base)
+            self._timeline.record(
+                "superstep",
+                job=self.job_name,
+                superstep=step.superstep,
+                active_vertices=step.active_vertices,
+                messages_sent=step.messages_sent,
+                bytes_sent=step.bytes_sent,
+                cross_worker_messages=step.cross_worker_messages,
+                messages_delivered=sum(step.worker_messages_received),
+                elapsed_seconds=round(elapsed_seconds, 6),
+                spill_events=spill["spill_events"],
+                spill_bytes=spill["spill_bytes"],
+                ledger_peak_bytes=spill["ledger_peak_bytes"],
+            )
 
     def record_worker(self, worker_id: int, counters: Dict[str, int]) -> None:
         """Charge one worker's share of a superstep (serial backend —

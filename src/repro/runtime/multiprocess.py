@@ -37,6 +37,7 @@ without pickling, so jobs may use lambdas and closures.  Under
 
 from __future__ import annotations
 
+import cProfile
 import multiprocessing
 import pickle
 import queue as queue_module
@@ -59,8 +60,18 @@ from ..pregel.message import (
 from ..pregel.metrics import JobMetrics, SuperstepMetrics
 from ..pregel.vertex import Vertex, VertexFactory
 from ..pregel.worker import Worker
-from ..telemetry import get_registry, remote_context, span, start_remote_span
+from ..telemetry import (
+    ResourceSampler,
+    TimelineRecorder,
+    get_profiler,
+    get_registry,
+    get_timeline,
+    remote_context,
+    span,
+    start_remote_span,
+)
 from ..telemetry.metrics import MetricsRegistry
+from ..telemetry.profiling import stats_state
 from ..store.spill import process_spill_stats
 from . import shm as shm_plane
 from .base import ExecutionBackend, SuperstepInstruments, register_backend, worker_messages_counter
@@ -354,6 +365,8 @@ def _worker_main(
     partitioner,
     job_name: str,
     metrics_enabled: bool,
+    timeline_enabled: bool,
+    profile_enabled: bool,
     budget_bytes: Optional[int],
     command_queue,
     data_queues,
@@ -364,6 +377,7 @@ def _worker_main(
     arena_writer = None
     arena_reader = None
     spiller = None
+    sampler = None
     try:
         worker = Worker(worker_id)
         for vertex in vertices:
@@ -384,6 +398,15 @@ def _worker_main(
             if local_registry is not None
             else None
         )
+        # Timeline events mirror the metric-delta transport: recorded
+        # into a process-local buffer, drained at every barrier and
+        # shipped to the master inside the counters dict (either
+        # message plane — the control queue is plane-independent).
+        local_timeline = TimelineRecorder() if timeline_enabled else None
+        if local_timeline is not None:
+            sampler = ResourceSampler(
+                local_timeline, source=f"worker-{worker_id}"
+            ).start()
         if budget_bytes is not None:
             # Each worker polices an equal share of the job budget;
             # staged future-superstep batches spill once the share is
@@ -410,6 +433,17 @@ def _worker_main(
                 if arena_writer is None:
                     arena_writer = shm_plane.ArenaWriter(worker_id)
                 arena_writer.begin_superstep(superstep, arena_names)
+
+            # One profile per superstep: the raw pstats table ships at
+            # the barrier and the master merges it, so per-worker CPU
+            # time survives the process boundary (a profiler cannot
+            # straddle a fork).
+            step_profiler = cProfile.Profile() if profile_enabled else None
+            if step_profiler is not None:
+                try:
+                    step_profiler.enable()
+                except (ValueError, RuntimeError):
+                    step_profiler = None
 
             if superstep == 0:
                 inbox: Dict[int, List[Any]] = {}
@@ -475,6 +509,14 @@ def _worker_main(
                         if descriptor is not None:
                             batch = descriptor
                     data_queues[destination].put((superstep + 1, worker_id, batch))
+            if step_profiler is not None:
+                step_profiler.disable()
+                counters["profile"] = stats_state(step_profiler)
+            if local_timeline is not None:
+                # Guarantee at least one sample per superstep even when
+                # the step finishes inside the sampling interval.
+                sampler.sample_once()
+                counters["timeline"] = local_timeline.drain_events()
             counters["arena_wanted"] = (
                 arena_writer.wanted_bytes if arena_writer is not None else 0
             )
@@ -512,6 +554,8 @@ def _worker_main(
             shipped = BackendExecutionError(repr(exc))
         control_queue.put((_FAILED, worker_id, shipped, traceback.format_exc()))
     finally:
+        if sampler is not None:
+            sampler.stop()
         # Workers only *attach* to arena segments — closing the local
         # mappings is all that is required here; the master owns the
         # unlink.
@@ -628,6 +672,8 @@ class MultiprocessBackend(ExecutionBackend):
                     partitioner,
                     job.name,
                     get_registry().enabled,
+                    get_timeline().enabled,
+                    get_profiler().enabled,
                     self.memory_budget_bytes,
                     command_queues[worker_id],
                     data_queues,
@@ -646,6 +692,8 @@ class MultiprocessBackend(ExecutionBackend):
         aggregate_history: List[Dict[str, Any]] = []
         instruments = SuperstepInstruments(job.name)
         metrics_registry = get_registry()
+        timeline = get_timeline()
+        profiler = get_profiler()
         active = sum(
             1
             for partition in partitions
@@ -696,6 +744,8 @@ class MultiprocessBackend(ExecutionBackend):
                             step_span.add_child(span_dict)
                         if metrics_state is not None:
                             metrics_registry.merge_state(metrics_state)
+                        timeline.merge_events(counters.pop("timeline", None))
+                        profiler.merge_state(counters.pop("profile", None))
                         spill_delta = counters.get("spill_stats")
                         if spill_delta is not None:
                             process_spill_stats().merge(spill_delta)

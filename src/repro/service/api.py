@@ -18,7 +18,10 @@ GET         ``/jobs/<id>/result``          quality metrics JSON (succeeded only)
 GET         ``/jobs/<id>/contigs.fasta``   contig FASTA artifact
 GET         ``/jobs/<id>/scaffolds.fasta`` scaffold FASTA artifact
 GET         ``/jobs/<id>/trace``           finished job's span tree (JSON)
+GET         ``/jobs/<id>/timeline``        finished job's run timeline (JSON)
+GET         ``/jobs/<id>/report``          self-contained HTML ops report
 GET         ``/metrics``                   Prometheus text-format metrics
+GET         ``/dashboard``                 HTML service overview (queue + jobs)
 ==========  =============================  =======================================
 
 Error contract: unknown jobs are 404, malformed requests 400, wrong-state
@@ -47,7 +50,7 @@ from .store import JOB_STATES, JobEvent
 _JOB_PATH = re.compile(r"^/jobs/(?P<id>[0-9a-f]{32})(?P<rest>/.*)?$")
 
 #: Literal routes, for bounded-cardinality HTTP metric labels.
-_KNOWN_PATHS = ("/healthz", "/jobs", "/metrics")
+_KNOWN_PATHS = ("/healthz", "/jobs", "/metrics", "/dashboard")
 
 #: Prometheus text exposition format content type.
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
@@ -191,6 +194,7 @@ class ApiHandler(BaseHTTPRequestHandler):
     _JOB_RESTS = (
         "", "/events", "/cancel", "/result",
         "/contigs.fasta", "/scaffolds.fasta", "/trace",
+        "/timeline", "/report",
     )
 
     @classmethod
@@ -252,6 +256,11 @@ class ApiHandler(BaseHTTPRequestHandler):
                 )
             elif verb == "GET" and path == "/healthz":
                 self._send_json(200, service.health())
+            elif verb == "GET" and path == "/dashboard":
+                self._send_text(
+                    200, service.dashboard_html(),
+                    content_type="text/html; charset=utf-8",
+                )
             elif verb == "POST" and path == "/jobs":
                 record, created = service.submit_payload(body)
                 self._send_json(
@@ -317,6 +326,13 @@ class ApiHandler(BaseHTTPRequestHandler):
             self._send_json(200, service.result_payload(job_id))
         elif verb == "GET" and rest == "/trace":
             self._send_json(200, service.trace_payload(job_id))
+        elif verb == "GET" and rest == "/timeline":
+            self._send_json(200, service.timeline_payload(job_id))
+        elif verb == "GET" and rest == "/report":
+            self._send_text(
+                200, service.report_html(job_id),
+                content_type="text/html; charset=utf-8",
+            )
         elif verb == "GET" and rest in ("/contigs.fasta", "/scaffolds.fasta"):
             self._send_text(200, service.artifact_text(job_id, rest.lstrip("/")))
         else:

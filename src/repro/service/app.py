@@ -30,10 +30,15 @@ from ..errors import InvalidJobSpecError, JobStateError
 from ..telemetry import (
     MetricsRegistry,
     Tracer,
+    load_run_artifacts,
+    read_timeline,
+    render_dashboard,
     render_prometheus,
+    render_report,
     set_registry,
     set_tracer,
 )
+from ..telemetry.sampler import TIMELINE_FILENAME
 from .api import make_server
 from .scheduler import ProcessWorkerPool, WorkerPool
 from .spec import JobSpec
@@ -326,6 +331,54 @@ class AssemblyService:
                 f"job {job_id} has no trace yet; traces are written when "
                 f"a job finishes ({exc})"
             ) from exc
+
+    def timeline_payload(self, job_id: str) -> Dict[str, Any]:
+        """The job's run timeline (superstep/stage events + samples).
+
+        Same error contract as ``/trace``: 404 for unknown jobs, 409
+        while no attempt has finished (the timeline is written with the
+        other per-attempt artifacts).
+        """
+        self.store.get(job_id)  # unknown job -> JobNotFoundError -> 404
+        path = self.pool.job_dir(job_id) / TIMELINE_FILENAME
+        try:
+            events = read_timeline(path)
+        except OSError as exc:
+            raise JobStateError(
+                f"job {job_id} has no timeline yet; timelines are written "
+                f"when an attempt finishes ({exc})"
+            ) from exc
+        return {"job_id": job_id, "events": events}
+
+    def report_html(self, job_id: str) -> str:
+        """The job's self-contained HTML ops report.
+
+        Renders whatever artifacts the job has produced so far (404
+        for unknown jobs, 409 before any artifact exists) — a failed
+        job still gets a report from its trace and timeline.
+        """
+        record = self.store.get(job_id)
+        artifacts = load_run_artifacts(self.pool.job_dir(job_id))
+        if (
+            artifacts["trace"] is None
+            and not artifacts["timeline"]
+            and artifacts["metrics"] is None
+        ):
+            raise JobStateError(
+                f"job {job_id} has no artifacts to report on yet; reports "
+                "are available once an attempt finishes"
+            )
+        return render_report(
+            f"job {job_id[:12]} — {record.state}",
+            trace=artifacts["trace"],
+            timeline=artifacts["timeline"],
+            metrics=artifacts["metrics"],
+        )
+
+    def dashboard_html(self) -> str:
+        """The service overview page (queue health + recent jobs)."""
+        jobs = self.store.list_jobs(limit=25)
+        return render_dashboard(self.health(), [job.to_dict() for job in jobs])
 
     # ------------------------------------------------------------------
     # health

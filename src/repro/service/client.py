@@ -117,6 +117,18 @@ class ServiceClient:
         """The finished job's span tree (``{"generated_at": ..., "trace": ...}``)."""
         return self._request("GET", f"/jobs/{job_id}/trace")
 
+    def timeline(self, job_id: str) -> Dict[str, Any]:
+        """The finished job's run timeline (``{"job_id": ..., "events": [...]}``)."""
+        return self._request("GET", f"/jobs/{job_id}/timeline")
+
+    def report_html(self, job_id: str) -> str:
+        """The job's self-contained HTML ops report, verbatim."""
+        return self._request("GET", f"/jobs/{job_id}/report", decode_json=False)
+
+    def dashboard_html(self) -> str:
+        """The service's HTML overview page, verbatim."""
+        return self._request("GET", "/dashboard", decode_json=False)
+
     def metrics_text(self) -> str:
         """The service's Prometheus text-format metrics, verbatim."""
         return self._request("GET", "/metrics", decode_json=False)

@@ -50,7 +50,22 @@ from pathlib import Path
 from typing import Any, Dict, Optional
 
 from ..errors import ReproError
-from ..telemetry import MetricsRegistry, Tracer, get_registry, get_tracer, set_registry, set_tracer, span, write_trace
+from ..telemetry import (
+    MetricsRegistry,
+    ResourceSampler,
+    TimelineRecorder,
+    Tracer,
+    get_registry,
+    get_tracer,
+    peak_rss_bytes,
+    set_registry,
+    set_tracer,
+    span,
+    use_timeline,
+    write_timeline,
+    write_trace,
+)
+from ..telemetry.sampler import TIMELINE_FILENAME
 from ..telemetry.trace import Span
 from ..workflow import WorkflowHooks
 from .faults import FaultPlan
@@ -331,11 +346,25 @@ def execute_attempt(
         )
         watchdog.start()
 
+    # Every attempt records a run timeline (superstep/stage boundary
+    # events + periodic resource samples) — like traces, it is part of
+    # the service's observability API (GET /jobs/<id>/timeline), so it
+    # is always on.  The slot is thread-local, so concurrent thread
+    # -plane jobs each keep their own.
+    from ..store.spill import process_spill_stats
+
+    timeline = TimelineRecorder()
+    sampler = ResourceSampler(
+        timeline, source=record.worker or f"attempt-{attempt}"
+    ).start()
+    spill_base = process_spill_stats().snapshot()
     started = time.perf_counter()
     outcome = "failed"
     job_span = None
     try:
-        with span(f"job:{job_id}", job_id=job_id, attempt=attempt) as job_span:
+        with use_timeline(timeline), span(
+            f"job:{job_id}", job_id=job_id, attempt=attempt
+        ) as job_span:
             try:
                 from ..assembler import PPAAssembler
 
@@ -351,6 +380,16 @@ def execute_attempt(
                 )
                 _abort_if_signalled()
                 wall_seconds = time.perf_counter() - started
+                spill = process_spill_stats().delta_since(spill_base)
+                memory = {
+                    "memory_budget_mb": config.memory_budget_mb,
+                    "spill_events_total": spill["spill_events"],
+                    "spill_bytes_total": spill["spill_bytes"],
+                    "load_events_total": spill["load_events"],
+                    "load_bytes_total": spill["load_bytes"],
+                    "ledger_peak_bytes": spill["ledger_peak_bytes"],
+                    "peak_rss_bytes": peak_rss_bytes(),
+                }
                 # Stage artifacts in a per-attempt directory and publish
                 # only after the token-fenced finish commits: a fenced
                 # zombie whose lease lapsed after the last
@@ -365,7 +404,7 @@ def execute_attempt(
                 )
                 _write_artifacts(
                     staging, job_id, record, result, material,
-                    stage_seconds, wall_seconds,
+                    stage_seconds, wall_seconds, memory,
                 )
                 if store.finish_attempt(
                     job_id, token, STATE_SUCCEEDED, result_dir=str(result_dir)
@@ -411,7 +450,9 @@ def execute_attempt(
             job_span.set(outcome=outcome)
     finally:
         stop_ticker.set()
+        sampler.stop()
     _write_trace(data_dir, job_id, job_span)
+    _write_timeline_file(data_dir, job_id, timeline)
     if outcome in ("succeeded", "failed", "cancelled"):
         get_registry().counter(
             "repro_jobs_completed_total",
@@ -451,6 +492,23 @@ def _write_trace(data_dir, job_id: str, job_span) -> None:
         pass
 
 
+def _write_timeline_file(data_dir, job_id: str, timeline) -> None:
+    """Persist the attempt's run timeline next to its artifacts.
+
+    Written for every outcome (like the trace), so failed and timed-out
+    jobs can be diagnosed from their timelines too.  Best-effort by
+    design — a timeline-write failure must not fail the job.
+    """
+    if not len(timeline):
+        return
+    try:
+        directory = job_dir(data_dir, job_id)
+        directory.mkdir(parents=True, exist_ok=True)
+        write_timeline(timeline, directory / TIMELINE_FILENAME)
+    except Exception:  # noqa: BLE001 — observability must not break jobs
+        pass
+
+
 def _write_artifacts(
     directory: Path,
     job_id: str,
@@ -459,6 +517,7 @@ def _write_artifacts(
     material,
     stage_seconds: Dict[str, float],
     wall_seconds: float,
+    memory: Optional[Dict[str, Any]] = None,
 ) -> Path:
     """Write the job's deliverables into ``directory`` (a staging dir)."""
     import json
@@ -474,6 +533,8 @@ def _write_artifacts(
         reference_length=material.reference_length,
     )
     payload["job_id"] = job_id
+    if memory is not None:
+        payload["memory"] = memory
     (directory / "metrics.json").write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n"
     )

@@ -13,7 +13,13 @@ Layout:
 * :mod:`repro.telemetry.metrics` — counters / gauges / histograms,
   thread-safe and mergeable across processes;
 * :mod:`repro.telemetry.export` — Prometheus text format, JSON-lines
-  logging with trace correlation, trace-file writing.
+  logging with trace correlation, trace-file writing;
+* :mod:`repro.telemetry.sampler` — resource sampling and structured
+  run timelines (``timeline.jsonl``), mergeable across processes;
+* :mod:`repro.telemetry.profiling` — cProfile collection merged across
+  worker processes, hotspot tables and collapsed-stack output;
+* :mod:`repro.telemetry.report` — self-contained HTML ops reports and
+  the service dashboard (inline SVG, zero dependencies).
 """
 
 from .export import (
@@ -29,6 +35,25 @@ from .metrics import (
     get_registry,
     set_registry,
     use_registry,
+)
+from .profiling import (
+    NullProfileCollector,
+    ProfileCollector,
+    get_profiler,
+    set_profiler,
+    use_profiler,
+)
+from .report import load_run_artifacts, render_dashboard, render_report
+from .sampler import (
+    NullTimeline,
+    ResourceSampler,
+    TimelineRecorder,
+    get_timeline,
+    peak_rss_bytes,
+    read_timeline,
+    set_timeline,
+    use_timeline,
+    write_timeline,
 )
 from .trace import (
     NoopTracer,
@@ -50,22 +75,39 @@ __all__ = [
     "JsonLogFormatter",
     "MetricsRegistry",
     "NoopTracer",
+    "NullProfileCollector",
     "NullRegistry",
+    "NullTimeline",
+    "ProfileCollector",
     "RemoteSpan",
+    "ResourceSampler",
     "Span",
+    "TimelineRecorder",
     "TraceContext",
     "Tracer",
     "configure_logging",
     "current_span",
+    "get_profiler",
     "get_registry",
+    "get_timeline",
     "get_tracer",
+    "load_run_artifacts",
+    "peak_rss_bytes",
+    "read_timeline",
     "remote_context",
+    "render_dashboard",
     "render_prometheus",
+    "render_report",
+    "set_profiler",
     "set_registry",
+    "set_timeline",
     "set_tracer",
     "span",
     "start_remote_span",
+    "use_profiler",
     "use_registry",
+    "use_timeline",
     "use_tracer",
+    "write_timeline",
     "write_trace",
 ]

@@ -32,7 +32,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..errors import CheckpointError, WorkflowError
 from ..pregel.metrics import PipelineMetrics
-from ..telemetry import get_registry, span
+from ..telemetry import get_profiler, get_registry, get_timeline, span
 from .builder import Workflow
 from .checkpoint import Checkpoint, CheckpointStore, state_fingerprint
 from .executor import StageExecutor
@@ -440,14 +440,29 @@ class WorkflowRunner:
         previous_override = self._active_override
         ctx.executor = executor
         self._active_override = (backend, num_workers)
+        timeline = get_timeline()
+        timeline.record("stage-start", stage=stage.name, index=index, total=total)
         started = time.perf_counter()
         try:
-            with span(f"stage:{stage.name}", index=index):
-                stage.run(ctx)
+            # Stage-level profiling covers the master process; Pregel
+            # worker processes profile their own compute and ship it
+            # back through the barrier channel.  profile_block is
+            # re-entrant safe, so BranchStage sub-stages simply ride
+            # their parent's profile.
+            with get_profiler().profile_block(f"stage:{stage.name}"):
+                with span(f"stage:{stage.name}", index=index):
+                    stage.run(ctx)
         finally:
             ctx.executor = previous_executor
             self._active_override = previous_override
         elapsed = time.perf_counter() - started
+        timeline.record(
+            "stage-end",
+            stage=stage.name,
+            index=index,
+            total=total,
+            seconds=round(elapsed, 6),
+        )
         get_registry().histogram(
             "repro_workflow_stage_seconds",
             "Wall-clock seconds per workflow stage.",

@@ -1,14 +1,17 @@
-"""The service's observability endpoints: ``/metrics`` and ``/jobs/<id>/trace``.
+"""The service's observability endpoints: ``/metrics``, ``/jobs/<id>/trace``,
+``/jobs/<id>/timeline``, ``/jobs/<id>/report`` and ``/dashboard``.
 
 Scrapes a live service over HTTP (the same path a Prometheus collector
 takes), checks the exposition text is well-formed and carries the core
-series, and walks a finished job's span tree.
+series, walks a finished job's span tree and run timeline, and parses
+the HTML surfaces (report, dashboard) for well-formedness.
 """
 
 from __future__ import annotations
 
 import re
 import time
+import xml.etree.ElementTree as ET
 from urllib import request
 
 import pytest
@@ -151,3 +154,87 @@ def test_trace_before_finish_is_409(service, client, tiny_spec):
         client.trace(job["id"])
     assert info.value.status == 409
     assert "no trace yet" in str(info.value)
+
+
+def test_timeline_endpoint_returns_merged_run_timeline(client, tiny_spec):
+    job = client.submit(tiny_spec)
+    client.wait(job["id"], timeout=120)
+
+    payload = client.timeline(job["id"])
+    assert payload["job_id"] == job["id"]
+    events = payload["events"]
+    kinds = {event["kind"] for event in events}
+    assert {"superstep", "stage-start", "stage-end", "sample"} <= kinds
+
+    supersteps = [e for e in events if e["kind"] == "superstep"]
+    assert supersteps
+    for event in supersteps:
+        assert event["messages_sent"] >= 0
+        assert event["active_vertices"] >= 0
+        assert "ledger_peak_bytes" in event
+    # Ordered by timestamp (the file is written sorted).
+    timestamps = [event["ts"] for event in events]
+    assert timestamps == sorted(timestamps)
+
+
+def test_timeline_error_contract(service, client, tiny_spec):
+    with pytest.raises(ServiceClientError) as info:
+        client.timeline("0" * 32)
+    assert info.value.status == 404
+
+    service.pool.stop(wait=True)
+    job = client.submit(tiny_spec)
+    with pytest.raises(ServiceClientError) as info:
+        client.timeline(job["id"])
+    assert info.value.status == 409
+    assert "no timeline yet" in str(info.value)
+
+
+def test_result_payload_carries_memory_block(client, tiny_spec):
+    job = client.submit(tiny_spec)
+    client.wait(job["id"], timeout=120)
+    result = client.result(job["id"])
+    memory = result["memory"]
+    assert memory["peak_rss_bytes"] > 0
+    assert memory["spill_events_total"] >= 0
+    assert memory["memory_budget_mb"] is None  # tiny_spec sets no budget
+
+
+def test_report_endpoint_renders_wellformed_html(client, tiny_spec):
+    job = client.submit(tiny_spec)
+    client.wait(job["id"], timeout=120)
+
+    html = client.report_html(job["id"])
+    root = ET.fromstring(html)  # no DOCTYPE, void tags closed: XML-parseable
+    assert root.tag == "html"
+    assert "Span waterfall" in html
+    assert "Resident set size" in html
+    assert job["id"][:12] in html
+
+
+def test_report_error_contract(service, client, tiny_spec):
+    with pytest.raises(ServiceClientError) as info:
+        client.report_html("0" * 32)
+    assert info.value.status == 404
+
+    service.pool.stop(wait=True)
+    job = client.submit(tiny_spec)
+    with pytest.raises(ServiceClientError) as info:
+        client.report_html(job["id"])
+    assert info.value.status == 409
+    assert "no artifacts" in str(info.value)
+
+
+def test_dashboard_lists_recent_jobs(client, tiny_spec):
+    # The dashboard renders before any job exists...
+    empty = client.dashboard_html()
+    ET.fromstring(empty)
+    assert "No jobs submitted yet" in empty
+
+    job = client.submit(tiny_spec)
+    client.wait(job["id"], timeout=120)
+    html = client.dashboard_html()
+    ET.fromstring(html)
+    assert job["id"][:12] in html
+    assert f'href="/jobs/{job["id"]}/report"' in html
+    assert "succeeded" in html

@@ -1,0 +1,129 @@
+"""Cross-process profile collection: merging, determinism, output formats.
+
+A profile is gathered per stage (and per worker, shipped home as raw
+pstats state over the barrier counter channel like metric deltas), so
+the collector must merge additively, deterministically (same inputs in
+any order produce the same hotspot table and folded stacks), and
+degrade to a no-op when profiling is off.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pickle
+
+from repro.telemetry import (
+    NullProfileCollector,
+    ProfileCollector,
+    get_profiler,
+    use_profiler,
+)
+from repro.telemetry.profiling import WORKER_STAGE, stats_state
+
+
+def _busy(n: int = 2000) -> int:
+    return sum(i * i for i in range(n))
+
+
+def _profiled_state() -> dict:
+    profiler = cProfile.Profile()
+    profiler.enable()
+    _busy()
+    profiler.disable()
+    return stats_state(profiler)
+
+
+def test_stats_state_is_picklable_and_plain():
+    state = _profiled_state()
+    assert state  # something was recorded
+    rehydrated = pickle.loads(pickle.dumps(state))
+    assert rehydrated == state
+    for key, (cc, nc, tt, ct, callers) in state.items():
+        assert isinstance(key, tuple) and len(key) == 3
+        assert isinstance(callers, dict)
+        assert cc >= 0 and nc >= cc and tt >= 0.0 and ct >= 0.0
+
+
+def test_profile_block_records_a_stage():
+    collector = ProfileCollector()
+    with collector.profile_block("stage:demo"):
+        _busy()
+    assert len(collector) > 0  # function rows recorded
+    hotspots = collector.hotspots()
+    assert hotspots, "profiled block produced no hotspots"
+    assert any("busy" in entry["function"] for entry in hotspots)
+    payload = collector.payload()
+    assert payload["stages"] == ["stage:demo"]
+    assert payload["functions_profiled"] > 0
+    assert payload["self_seconds_total"] >= 0.0
+
+
+def test_profile_block_is_reentrant_safe():
+    # A stage that (indirectly) runs inside another profiled stage must
+    # not try to enable a second profiler on the same thread — the
+    # inner block rides the outer profile.
+    collector = ProfileCollector()
+    with collector.profile_block("outer"):
+        with collector.profile_block("inner"):
+            _busy()
+    assert "outer" in collector.dump_stages()
+    assert "inner" not in collector.dump_stages()
+
+
+def test_merge_is_additive_and_order_independent():
+    state_a, state_b = _profiled_state(), _profiled_state()
+
+    forward, backward = ProfileCollector(), ProfileCollector()
+    forward.merge_state(state_a)
+    forward.merge_state(state_b)
+    backward.merge_state(state_b)
+    backward.merge_state(state_a)
+
+    assert forward.dump_stages() == backward.dump_stages()
+    assert forward.hotspots() == backward.hotspots()
+    assert forward.folded() == backward.folded()
+    assert forward.payload()["stages"] == [WORKER_STAGE]
+
+    # Additive: merging the same state twice doubles the call counts.
+    single, double = ProfileCollector(), ProfileCollector()
+    single.merge_state(state_a)
+    double.merge_state(state_a)
+    double.merge_state(state_a)
+    calls = {h["function"]: h["calls"] for h in single.hotspots(top_n=1000)}
+    doubled = {h["function"]: h["calls"] for h in double.hotspots(top_n=1000)}
+    assert doubled == {name: 2 * count for name, count in calls.items()}
+
+    # None (worker had profiling off / nothing to report) is a no-op.
+    forward.merge_state(None)
+    assert forward.hotspots() == backward.hotspots()
+
+
+def test_folded_output_is_flamegraph_collapsed_stacks(tmp_path):
+    collector = ProfileCollector()
+    with collector.profile_block("stage:demo"):
+        _busy()
+    folded = collector.folded()
+    lines = folded.splitlines()
+    assert lines == sorted(lines)  # deterministic ordering
+    for line in lines:
+        stack, _, weight = line.rpartition(" ")
+        assert stack.startswith("stage:demo;")
+        assert int(weight) >= 0  # integer microseconds
+
+    path = tmp_path / "out" / "profile.folded"
+    collector.write_folded(path)
+    assert path.read_text().splitlines() == lines
+
+
+def test_null_collector_is_inert(tmp_path):
+    assert isinstance(get_profiler(), NullProfileCollector)
+    null = get_profiler()
+    with null.profile_block("anything"):
+        _busy()
+    assert len(null) == 0
+    assert null.hotspots() == []
+    assert null.folded() == ""
+
+    with use_profiler(ProfileCollector()) as collector:
+        assert get_profiler() is collector
+    assert isinstance(get_profiler(), NullProfileCollector)

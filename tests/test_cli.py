@@ -332,3 +332,88 @@ def test_cli_rejects_unknown_log_level(capsys):
     with pytest.raises(SystemExit):
         main(["--simulate", "1000", "--log-level", "chatty"])
     assert "unknown log level" in capsys.readouterr().err
+
+
+def test_cli_version_flag(capsys):
+    from repro import __version__
+
+    with pytest.raises(SystemExit) as info:
+        main(["--version"])
+    assert info.value.code == 0
+    assert capsys.readouterr().out.strip() == f"repro-assemble {__version__}"
+
+
+def test_cli_timeline_out_writes_jsonl_and_stays_scoped(tmp_path, capsys):
+    from repro.telemetry import NullTimeline, get_timeline, read_timeline
+
+    path = tmp_path / "timeline.jsonl"
+    assert (
+        main(
+            ["--simulate", "1500", "-k", "15", "--workers", "2",
+             "--timeline-out", str(path)]
+        )
+        == 0
+    )
+    assert "wrote timeline to" in capsys.readouterr().out
+    # The flag's recorder is scoped to the run: the default stays inert.
+    assert isinstance(get_timeline(), NullTimeline)
+
+    events = read_timeline(path)
+    kinds = {event["kind"] for event in events}
+    assert {"superstep", "stage-start", "stage-end", "sample"} <= kinds
+    timestamps = [event["ts"] for event in events]
+    assert timestamps == sorted(timestamps)
+
+
+def test_cli_profile_writes_folded_stacks_and_hotspots(tmp_path, capsys):
+    import json
+
+    folded = tmp_path / "profile.folded"
+    metrics = tmp_path / "metrics.json"
+    assert (
+        main(
+            ["--simulate", "1500", "-k", "15", "--workers", "2",
+             "--profile", str(folded), "--metrics-json", str(metrics)]
+        )
+        == 0
+    )
+    assert "wrote collapsed profile stacks to" in capsys.readouterr().out
+    lines = folded.read_text().splitlines()
+    assert lines and all(line.rpartition(" ")[2].isdigit() for line in lines)
+    assert any(line.startswith("stage:dbg-construction;") for line in lines)
+
+    payload = json.loads(metrics.read_text())
+    assert payload["profile"]["hotspots"]
+    assert payload["profile"]["functions_profiled"] > 0
+    assert payload["memory"]["peak_rss_bytes"] > 0
+
+
+def test_cli_report_verb_renders_run_directory(tmp_path, capsys):
+    import xml.etree.ElementTree as ET
+
+    run_dir = tmp_path / "run"
+    run_dir.mkdir()
+    assert (
+        main(
+            ["--simulate", "1500", "-k", "15", "--workers", "2", "--quiet",
+             "--trace-out", str(run_dir / "trace.json"),
+             "--timeline-out", str(run_dir / "timeline.jsonl"),
+             "--metrics-json", str(run_dir / "metrics.json")]
+        )
+        == 0
+    )
+    capsys.readouterr()
+
+    output = tmp_path / "report.html"
+    assert main(["report", str(run_dir), "-o", str(output)]) == 0
+    assert "wrote report to" in capsys.readouterr().out
+    html = output.read_text()
+    ET.fromstring(html)  # well-formed (void tags closed, attrs quoted)
+    assert "Span waterfall" in html
+    assert "Resident set size" in html
+
+
+def test_cli_report_verb_with_nothing_to_report_fails(tmp_path, capsys):
+    with pytest.raises(SystemExit):
+        main(["report", str(tmp_path), "-o", str(tmp_path / "r.html")])
+    assert "nothing to report on" in capsys.readouterr().err

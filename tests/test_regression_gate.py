@@ -1,0 +1,156 @@
+"""The bench regression gate: rule matching, tolerances, CLI contract.
+
+The gate is what CI runs between a committed ``BENCH_*.json`` baseline
+and a fresh measurement; these tests pin its promises — a genuine 2x
+slowdown always fails, run-to-run jitter within tolerance passes, only
+rule-matched metrics gate anything, and every committed baseline passes
+against itself (so the CI wiring cannot be broken by the baselines).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench import compare, gate
+from repro.bench.regression import (
+    DEFAULT_RULES,
+    context_mismatches,
+    numeric_leaves,
+    rule_for,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+BASELINE = {
+    "schema_version": 2,
+    "benchmark": "demo",
+    "wall_seconds": 10.0,
+    "overhead_fraction": 0.01,
+    "jobs_per_sec": 4.0,
+    "speedup_4_workers": 3.0,
+    "reads": 1200,  # not rule-matched: never gated
+    "stages": {"dbg_seconds": 4.0},
+}
+
+
+def _fresh(**overrides) -> dict:
+    fresh = json.loads(json.dumps(BASELINE))
+    fresh.update(overrides)
+    return fresh
+
+
+def test_identical_payloads_pass():
+    results = compare(BASELINE, _fresh())
+    assert results and not any(r.regressed for r in results)
+
+
+def test_two_x_slowdown_fails():
+    results = compare(BASELINE, _fresh(wall_seconds=20.0))
+    slowed = [r for r in results if r.path == "wall_seconds"]
+    assert slowed and slowed[0].regressed
+
+
+def test_jitter_within_tolerance_passes():
+    # +50% wall clock is inside the deliberately loose 75% band.
+    results = compare(BASELINE, _fresh(wall_seconds=15.0))
+    assert not any(r.regressed for r in results)
+
+
+def test_nested_seconds_are_gated():
+    results = compare(BASELINE, _fresh(stages={"dbg_seconds": 9.0}))
+    nested = [r for r in results if r.path == "stages.dbg_seconds"]
+    assert nested and nested[0].regressed
+
+
+def test_overhead_fraction_gates_absolutely():
+    ok = compare(BASELINE, _fresh(overhead_fraction=0.03))
+    assert not any(r.regressed for r in ok)
+    bad = compare(BASELINE, _fresh(overhead_fraction=0.08))
+    assert any(r.regressed and r.path == "overhead_fraction" for r in bad)
+
+
+def test_higher_is_better_direction():
+    # Throughput may halve before failing; below half it fails.
+    ok = compare(BASELINE, _fresh(jobs_per_sec=2.0, speedup_4_workers=1.5))
+    assert not any(r.regressed for r in ok)
+    bad = compare(BASELINE, _fresh(jobs_per_sec=1.0))
+    assert any(r.regressed and r.path == "jobs_per_sec" for r in bad)
+    # Improvements never fail.
+    better = compare(BASELINE, _fresh(jobs_per_sec=9.0, wall_seconds=1.0))
+    assert not any(r.regressed for r in better)
+
+
+def test_unmatched_and_one_sided_metrics_are_ignored():
+    gated = {r.path for r in compare(BASELINE, _fresh())}
+    assert "reads" not in gated
+    assert "schema_version" not in gated
+    # A metric present only in the fresh payload gates nothing.
+    results = compare(BASELINE, _fresh(brand_new_seconds=99.0))
+    assert "brand_new_seconds" not in {r.path for r in results}
+
+
+def test_numeric_leaves_walk_lists_under_parent_key():
+    leaves = dict(
+        (path, key) for path, key, _ in numeric_leaves({"worker_seconds": [1.0, 2.0]})
+    )
+    assert leaves == {"worker_seconds[0]": "worker_seconds",
+                      "worker_seconds[1]": "worker_seconds"}
+    assert rule_for("worker_seconds", DEFAULT_RULES) is not None
+
+
+def test_mismatched_workload_context_skips_instead_of_gating(tmp_path):
+    # A baseline recorded at scale 1.0 vs a fresh run at 0.3 measures
+    # a different problem: the gate must skip (exit 0), not compare.
+    base = dict(BASELINE, scale=1.0)
+    fresh = dict(_fresh(wall_seconds=20.0), scale=0.3)  # would otherwise fail
+    assert context_mismatches(base, fresh) == [("scale", 1.0, 0.3)]
+    assert context_mismatches(base, dict(base)) == []
+    # Context keys absent on either side never block the comparison.
+    assert context_mismatches(BASELINE, _fresh(scale=0.3)) == []
+
+    base_path = tmp_path / "base.json"
+    base_path.write_text(json.dumps(base))
+    fresh_path = tmp_path / "fresh.json"
+    fresh_path.write_text(json.dumps(fresh))
+    out = io.StringIO()
+    assert gate(base_path, fresh_path, out=out) == 0
+    assert "not comparable" in out.getvalue()
+
+
+def test_gate_cli_exit_codes(tmp_path):
+    base = tmp_path / "base.json"
+    base.write_text(json.dumps(BASELINE))
+    good = tmp_path / "good.json"
+    good.write_text(json.dumps(_fresh()))
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps(_fresh(wall_seconds=20.0)))
+
+    assert gate(base, good, out=io.StringIO()) == 0
+    assert gate(base, bad, out=io.StringIO()) == 1
+    assert gate(base, tmp_path / "missing.json", out=io.StringIO()) == 2
+
+
+def test_module_entry_point_runs_as_main(tmp_path):
+    base = tmp_path / "base.json"
+    base.write_text(json.dumps(BASELINE))
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.bench.regression", str(base), str(base)],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "within tolerance" in proc.stdout
+    assert "RuntimeWarning" not in proc.stderr  # lazy package exports
+
+
+@pytest.mark.parametrize(
+    "baseline", sorted(REPO_ROOT.glob("BENCH_*.json")), ids=lambda p: p.name
+)
+def test_committed_baselines_pass_against_themselves(baseline):
+    assert gate(baseline, baseline, out=io.StringIO()) == 0
